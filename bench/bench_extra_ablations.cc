@@ -1,0 +1,126 @@
+// Extra ablations (not in the paper's tables): the design choices
+// DESIGN.md calls out beyond the paper's own ablation study —
+//   * cross-window proxy chaining (Eq. 14) on/off: without it, windows
+//     cannot exchange information and long-range structure is lost;
+//   * sensor correlation attention (§IV-C) on/off: without it, sensors
+//     forecast independently;
+//   * the input start-projection on/off (implementation detail of the
+//     authors' released code: raw F=1 inputs give rank-1 first-layer
+//     keys).
+// Expected shape: the full model wins; each removal costs accuracy.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/stwa_model.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchScale scale = GetScale();
+  data::TrafficDataset dataset = MakeDataset(PaperDataset::kPems04, scale);
+  baselines::ModelSettings settings = MakeSettings(scale, 12, 12);
+  train::TrainConfig config = MakeTrainConfig(scale);
+
+  struct Variant {
+    std::string name;
+    bool chain;
+    bool sensor_attention;
+    bool input_embedding;
+  };
+  const std::vector<Variant> variants = {
+      {"full ST-WA", true, true, true},
+      {"no window chaining", false, true, true},
+      {"no sensor attention", true, false, true},
+      {"no input embedding", true, true, false},
+  };
+
+  train::TablePrinter table(
+      "Extra ablations: design choices beyond the paper's tables (" +
+      dataset.name + ", H=12, U=12)");
+  table.SetHeader({"Variant", "MAE", "MAPE", "RMSE"});
+  for (const Variant& v : variants) {
+    core::StwaConfig c;
+    c.num_sensors = dataset.num_sensors();
+    c.history = settings.history;
+    c.horizon = settings.horizon;
+    c.window_sizes = settings.window_sizes;
+    c.proxies = settings.proxies;
+    c.heads = settings.heads;
+    c.d_model = settings.d_model;
+    c.latent_dim = settings.latent_dim;
+    c.predictor_hidden = settings.predictor_hidden;
+    c.kl_weight = settings.kl_weight;
+    c.chain_windows = v.chain;
+    c.sensor_attention = v.sensor_attention;
+    c.input_embedding = v.input_embedding;
+    Rng rng(settings.seed);
+    core::StwaModel model(c, &rng);
+    train::Trainer trainer(dataset, settings.history, settings.horizon,
+                           config);
+    train::TrainResult result = trainer.Fit(model);
+    std::vector<std::string> row = {v.name};
+    for (const std::string& cell : MetricCells(result.test)) {
+      row.push_back(cell);
+    }
+    table.AddRow(row);
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n";
+  table.Print();
+
+  // Window chaining matters when windows are many and long-range structure
+  // must flow across them — rerun that ablation at the H = U = 72 setting.
+  train::TrainConfig long_config = config;
+  long_config.epochs = std::min(long_config.epochs, 20);
+  long_config.stride *= 2;
+  long_config.eval_stride *= 2;
+  train::TablePrinter long_table(
+      "Extra ablations (cont.): window chaining at H=72, U=72");
+  long_table.SetHeader({"Variant", "MAE", "MAPE", "RMSE"});
+  for (bool chain : {true, false}) {
+    core::StwaConfig c;
+    c.num_sensors = dataset.num_sensors();
+    c.history = 72;
+    c.horizon = 72;
+    c.window_sizes = {6, 6, 2};
+    c.proxies = 2;
+    c.heads = settings.heads;
+    c.d_model = settings.d_model;
+    c.latent_dim = settings.latent_dim;
+    c.predictor_hidden = settings.predictor_hidden;
+    c.chain_windows = chain;
+    Rng rng(settings.seed);
+    core::StwaModel model(c, &rng);
+    train::Trainer trainer(dataset, 72, 72, long_config);
+    train::TrainResult result = trainer.Fit(model);
+    std::vector<std::string> row = {chain ? "with chaining (Eq. 14)"
+                                          : "no chaining"};
+    for (const std::string& cell : MetricCells(result.test)) {
+      row.push_back(cell);
+    }
+    long_table.AddRow(row);
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n";
+  long_table.Print();
+  std::cout << "\nObserved shape: sensor attention is the load-bearing "
+               "design choice (removing it costs several MAE). Window "
+               "chaining is within noise on MAE at our synthetic scale — "
+               "its benefit in the paper is entangled with depth (the "
+               "WA-1 vs WA gap of Table VIII); the skip connections "
+               "already carry window summaries to the predictor.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stwa
+
+int main() {
+  stwa::bench::Run();
+  return 0;
+}

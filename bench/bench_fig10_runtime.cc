@@ -1,0 +1,65 @@
+// Reproduces Figure 10: training runtime (seconds per epoch) as the
+// historical window H grows from 12 to 36 to 120, for STFGNN, EnhanceNet,
+// AGCRN and ST-WA on PEMS04. Expected shape: baseline runtimes grow
+// steeply with H while ST-WA grows roughly linearly and is the cheapest
+// at the longest window.
+
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+
+namespace stwa {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchScale scale = GetScale();
+  // Runtime measurement wants identical work per configuration: fixed
+  // number of batches, few epochs.
+  scale.epochs = 2;
+  data::TrafficDataset dataset = MakeDataset(PaperDataset::kPems04, scale);
+  train::TrainConfig config = MakeTrainConfig(scale);
+  config.epochs = 2;
+  config.max_batches_per_epoch = 8;
+  config.eval_stride = 16;
+
+  const std::vector<std::string> models = {"STFGNN", "EnhanceNet", "AGCRN",
+                                           "ST-WA"};
+  const std::vector<int64_t> histories = {12, 36, 120};
+
+  train::TablePrinter table("Figure 10: training runtime (s/epoch) vs H, " +
+                            dataset.name);
+  std::vector<std::string> header = {"Model"};
+  for (int64_t h : histories) header.push_back("H=" + std::to_string(h));
+  table.SetHeader(header);
+
+  std::ofstream csv(BenchOutPath("fig10_runtime.csv"));
+  csv << "model,h,seconds_per_epoch\n";
+  for (const std::string& name : models) {
+    std::vector<std::string> row = {name};
+    for (int64_t h : histories) {
+      baselines::ModelSettings settings = MakeSettings(scale, h, 12);
+      train::TrainResult result = RunModel(name, dataset, settings, config);
+      row.push_back(FormatFloat(result.seconds_per_epoch, 2));
+      csv << name << "," << h << "," << result.seconds_per_epoch << "\n";
+      std::cout << "." << std::flush;
+    }
+    table.AddRow(row);
+  }
+  std::cout << "\n";
+  table.Print();
+  std::cout << "\nCSV written to bench_out/fig10_runtime.csv.\nExpected "
+               "shape (paper Fig. 10): baseline epoch time grows steeply "
+               "with H; ST-WA grows roughly linearly and wins at H=120.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stwa
+
+int main() {
+  stwa::bench::Run();
+  return 0;
+}

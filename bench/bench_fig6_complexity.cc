@@ -1,0 +1,68 @@
+// Reproduces the Figure 6 complexity comparison as a google-benchmark
+// microbench: canonical attention (CA, O(H^2)) vs window attention
+// (WA, O(H)) forward passes over growing history lengths H. Expected
+// shape: CA time grows quadratically with H, WA roughly linearly, with a
+// widening gap.
+
+#include <benchmark/benchmark.h>
+
+#include "core/enhanced_models.h"
+#include "core/stwa_model.h"
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace {
+
+constexpr int64_t kSensors = 8;
+constexpr int64_t kBatch = 4;
+
+void BM_CanonicalAttention(benchmark::State& state) {
+  const int64_t h = state.range(0);
+  core::EnhancedConfig c;
+  c.num_sensors = kSensors;
+  c.history = h;
+  c.horizon = 12;
+  c.d_model = 16;
+  c.predictor_hidden = 32;
+  c.num_layers = 2;
+  Rng rng(1);
+  core::AttForecaster model(c, &rng);
+  Tensor x = Tensor::Randn({kBatch, kSensors, h, 1}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(x, /*training=*/false));
+  }
+  state.SetComplexityN(h);
+}
+BENCHMARK(BM_CanonicalAttention)
+    ->Arg(12)->Arg(24)->Arg(48)->Arg(96)->Arg(192)
+    ->Complexity();
+
+void BM_WindowAttention(benchmark::State& state) {
+  const int64_t h = state.range(0);
+  core::StwaConfig c;
+  c.num_sensors = kSensors;
+  c.history = h;
+  c.horizon = 12;
+  c.d_model = 16;
+  c.latent_dim = 8;
+  c.predictor_hidden = 32;
+  // Two layers with window sizes that divide every H in the sweep
+  // (every swept H is divisible by 6, and H/6 by 2).
+  c.window_sizes = {6, 2};
+  c.latent_mode = core::LatentMode::kSpatioTemporal;
+  Rng rng(2);
+  core::StwaModel model(c, &rng);
+  Tensor x = Tensor::Randn({kBatch, kSensors, h, 1}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(x, /*training=*/false));
+  }
+  state.SetComplexityN(h);
+}
+BENCHMARK(BM_WindowAttention)
+    ->Arg(12)->Arg(24)->Arg(48)->Arg(96)->Arg(192)
+    ->Complexity();
+
+}  // namespace
+}  // namespace stwa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Model-agnostic enhancement: take a plain GRU forecaster, make it
+// spatial-aware (+S) and spatio-temporal aware (+ST) with the parameter
+// generation framework, and compare the three on the same data — the
+// workflow of the paper's Table VII, applied to your own model.
+//
+//   ./examples/enhance_your_model [epochs]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/registry.h"
+#include "common/string_util.h"
+#include "data/traffic_generator.h"
+#include "train/table.h"
+#include "train/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace stwa;
+  const int epochs = argc > 1 ? std::atoi(argv[1]) : 15;
+
+  // A dataset with strong per-road heterogeneity — exactly the condition
+  // under which shared parameters hurt and generated parameters help.
+  data::GeneratorOptions gen;
+  gen.name = "heterogeneous";
+  gen.num_roads = 5;
+  gen.sensors_per_road = 3;
+  gen.num_days = 10;
+  gen.steps_per_day = 144;
+  gen.seed = 99;
+  data::TrafficDataset dataset = data::GenerateTraffic(gen);
+
+  baselines::ModelSettings settings;
+  settings.history = 12;
+  settings.horizon = 12;
+  settings.d_model = 16;
+  settings.latent_dim = 8;
+  settings.predictor_hidden = 64;
+
+  train::TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 8;
+  config.stride = 2;
+  config.eval_stride = 3;
+
+  train::TablePrinter table(
+      "Enhancing a GRU forecaster with ST-aware parameter generation");
+  table.SetHeader({"Variant", "MAE", "MAPE", "RMSE", "#Param"});
+  for (std::string name : {"GRU", "GRU+S", "GRU+ST"}) {
+    auto model = baselines::MakeModel(name, dataset, settings);
+    train::Trainer trainer(dataset, settings.history, settings.horizon,
+                           config);
+    train::TrainResult result = trainer.Fit(*model);
+    table.AddRow({name, FormatFloat(result.test.mae, 2),
+                  FormatFloat(result.test.mape, 2),
+                  FormatFloat(result.test.rmse, 2),
+                  std::to_string(result.param_count)});
+    std::cout << name << " done (" << result.epochs_run << " epochs)\n";
+  }
+  table.Print();
+  std::cout << "\nThe same latent + decoder machinery that powers ST-WA "
+               "turned the spatio-temporal agnostic GRU into +S and +ST "
+               "variants — no change to the recurrence itself.\n";
+  return 0;
+}

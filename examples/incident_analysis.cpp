@@ -1,0 +1,137 @@
+// Temporal awareness under regime change: inject an incident (a sharp
+// capacity drop on one road) into otherwise regular traffic and show that
+// the temporal adaption variable z_t^(i) — and therefore the generated
+// parameters — react to it. Exports the latent trajectory to CSV.
+//
+//   ./examples/incident_analysis
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+
+#include "baselines/registry.h"
+#include "common/string_util.h"
+#include "core/stwa_model.h"
+#include "data/sampler.h"
+#include "data/scaler.h"
+#include "data/traffic_generator.h"
+#include "tensor/ops.h"
+#include "train/table.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace stwa;
+
+  // Clean dataset without incidents...
+  data::GeneratorOptions gen;
+  gen.name = "incident-demo";
+  gen.num_roads = 3;
+  gen.sensors_per_road = 3;
+  gen.num_days = 10;
+  gen.steps_per_day = 144;
+  gen.incident_prob = 0.0f;
+  gen.noise_std = 4.0f;
+  gen.seed = 31;
+  data::TrafficDataset dataset = data::GenerateTraffic(gen);
+
+  // ...then inject one hand-made incident into the TEST region: sensor 0's
+  // road loses 60% capacity for ~2 hours on the second-to-last day.
+  const int64_t spd = dataset.steps_per_day;
+  const int64_t incident_start = (gen.num_days - 2) * spd + spd / 2;
+  const int64_t incident_len = 12;
+  for (int64_t i = 0; i < 3; ++i) {  // sensors of road 0
+    for (int64_t t = incident_start; t < incident_start + incident_len;
+         ++t) {
+      dataset.values({i, t, 0}) *= 0.4f;
+    }
+  }
+
+  // Train a small ST-WA.
+  baselines::ModelSettings settings;
+  settings.history = 12;
+  settings.horizon = 12;
+  settings.d_model = 16;
+  settings.latent_dim = 8;
+  settings.predictor_hidden = 64;
+  auto model_ptr = baselines::MakeModel("ST-WA", dataset, settings);
+  auto* model = dynamic_cast<core::StwaModel*>(model_ptr.get());
+  train::TrainConfig config;
+  config.epochs = 12;
+  config.batch_size = 8;
+  config.stride = 2;
+  config.eval_stride = 4;
+  train::Trainer trainer(dataset, settings.history, settings.horizon,
+                         config);
+  trainer.Fit(*model);
+
+  // Walk a window across the incident and record how far the generated
+  // parameters phi_t^(0) move from their pre-incident average.
+  data::StandardScaler scaler = trainer.scaler();
+  Tensor normalised = scaler.Transform(dataset.values);
+  auto window_at = [&](int64_t t) {
+    // [1, N, H, F] window ending at t.
+    Tensor x(Shape{1, dataset.num_sensors(), settings.history, 1});
+    for (int64_t i = 0; i < dataset.num_sensors(); ++i) {
+      for (int64_t s = 0; s < settings.history; ++s) {
+        x({0, i, s, 0}) =
+            normalised({i, t - settings.history + 1 + s, 0});
+      }
+    }
+    return x;
+  };
+
+  // Reference: mean parameters over the hour before the incident.
+  const int64_t probe_begin = incident_start - 24;
+  const int64_t probe_end = incident_start + incident_len + 24;
+  Tensor reference;
+  int ref_count = 0;
+  for (int64_t t = probe_begin; t < incident_start; ++t) {
+    Tensor phi = model->GeneratedProjections(window_at(t), 0);
+    Tensor row = ops::Slice(phi, 0, 0, 1);
+    if (reference.empty()) {
+      reference = row.Clone();
+    } else {
+      ops::AddInPlace(reference, row);
+    }
+    ++ref_count;
+  }
+  reference = ops::MulScalar(reference, 1.0f / ref_count);
+
+  std::ofstream out("incident_latents.csv");
+  out << "t,flow,param_shift\n";
+  double pre_shift = 0.0;
+  double during_shift = 0.0;
+  int pre_n = 0;
+  int during_n = 0;
+  for (int64_t t = probe_begin; t < probe_end; ++t) {
+    Tensor phi = model->GeneratedProjections(window_at(t), 0);
+    Tensor row = ops::Slice(phi, 0, 0, 1);
+    const float shift = ops::MaxAbsDiff(row, reference);
+    out << t << "," << dataset.values({0, t, 0}) << "," << shift << "\n";
+    const bool during = t >= incident_start + 3 &&
+                        t < incident_start + incident_len;
+    if (during) {
+      during_shift += shift;
+      ++during_n;
+    } else if (t < incident_start) {
+      pre_shift += shift;
+      ++pre_n;
+    }
+  }
+  pre_shift /= pre_n;
+  during_shift /= during_n;
+
+  train::TablePrinter table("Temporal adaption under an incident");
+  table.SetHeader({"Phase", "mean |phi_t - phi_ref|"});
+  table.AddRow({"regular traffic (before)", FormatFloat(pre_shift, 4)});
+  table.AddRow({"during incident", FormatFloat(during_shift, 4)});
+  table.Print();
+  std::cout << "\nTrajectory written to incident_latents.csv. The "
+               "generated parameters move further from their regular-"
+               "traffic reference while the incident is inside the "
+               "window (ratio "
+            << FormatFloat(during_shift / (pre_shift + 1e-9), 2)
+            << "x) — the temporal-aware behaviour the paper motivates "
+               "with accidents and road closures.\n";
+  return 0;
+}

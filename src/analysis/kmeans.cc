@@ -1,0 +1,165 @@
+#include "analysis/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace analysis {
+namespace {
+
+double SquaredDistance(const Tensor& x, int64_t row, const Tensor& c,
+                       int64_t centroid) {
+  const int64_t d = x.dim(1);
+  double acc = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    const double diff = x({row, j}) - c({centroid, j});
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const Tensor& x, int64_t k, Rng& rng,
+                    int64_t max_iters) {
+  STWA_CHECK(x.rank() == 2, "KMeans expects [n, d]");
+  const int64_t n = x.dim(0);
+  const int64_t d = x.dim(1);
+  STWA_CHECK(k >= 1 && k <= n, "bad cluster count k=", k, " for n=", n);
+
+  // k-means++ seeding.
+  Tensor centroids(Shape{k, d});
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  int64_t first = rng.UniformInt(n);
+  for (int64_t j = 0; j < d; ++j) centroids({0, j}) = x({first, j});
+  for (int64_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(min_dist[i], SquaredDistance(x, i, centroids,
+                                                          c - 1));
+      total += min_dist[i];
+    }
+    double target = rng.Uniform() * total;
+    int64_t chosen = n - 1;
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      acc += min_dist[i];
+      if (acc >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    for (int64_t j = 0; j < d; ++j) centroids({c, j}) = x({chosen, j});
+  }
+
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+  for (int64_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (int64_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_dist = SquaredDistance(x, i, centroids, 0);
+      for (int64_t c = 1; c < k; ++c) {
+        const double dist = SquaredDistance(x, i, centroids, c);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update.
+    Tensor sums(Shape{k, d});
+    std::vector<int64_t> counts(k, 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int c = result.assignment[i];
+      ++counts[c];
+      for (int64_t j = 0; j < d; ++j) sums({c, j}) += x({i, j});
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep the old centroid
+      for (int64_t j = 0; j < d; ++j) {
+        centroids({c, j}) = sums({c, j}) / counts[c];
+      }
+    }
+    if (!changed) break;
+  }
+  result.centroids = centroids;
+  result.inertia = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    result.inertia += SquaredDistance(x, i, centroids,
+                                      result.assignment[i]);
+  }
+  return result;
+}
+
+double ClusterPurity(const std::vector<int>& assignment,
+                     const std::vector<int>& labels) {
+  STWA_CHECK(assignment.size() == labels.size() && !assignment.empty(),
+             "purity inputs must be same-sized and non-empty");
+  // Majority label per cluster.
+  std::map<int, std::map<int, int>> counts;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    counts[assignment[i]][labels[i]]++;
+  }
+  int64_t correct = 0;
+  for (const auto& [cluster, label_counts] : counts) {
+    int best = 0;
+    for (const auto& [label, count] : label_counts) {
+      best = std::max(best, count);
+    }
+    correct += best;
+  }
+  return static_cast<double>(correct) / assignment.size();
+}
+
+double Silhouette(const Tensor& x, const std::vector<int>& assignment) {
+  STWA_CHECK(x.rank() == 2 &&
+                 static_cast<size_t>(x.dim(0)) == assignment.size(),
+             "silhouette inputs mismatch");
+  const int64_t n = x.dim(0);
+  const int64_t d = x.dim(1);
+  const int k = *std::max_element(assignment.begin(), assignment.end()) + 1;
+  auto dist = [&](int64_t a, int64_t b) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const double diff = x({a, j}) - x({b, j});
+      acc += diff * diff;
+    }
+    return std::sqrt(acc);
+  };
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<double> mean_dist(k, 0.0);
+    std::vector<int64_t> counts(k, 0);
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      mean_dist[assignment[j]] += dist(i, j);
+      ++counts[assignment[j]];
+    }
+    const int own = assignment[i];
+    if (counts[own] == 0) continue;  // singleton cluster
+    const double a = mean_dist[own] / counts[own];
+    double b = std::numeric_limits<double>::max();
+    for (int c = 0; c < k; ++c) {
+      if (c == own || counts[c] == 0) continue;
+      b = std::min(b, mean_dist[c] / counts[c]);
+    }
+    if (b == std::numeric_limits<double>::max()) continue;
+    total += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+}  // namespace analysis
+}  // namespace stwa

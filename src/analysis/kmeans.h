@@ -1,0 +1,37 @@
+// Lloyd's k-means with k-means++ seeding, plus cluster quality measures
+// used by the Figure 9 analysis (cluster purity against road labels,
+// silhouette score).
+
+#ifndef STWA_ANALYSIS_KMEANS_H_
+#define STWA_ANALYSIS_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace analysis {
+
+/// k-means result.
+struct KMeansResult {
+  std::vector<int> assignment;  // cluster index per row
+  Tensor centroids;             // [k, d]
+  double inertia = 0.0;         // sum of squared distances to centroids
+};
+
+/// Clusters the rows of X [n, d] into k clusters.
+KMeansResult KMeans(const Tensor& x, int64_t k, Rng& rng,
+                    int64_t max_iters = 100);
+
+/// Fraction of points whose cluster's majority label matches their own.
+double ClusterPurity(const std::vector<int>& assignment,
+                     const std::vector<int>& labels);
+
+/// Mean silhouette coefficient in [-1, 1]; higher = better separated.
+double Silhouette(const Tensor& x, const std::vector<int>& assignment);
+
+}  // namespace analysis
+}  // namespace stwa
+
+#endif  // STWA_ANALYSIS_KMEANS_H_

@@ -1,0 +1,19 @@
+// Principal component analysis via power iteration with deflation.
+
+#ifndef STWA_ANALYSIS_PCA_H_
+#define STWA_ANALYSIS_PCA_H_
+
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace analysis {
+
+/// Projects rows of X [n, d] onto the top `components` principal
+/// directions; returns [n, components]. Deterministic (fixed start
+/// vectors + power iteration).
+Tensor Pca(const Tensor& x, int64_t components, int64_t iterations = 100);
+
+}  // namespace analysis
+}  // namespace stwa
+
+#endif  // STWA_ANALYSIS_PCA_H_

@@ -1,0 +1,155 @@
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace analysis {
+namespace {
+
+/// Binary-searches the Gaussian bandwidth of row i so the conditional
+/// distribution's perplexity matches the target; fills p_cond[i*n + j].
+void FitRowAffinities(const std::vector<double>& sq_dist, int64_t n,
+                      int64_t i, double perplexity,
+                      std::vector<double>& p_cond) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0;
+  double beta_lo = 0.0;
+  double beta_hi = std::numeric_limits<double>::max();
+  for (int iter = 0; iter < 60; ++iter) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sum += std::exp(-beta * sq_dist[i * n + j]);
+    }
+    sum = std::max(sum, 1e-12);
+    double entropy = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double pj = std::exp(-beta * sq_dist[i * n + j]) / sum;
+      if (pj > 1e-12) entropy -= pj * std::log(pj);
+      p_cond[i * n + j] = pj;
+    }
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0) {
+      beta_lo = beta;
+      beta = beta_hi == std::numeric_limits<double>::max()
+                 ? beta * 2.0
+                 : 0.5 * (beta_lo + beta_hi);
+    } else {
+      beta_hi = beta;
+      beta = 0.5 * (beta_lo + beta_hi);
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Tsne(const Tensor& x, const TsneOptions& options) {
+  STWA_CHECK(x.rank() == 2, "Tsne expects [n, d]");
+  const int64_t n = x.dim(0);
+  const int64_t d = x.dim(1);
+  const int64_t out_d = options.output_dims;
+  STWA_CHECK(n >= 2, "need at least two points");
+  STWA_CHECK(options.perplexity < n, "perplexity must be < n");
+
+  // Pairwise squared distances in the input space.
+  std::vector<double> sq_dist(n * n, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t f = 0; f < d; ++f) {
+        const double diff = x({i, f}) - x({j, f});
+        acc += diff * diff;
+      }
+      sq_dist[i * n + j] = acc;
+      sq_dist[j * n + i] = acc;
+    }
+  }
+  // Symmetrised affinities P.
+  std::vector<double> p_cond(n * n, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    FitRowAffinities(sq_dist, n, i, options.perplexity, p_cond);
+  }
+  std::vector<double> p(n * n, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      p[i * n + j] =
+          std::max((p_cond[i * n + j] + p_cond[j * n + i]) / (2.0 * n),
+                   1e-12);
+    }
+  }
+
+  // Initialise embedding with small Gaussian noise.
+  Rng rng(options.seed);
+  std::vector<double> y(n * out_d);
+  std::vector<double> velocity(n * out_d, 0.0);
+  for (auto& v : y) v = 1e-2 * rng.Normal();
+
+  std::vector<double> q(n * n);
+  std::vector<double> grad(n * out_d);
+  const int64_t exaggeration_end = options.iterations / 4;
+  for (int64_t iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < exaggeration_end ? options.exaggeration : 1.0;
+    // Student-t affinities Q.
+    double q_sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        double acc = 0.0;
+        for (int64_t f = 0; f < out_d; ++f) {
+          const double diff = y[i * out_d + f] - y[j * out_d + f];
+          acc += diff * diff;
+        }
+        const double w = 1.0 / (1.0 + acc);
+        q[i * n + j] = w;
+        q[j * n + i] = w;
+        q_sum += 2.0 * w;
+      }
+      q[i * n + i] = 0.0;
+    }
+    q_sum = std::max(q_sum, 1e-12);
+    // Gradient.
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double w = q[i * n + j];
+        const double coeff =
+            4.0 * (exaggeration * p[i * n + j] - w / q_sum) * w;
+        for (int64_t f = 0; f < out_d; ++f) {
+          grad[i * out_d + f] +=
+              coeff * (y[i * out_d + f] - y[j * out_d + f]);
+        }
+      }
+    }
+    // Momentum update.
+    for (int64_t idx = 0; idx < n * out_d; ++idx) {
+      velocity[idx] = options.momentum * velocity[idx] -
+                      options.learning_rate * grad[idx];
+      y[idx] += velocity[idx];
+    }
+    // Re-centre to keep the embedding bounded.
+    for (int64_t f = 0; f < out_d; ++f) {
+      double mean = 0.0;
+      for (int64_t i = 0; i < n; ++i) mean += y[i * out_d + f];
+      mean /= n;
+      for (int64_t i = 0; i < n; ++i) y[i * out_d + f] -= mean;
+    }
+  }
+
+  Tensor out(Shape{n, out_d});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t f = 0; f < out_d; ++f) {
+      out({i, f}) = static_cast<float>(y[i * out_d + f]);
+    }
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace stwa

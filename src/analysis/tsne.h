@@ -1,0 +1,33 @@
+// Exact t-SNE [van der Maaten & Hinton, JMLR 2008], used by the Figure 9
+// visualisation of the learned stochastic variables and generated
+// projection matrices. O(n^2) per iteration, appropriate for the sensor
+// counts used here.
+
+#ifndef STWA_ANALYSIS_TSNE_H_
+#define STWA_ANALYSIS_TSNE_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace analysis {
+
+/// t-SNE options.
+struct TsneOptions {
+  int64_t output_dims = 2;
+  double perplexity = 10.0;
+  int64_t iterations = 500;
+  double learning_rate = 100.0;
+  double momentum = 0.8;
+  /// Early exaggeration factor applied for the first quarter of the run.
+  double exaggeration = 4.0;
+  uint64_t seed = 1;
+};
+
+/// Embeds the rows of X [n, d] into `output_dims` dimensions.
+Tensor Tsne(const Tensor& x, const TsneOptions& options = {});
+
+}  // namespace analysis
+}  // namespace stwa
+
+#endif  // STWA_ANALYSIS_TSNE_H_

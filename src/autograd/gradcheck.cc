@@ -1,0 +1,57 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace ag {
+
+GradCheckResult CheckGradients(const std::function<Var()>& fn,
+                               const std::vector<Var>& params, float epsilon,
+                               float rtol, float atol) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (const Var& p : params) {
+    STWA_CHECK(p.requires_grad(), "gradcheck parameter must require grad");
+    const_cast<Var&>(p).ZeroGrad();
+  }
+  Var loss = fn();
+  STWA_CHECK(loss.value().size() == 1, "gradcheck fn must return a scalar");
+  loss.Backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (const Var& p : params) analytic.push_back(p.grad().Clone());
+
+  // Numeric pass (central differences). We mutate the parameter's storage
+  // in place; fn() rebuilds the graph from the current values.
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor value = params[pi].node()->value;
+    float* data = value.data();
+    for (int64_t i = 0; i < value.size(); ++i) {
+      const float saved = data[i];
+      data[i] = saved + epsilon;
+      const float up = fn().value().item();
+      data[i] = saved - epsilon;
+      const float down = fn().value().item();
+      data[i] = saved;
+      const float numeric = (up - down) / (2.0f * epsilon);
+      const float got = analytic[pi].at(i);
+      const float err = std::fabs(got - numeric);
+      result.max_abs_error = std::max(result.max_abs_error, err);
+      if (err > atol + rtol * std::fabs(numeric)) {
+        result.ok = false;
+        if (result.message.empty()) {
+          result.message = detail::StrCat(
+              "param ", pi, " element ", i, ": analytic=", got,
+              " numeric=", numeric, " |err|=", err);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ag
+}  // namespace stwa

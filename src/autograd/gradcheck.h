@@ -1,0 +1,37 @@
+// Finite-difference gradient checking used by the test suite.
+
+#ifndef STWA_AUTOGRAD_GRADCHECK_H_
+#define STWA_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace stwa {
+namespace ag {
+
+/// Result of a gradient check.
+struct GradCheckResult {
+  bool ok = true;
+  /// Largest absolute difference between analytic and numeric gradients.
+  float max_abs_error = 0.0f;
+  /// Human-readable description of the first failure (empty when ok).
+  std::string message;
+};
+
+/// Verifies the analytic gradient of `fn` (a scalar-valued function of the
+/// given leaf parameters) against central finite differences.
+///
+/// `fn` must be deterministic and must rebuild its graph from the current
+/// parameter values on every call. Tolerance is absolute+relative:
+/// |analytic - numeric| <= atol + rtol * |numeric|.
+GradCheckResult CheckGradients(
+    const std::function<Var()>& fn, const std::vector<Var>& params,
+    float epsilon = 1e-2f, float rtol = 5e-2f, float atol = 5e-3f);
+
+}  // namespace ag
+}  // namespace stwa
+
+#endif  // STWA_AUTOGRAD_GRADCHECK_H_

@@ -1,0 +1,368 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace ag {
+namespace {
+
+/// Builds an op node. If no parent requires grad, the node is a detached
+/// constant (no parents / backward), pruning the tape.
+Var MakeOp(Tensor value, std::vector<NodePtr> parents,
+           std::function<void(Node&)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  bool any = false;
+  for (const NodePtr& p : parents) {
+    if (p != nullptr && p->requires_grad) {
+      any = true;
+      break;
+    }
+  }
+  if (any) {
+    node->requires_grad = true;
+    node->parents = std::move(parents);
+    node->backward = std::move(backward);
+  }
+  return Var(std::move(node));
+}
+
+/// Accumulates `g` into `p`'s gradient, reducing over broadcast axes.
+void Accum(const NodePtr& p, const Tensor& g) {
+  if (p == nullptr || !p->requires_grad) return;
+  p->EnsureGrad();
+  if (g.shape() == p->value.shape()) {
+    ops::AddInPlace(p->grad, g);
+  } else {
+    ops::AddInPlace(p->grad, ops::ReduceToShape(g, p->value.shape()));
+  }
+}
+
+}  // namespace
+
+Var Add(const Var& a, const Var& b) {
+  return MakeOp(ops::Add(a.value(), b.value()), {a.node(), b.node()},
+                [](Node& n) {
+                  Accum(n.parents[0], n.grad);
+                  Accum(n.parents[1], n.grad);
+                });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  return MakeOp(ops::Sub(a.value(), b.value()), {a.node(), b.node()},
+                [](Node& n) {
+                  Accum(n.parents[0], n.grad);
+                  Accum(n.parents[1], ops::Neg(n.grad));
+                });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  return MakeOp(ops::Mul(a.value(), b.value()), {a.node(), b.node()},
+                [](Node& n) {
+                  Accum(n.parents[0], ops::Mul(n.grad, n.parents[1]->value));
+                  Accum(n.parents[1], ops::Mul(n.grad, n.parents[0]->value));
+                });
+}
+
+Var Div(const Var& a, const Var& b) {
+  return MakeOp(
+      ops::Div(a.value(), b.value()), {a.node(), b.node()}, [](Node& n) {
+        const Tensor& av = n.parents[0]->value;
+        const Tensor& bv = n.parents[1]->value;
+        Accum(n.parents[0], ops::Div(n.grad, bv));
+        Tensor gb = ops::Neg(
+            ops::Div(ops::Mul(n.grad, av), ops::Mul(bv, bv)));
+        Accum(n.parents[1], gb);
+      });
+}
+
+Var AddScalar(const Var& a, float s) {
+  return MakeOp(ops::AddScalar(a.value(), s), {a.node()},
+                [](Node& n) { Accum(n.parents[0], n.grad); });
+}
+
+Var MulScalar(const Var& a, float s) {
+  return MakeOp(ops::MulScalar(a.value(), s), {a.node()}, [s](Node& n) {
+    Accum(n.parents[0], ops::MulScalar(n.grad, s));
+  });
+}
+
+Var Neg(const Var& a) { return MulScalar(a, -1.0f); }
+
+Var Exp(const Var& a) {
+  Tensor y = ops::Exp(a.value());
+  return MakeOp(y, {a.node()}, [y](Node& n) {
+    Accum(n.parents[0], ops::Mul(n.grad, y));
+  });
+}
+
+Var Log(const Var& a) {
+  return MakeOp(ops::Log(a.value()), {a.node()}, [](Node& n) {
+    Accum(n.parents[0], ops::Div(n.grad, n.parents[0]->value));
+  });
+}
+
+Var Sqrt(const Var& a) {
+  Tensor y = ops::Sqrt(a.value());
+  return MakeOp(y, {a.node()}, [y](Node& n) {
+    // d sqrt(x)/dx = 0.5 / sqrt(x)
+    Accum(n.parents[0],
+          ops::Div(ops::MulScalar(n.grad, 0.5f), y));
+  });
+}
+
+Var Square(const Var& a) {
+  return MakeOp(ops::Square(a.value()), {a.node()}, [](Node& n) {
+    Accum(n.parents[0],
+          ops::Mul(n.grad, ops::MulScalar(n.parents[0]->value, 2.0f)));
+  });
+}
+
+Var Abs(const Var& a) {
+  return MakeOp(ops::Abs(a.value()), {a.node()}, [](Node& n) {
+    Tensor sign = ops::UnaryOp(n.parents[0]->value, [](float x) {
+      return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
+    });
+    Accum(n.parents[0], ops::Mul(n.grad, sign));
+  });
+}
+
+Var Tanh(const Var& a) {
+  Tensor y = ops::Tanh(a.value());
+  return MakeOp(y, {a.node()}, [y](Node& n) {
+    Tensor one_minus = ops::UnaryOp(y, [](float v) { return 1.0f - v * v; });
+    Accum(n.parents[0], ops::Mul(n.grad, one_minus));
+  });
+}
+
+Var Sigmoid(const Var& a) {
+  Tensor y = ops::Sigmoid(a.value());
+  return MakeOp(y, {a.node()}, [y](Node& n) {
+    Tensor dy = ops::UnaryOp(y, [](float v) { return v * (1.0f - v); });
+    Accum(n.parents[0], ops::Mul(n.grad, dy));
+  });
+}
+
+Var Relu(const Var& a) {
+  return MakeOp(ops::Relu(a.value()), {a.node()}, [](Node& n) {
+    Tensor mask = ops::UnaryOp(n.parents[0]->value,
+                               [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+    Accum(n.parents[0], ops::Mul(n.grad, mask));
+  });
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  return MakeOp(ops::MatMul(a.value(), b.value()), {a.node(), b.node()},
+                [](Node& n) {
+                  const Tensor& av = n.parents[0]->value;
+                  const Tensor& bv = n.parents[1]->value;
+                  // dA = g @ B^T, reduced over broadcast batch dims.
+                  Tensor da = ops::MatMul(n.grad, ops::TransposeLast2(bv));
+                  Accum(n.parents[0], da);
+                  // dB = A^T @ g, reduced over broadcast batch dims.
+                  Tensor db = ops::MatMul(ops::TransposeLast2(av), n.grad);
+                  Accum(n.parents[1], db);
+                });
+}
+
+Var TransposeLast2(const Var& a) {
+  return MakeOp(ops::TransposeLast2(a.value()), {a.node()}, [](Node& n) {
+    Accum(n.parents[0], ops::TransposeLast2(n.grad));
+  });
+}
+
+Var Permute(const Var& a, const std::vector<int64_t>& axes) {
+  std::vector<int64_t> inverse(axes.size());
+  for (size_t d = 0; d < axes.size(); ++d) inverse[axes[d]] = d;
+  return MakeOp(ops::Permute(a.value(), axes), {a.node()},
+                [inverse](Node& n) {
+                  Accum(n.parents[0], ops::Permute(n.grad, inverse));
+                });
+}
+
+Var Reshape(const Var& a, Shape shape) {
+  Shape original = a.value().shape();
+  return MakeOp(a.value().Reshape(std::move(shape)), {a.node()},
+                [original](Node& n) {
+                  Accum(n.parents[0], n.grad.Reshape(original));
+                });
+}
+
+Var Concat(const std::vector<Var>& parts, int64_t axis) {
+  STWA_CHECK(!parts.empty(), "Concat of zero Vars");
+  std::vector<Tensor> values;
+  std::vector<NodePtr> nodes;
+  values.reserve(parts.size());
+  nodes.reserve(parts.size());
+  for (const Var& v : parts) {
+    values.push_back(v.value());
+    nodes.push_back(v.node());
+  }
+  int64_t rank = parts[0].value().rank();
+  if (axis < 0) axis += rank;
+  std::vector<int64_t> extents;
+  extents.reserve(parts.size());
+  for (const Tensor& t : values) extents.push_back(t.shape()[axis]);
+  return MakeOp(ops::Concat(values, axis), std::move(nodes),
+                [axis, extents](Node& n) {
+                  int64_t offset = 0;
+                  for (size_t i = 0; i < extents.size(); ++i) {
+                    Accum(n.parents[i],
+                          ops::Slice(n.grad, axis, offset, extents[i]));
+                    offset += extents[i];
+                  }
+                });
+}
+
+Var Slice(const Var& a, int64_t axis, int64_t start, int64_t len) {
+  int64_t rank = a.value().rank();
+  if (axis < 0) axis += rank;
+  Shape parent_shape = a.value().shape();
+  return MakeOp(
+      ops::Slice(a.value(), axis, start, len), {a.node()},
+      [axis, start, len, parent_shape](Node& n) {
+        if (n.parents[0] == nullptr || !n.parents[0]->requires_grad) return;
+        // Scatter the slice gradient back into a zero tensor of the parent
+        // shape, then accumulate.
+        n.parents[0]->EnsureGrad();
+        Tensor& pg = n.parents[0]->grad;
+        int64_t outer = 1;
+        int64_t inner = 1;
+        for (int64_t d = 0; d < axis; ++d) outer *= parent_shape[d];
+        for (size_t d = axis + 1; d < parent_shape.size(); ++d) {
+          inner *= parent_shape[d];
+        }
+        const int64_t extent = parent_shape[axis];
+        const float* g = n.grad.data();
+        float* p = pg.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* src = g + o * len * inner;
+          float* dst = p + (o * extent + start) * inner;
+          for (int64_t i = 0; i < len * inner; ++i) dst[i] += src[i];
+        }
+      });
+}
+
+Var Stack(const std::vector<Var>& parts) {
+  STWA_CHECK(!parts.empty(), "Stack of zero Vars");
+  std::vector<Var> reshaped;
+  reshaped.reserve(parts.size());
+  for (const Var& v : parts) {
+    Shape s = v.value().shape();
+    s.insert(s.begin(), 1);
+    reshaped.push_back(Reshape(v, s));
+  }
+  return Concat(reshaped, 0);
+}
+
+Var IndexSelect0(const Var& a, std::vector<int64_t> indices) {
+  // Materialise the forward value before the lambda move-captures `indices`
+  // (argument evaluation order is unspecified).
+  Tensor value = ops::IndexSelect0(a.value(), indices);
+  return MakeOp(std::move(value), {a.node()},
+                [indices = std::move(indices)](Node& n) {
+                  if (n.parents[0] == nullptr ||
+                      !n.parents[0]->requires_grad) {
+                    return;
+                  }
+                  n.parents[0]->EnsureGrad();
+                  ops::ScatterAddRows(n.parents[0]->grad, indices, n.grad);
+                });
+}
+
+Var SumAll(const Var& a) {
+  return MakeOp(ops::SumAll(a.value()), {a.node()}, [](Node& n) {
+    const float g = n.grad.item();
+    Accum(n.parents[0],
+          Tensor(n.parents[0]->value.shape(), g));
+  });
+}
+
+Var MeanAll(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().size());
+  return MakeOp(ops::MeanAll(a.value()), {a.node()}, [inv](Node& n) {
+    const float g = n.grad.item() * inv;
+    Accum(n.parents[0], Tensor(n.parents[0]->value.shape(), g));
+  });
+}
+
+Var Sum(const Var& a, int64_t axis, bool keepdims) {
+  int64_t rank = a.value().rank();
+  if (axis < 0) axis += rank;
+  Shape keep_shape = a.value().shape();
+  keep_shape[axis] = 1;
+  return MakeOp(ops::Sum(a.value(), axis, keepdims), {a.node()},
+                [keep_shape](Node& n) {
+                  // Broadcast the (possibly squeezed) grad back up.
+                  Tensor g = n.grad.Reshape(keep_shape);
+                  Tensor expanded =
+                      ops::Add(g, Tensor(n.parents[0]->value.shape()));
+                  Accum(n.parents[0], expanded);
+                });
+}
+
+Var Mean(const Var& a, int64_t axis, bool keepdims) {
+  int64_t rank = a.value().rank();
+  if (axis < 0) axis += rank;
+  const float inv = 1.0f / static_cast<float>(a.value().shape()[axis]);
+  return MulScalar(Sum(a, axis, keepdims), inv);
+}
+
+Var SoftmaxLast(const Var& a) {
+  Tensor y = ops::SoftmaxLast(a.value());
+  return MakeOp(y, {a.node()}, [y](Node& n) {
+    // dx = y * (g - sum(g * y, last, keepdims))
+    Tensor gy = ops::Mul(n.grad, y);
+    Tensor s = ops::Sum(gy, -1, /*keepdims=*/true);
+    Accum(n.parents[0], ops::Mul(y, ops::Sub(n.grad, s)));
+  });
+}
+
+Var Dropout(const Var& a, float p, bool training, Rng& rng) {
+  if (!training || p <= 0.0f) return a;
+  STWA_CHECK(p < 1.0f, "Dropout probability must be < 1, got ", p);
+  Tensor mask(a.value().shape());
+  const float scale = 1.0f / (1.0f - p);
+  float* m = mask.data();
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    m[i] = rng.Uniform() < p ? 0.0f : scale;
+  }
+  return Mul(a, Var(std::move(mask)));
+}
+
+Var MseLoss(const Var& pred, const Var& target) {
+  return MeanAll(Square(Sub(pred, target)));
+}
+
+Var MaeLoss(const Var& pred, const Var& target) {
+  return MeanAll(Abs(Sub(pred, target)));
+}
+
+Var HuberLoss(const Var& pred, const Var& target, float delta) {
+  STWA_CHECK(delta > 0.0f, "Huber delta must be positive");
+  Var diff = Sub(pred, target);
+  // Piecewise value and gradient computed directly for numerical clarity.
+  Tensor d = diff.value();
+  Tensor loss_value = ops::UnaryOp(d, [delta](float e) {
+    const float a = std::fabs(e);
+    return a <= delta ? 0.5f * e * e : delta * (a - 0.5f * delta);
+  });
+  const float inv = 1.0f / static_cast<float>(d.size());
+  Var elem = MakeOp(loss_value, {diff.node()}, [delta](Node& n) {
+    // dH/de = e (|e|<=delta), else delta*sign(e)
+    Tensor de = ops::UnaryOp(n.parents[0]->value, [delta](float e) {
+      if (std::fabs(e) <= delta) return e;
+      return e > 0.0f ? delta : -delta;
+    });
+    Accum(n.parents[0], ops::Mul(n.grad, de));
+  });
+  return MulScalar(SumAll(elem), inv);
+}
+
+}  // namespace ag
+}  // namespace stwa

@@ -1,0 +1,101 @@
+// Differentiable operators over ag::Var.
+//
+// Every function builds a tape node whose backward closure accumulates
+// gradients into the inputs. Binary elementwise ops broadcast like their
+// tensor/ops.h counterparts; their backward passes sum-reduce gradients back
+// to the input shapes. All operators are covered by finite-difference
+// gradient tests (tests/autograd_test.cc).
+
+#ifndef STWA_AUTOGRAD_OPS_H_
+#define STWA_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "autograd/var.h"
+#include "common/rng.h"
+
+namespace stwa {
+namespace ag {
+
+// --- Elementwise binary (broadcasting) ----------------------------------
+
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);
+Var Div(const Var& a, const Var& b);
+
+// --- Scalar arithmetic ----------------------------------------------------
+
+Var AddScalar(const Var& a, float s);
+Var MulScalar(const Var& a, float s);
+
+// --- Elementwise unary ------------------------------------------------------
+
+Var Neg(const Var& a);
+Var Exp(const Var& a);
+Var Log(const Var& a);
+Var Sqrt(const Var& a);
+Var Square(const Var& a);
+Var Abs(const Var& a);
+Var Tanh(const Var& a);
+Var Sigmoid(const Var& a);
+Var Relu(const Var& a);
+
+// --- Linear algebra ----------------------------------------------------------
+
+/// Batched matrix product with rank-2 operand sharing (see ops::MatMul).
+Var MatMul(const Var& a, const Var& b);
+
+/// Swaps the last two axes.
+Var TransposeLast2(const Var& a);
+
+/// General axis permutation.
+Var Permute(const Var& a, const std::vector<int64_t>& axes);
+
+// --- Shape ---------------------------------------------------------------
+
+Var Reshape(const Var& a, Shape shape);
+
+/// Concatenates along `axis`.
+Var Concat(const std::vector<Var>& parts, int64_t axis);
+
+/// Copies range [start, start+len) of `axis`.
+Var Slice(const Var& a, int64_t axis, int64_t start, int64_t len);
+
+/// Stacks equal-shaped Vars along a new leading axis.
+Var Stack(const std::vector<Var>& parts);
+
+/// Row (axis-0) gather; backward scatter-adds (embedding lookup).
+Var IndexSelect0(const Var& a, std::vector<int64_t> indices);
+
+// --- Reductions -------------------------------------------------------------
+
+Var SumAll(const Var& a);
+Var MeanAll(const Var& a);
+Var Sum(const Var& a, int64_t axis, bool keepdims = false);
+Var Mean(const Var& a, int64_t axis, bool keepdims = false);
+
+// --- Softmax / regularisers --------------------------------------------------
+
+/// Numerically stable softmax over the last axis.
+Var SoftmaxLast(const Var& a);
+
+/// Inverted dropout; identity when !training or p == 0.
+Var Dropout(const Var& a, float p, bool training, Rng& rng);
+
+// --- Losses -------------------------------------------------------------------
+
+/// Mean squared error over all elements.
+Var MseLoss(const Var& pred, const Var& target);
+
+/// Mean absolute error over all elements.
+Var MaeLoss(const Var& pred, const Var& target);
+
+/// Huber loss (Eq. 21 of the paper) with threshold delta, averaged over all
+/// elements. Quadratic within |e| <= delta, linear outside.
+Var HuberLoss(const Var& pred, const Var& target, float delta = 1.0f);
+
+}  // namespace ag
+}  // namespace stwa
+
+#endif  // STWA_AUTOGRAD_OPS_H_

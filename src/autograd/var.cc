@@ -1,0 +1,110 @@
+#include "autograd/var.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace ag {
+
+void Node::EnsureGrad() {
+  if (grad.empty() && !value.empty()) {
+    grad = Tensor(value.shape());
+  } else if (grad.shape() != value.shape()) {
+    grad = Tensor(value.shape());
+  }
+}
+
+Var::Var(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Var::value() const {
+  STWA_CHECK(defined(), "value() on undefined Var");
+  return node_->value;
+}
+
+const Tensor& Var::grad() const {
+  STWA_CHECK(defined(), "grad() on undefined Var");
+  node_->EnsureGrad();
+  return node_->grad;
+}
+
+bool Var::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+void Var::ZeroGrad() {
+  STWA_CHECK(defined(), "ZeroGrad() on undefined Var");
+  node_->EnsureGrad();
+  node_->grad.Fill(0.0f);
+}
+
+namespace {
+
+// Depth-first post-order over the tape; iterative to support deep graphs
+// (e.g. long RNN unrolls and many chained windows).
+void TopoSort(const NodePtr& root, std::vector<Node*>& order) {
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, child] = stack.back();
+    if (child < node->parents.size()) {
+      Node* parent = node->parents[child].get();
+      ++child;
+      if (parent != nullptr && parent->requires_grad &&
+          visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Var::Backward() {
+  STWA_CHECK(defined(), "Backward() on undefined Var");
+  STWA_CHECK(node_->value.size() == 1,
+             "Backward() requires a scalar, got shape ",
+             ShapeToString(node_->value.shape()));
+  STWA_CHECK(node_->requires_grad,
+             "Backward() on a node that does not require grad");
+  std::vector<Node*> order;
+  TopoSort(node_, order);
+  node_->EnsureGrad();
+  node_->grad.Fill(1.0f);
+  // Post-order yields parents before children; reverse it so each node's
+  // grad is complete before it is pushed to its parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward) {
+      node->EnsureGrad();
+      node->backward(*node);
+    }
+  }
+}
+
+Var Var::Detach() const {
+  STWA_CHECK(defined(), "Detach() on undefined Var");
+  return Var(node_->value, /*requires_grad=*/false);
+}
+
+Var Scalar(float v) {
+  Tensor t(Shape{});
+  t.data()[0] = v;
+  return Var(std::move(t), /*requires_grad=*/false);
+}
+
+Var Parameter(Tensor value) {
+  return Var(std::move(value), /*requires_grad=*/true);
+}
+
+}  // namespace ag
+}  // namespace stwa

@@ -1,0 +1,102 @@
+// Reverse-mode automatic differentiation.
+//
+// Var is a value-semantic handle to a node in a dynamically built tape.
+// Differentiable operators (autograd/ops.h) create fresh nodes whose
+// backward closures accumulate gradients into their parents. Calling
+// Backward() on a scalar Var runs the tape in reverse topological order.
+//
+// Graph values are never mutated in place after creation, so a node's value
+// can be shared freely (Tensor has shared-buffer copy semantics).
+
+#ifndef STWA_AUTOGRAD_VAR_H_
+#define STWA_AUTOGRAD_VAR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace ag {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// A node of the autograd tape: holds the forward value, the accumulated
+/// gradient, parent edges and the backward closure.
+class Node {
+ public:
+  /// Forward value of this node.
+  Tensor value;
+
+  /// Accumulated gradient; empty until EnsureGrad() / backward touches it.
+  Tensor grad;
+
+  /// Whether gradients should flow to (and through) this node.
+  bool requires_grad = false;
+
+  /// Parent nodes in the tape (inputs of the producing op).
+  std::vector<NodePtr> parents;
+
+  /// Accumulates this node's gradient into its parents. Unset for leaves.
+  std::function<void(Node&)> backward;
+
+  /// Allocates (zeroed) grad storage matching `value` if not present.
+  void EnsureGrad();
+};
+
+/// Value-semantic handle to a tape node. Copies alias the same node.
+class Var {
+ public:
+  /// Undefined handle; defined() is false.
+  Var() = default;
+
+  /// Wraps a tensor as a leaf node.
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  /// Wraps an existing node.
+  explicit Var(NodePtr node) : node_(std::move(node)) {}
+
+  /// True when the handle points at a node.
+  bool defined() const { return node_ != nullptr; }
+
+  /// Forward value. Requires defined().
+  const Tensor& value() const;
+
+  /// Accumulated gradient (allocates zeros on first access).
+  const Tensor& grad() const;
+
+  /// True when gradients flow to this node.
+  bool requires_grad() const;
+
+  /// Zeroes the gradient buffer (keeps allocation).
+  void ZeroGrad();
+
+  /// Runs reverse-mode accumulation from this scalar node. Requires a
+  /// single-element value.
+  void Backward();
+
+  /// Returns a leaf Var sharing this value but cut off from the tape.
+  Var Detach() const;
+
+  /// Shape convenience forwarding to value().shape().
+  const Shape& shape() const { return value().shape(); }
+
+  /// Underlying node.
+  const NodePtr& node() const { return node_; }
+
+ private:
+  NodePtr node_;
+};
+
+/// Creates a non-differentiable scalar constant.
+Var Scalar(float v);
+
+/// Creates a differentiable parameter leaf from a tensor.
+Var Parameter(Tensor value);
+
+}  // namespace ag
+}  // namespace stwa
+
+#endif  // STWA_AUTOGRAD_VAR_H_

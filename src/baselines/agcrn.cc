@@ -1,0 +1,87 @@
+#include "baselines/agcrn.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace baselines {
+
+NaplGraphConv::NaplGraphConv(int64_t d_in, int64_t d_out, int64_t emb_dim,
+                             Rng* rng)
+    : d_in_(d_in), d_out_(d_out) {
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  pool_ = RegisterParameter(
+      "pool", ops::MulScalar(
+                  nn::XavierUniform({emb_dim, d_in * d_out}, d_in, d_out, r),
+                  1.0f));
+  bias_pool_ = RegisterParameter(
+      "bias_pool", Tensor(Shape{emb_dim, d_out}));
+}
+
+ag::Var NaplGraphConv::Forward(const ag::Var& x, const ag::Var& adj,
+                               const ag::Var& emb) const {
+  const int64_t batch = x.value().dim(0);
+  const int64_t n = x.value().dim(1);
+  STWA_CHECK(x.value().dim(2) == d_in_, "NAPL d_in mismatch");
+  // Data-adaptive aggregation.
+  ag::Var mixed = ag::MatMul(adj, x);  // [B, N, d_in]
+  // Per-node weights from the pool: [N, emb] @ [emb, d_in*d_out].
+  ag::Var w = ag::Reshape(ag::MatMul(emb, pool_), {n, d_in_, d_out_});
+  ag::Var b = ag::MatMul(emb, bias_pool_);  // [N, d_out]
+  // [B, N, 1, d_in] @ [N, d_in, d_out] -> [B, N, 1, d_out].
+  ag::Var out = ag::MatMul(ag::Reshape(mixed, {batch, n, 1, d_in_}), w);
+  return ag::Add(ag::Reshape(out, {batch, n, d_out_}), b);
+}
+
+Agcrn::Agcrn(BaselineConfig config, Rng* rng) : config_(config) {
+  STWA_CHECK(config_.num_sensors > 0, "Agcrn needs num_sensors");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  const int64_t h = config_.d_model;
+  node_emb_ = RegisterParameter(
+      "node_emb",
+      ops::MulScalar(Tensor::Randn({config_.num_sensors, emb_dim_}, r),
+                     0.5f));
+  gate_rz_ = std::make_unique<NaplGraphConv>(config_.features + h, 2 * h,
+                                             emb_dim_, &r);
+  gate_n_ = std::make_unique<NaplGraphConv>(config_.features + h, h,
+                                            emb_dim_, &r);
+  RegisterModule("gate_rz", gate_rz_.get());
+  RegisterModule("gate_n", gate_n_.get());
+  predictor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{h, config_.predictor_hidden,
+                           config_.horizon * config_.features},
+      nn::Activation::kRelu, nn::Activation::kNone, &r);
+  RegisterModule("predictor", predictor_.get());
+}
+
+ag::Var Agcrn::Forward(const Tensor& x, bool /*training*/) {
+  STWA_CHECK(x.rank() == 4 && x.dim(1) == config_.num_sensors &&
+                 x.dim(2) == config_.history,
+             "Agcrn input mismatch: ", ShapeToString(x.shape()));
+  const int64_t batch = x.dim(0);
+  const int64_t n = config_.num_sensors;
+  const int64_t h = config_.d_model;
+  ag::Var input(x);
+  // Data-adaptive adjacency (recomputed each forward; differentiable).
+  ag::Var adj = ag::SoftmaxLast(ag::Relu(
+      ag::MatMul(node_emb_, ag::TransposeLast2(node_emb_))));
+  ag::Var state(Tensor(Shape{batch, n, h}));
+  for (int64_t t = 0; t < config_.history; ++t) {
+    ag::Var x_t = ag::Reshape(ag::Slice(input, 2, t, 1),
+                              {batch, n, config_.features});
+    ag::Var xs = ag::Concat({x_t, state}, -1);
+    ag::Var rz = ag::Sigmoid(gate_rz_->Forward(xs, adj, node_emb_));
+    ag::Var r = ag::Slice(rz, -1, 0, h);
+    ag::Var z = ag::Slice(rz, -1, h, h);
+    ag::Var xn = ag::Concat({x_t, ag::Mul(r, state)}, -1);
+    ag::Var nn_gate = ag::Tanh(gate_n_->Forward(xn, adj, node_emb_));
+    ag::Var one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+    state = ag::Add(ag::Mul(one_minus_z, nn_gate), ag::Mul(z, state));
+  }
+  ag::Var pred = predictor_->Forward(state);
+  return ag::Reshape(pred, {batch, n, config_.horizon, config_.features});
+}
+
+}  // namespace baselines
+}  // namespace stwa

@@ -1,0 +1,76 @@
+#include "baselines/astgnn.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace baselines {
+
+Astgnn::Astgnn(BaselineConfig config, Rng* rng) : config_(config) {
+  STWA_CHECK(config_.num_sensors > 0, "Astgnn needs num_sensors");
+  STWA_CHECK(!config_.supports.empty(), "Astgnn needs a graph support");
+  STWA_CHECK(config_.history >= 3, "Astgnn needs history >= 3");
+  support_ = config_.supports.front();
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  const int64_t d = config_.d_model;
+  embed_ = std::make_unique<nn::Linear>(config_.features, d, true, &r);
+  RegisterModule("embed", embed_.get());
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    Block b;
+    b.q_conv = std::make_unique<TemporalConv>(d, d, /*taps=*/3, 1, &r);
+    b.k_conv = std::make_unique<TemporalConv>(d, d, /*taps=*/3, 1, &r);
+    b.v_proj = std::make_unique<nn::Linear>(d, d, false, &r);
+    b.gconv = std::make_unique<nn::Linear>(d, d, true, &r);
+    RegisterModule("q" + std::to_string(l), b.q_conv.get());
+    RegisterModule("k" + std::to_string(l), b.k_conv.get());
+    RegisterModule("v" + std::to_string(l), b.v_proj.get());
+    RegisterModule("g" + std::to_string(l), b.gconv.get());
+    blocks_.push_back(std::move(b));
+  }
+  flatten_ = std::make_unique<nn::Linear>(
+      config_.history * d, config_.predictor_hidden, true, &r);
+  RegisterModule("flatten", flatten_.get());
+  predictor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{config_.predictor_hidden,
+                           config_.predictor_hidden,
+                           config_.horizon * config_.features},
+      nn::Activation::kRelu, nn::Activation::kNone, &r);
+  RegisterModule("predictor", predictor_.get());
+}
+
+ag::Var Astgnn::Forward(const Tensor& x, bool /*training*/) {
+  STWA_CHECK(x.rank() == 4 && x.dim(1) == config_.num_sensors &&
+                 x.dim(2) == config_.history,
+             "Astgnn input mismatch: ", ShapeToString(x.shape()));
+  const int64_t batch = x.dim(0);
+  const int64_t n = config_.num_sensors;
+  const int64_t d = config_.d_model;
+  const int64_t steps = config_.history;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  ag::Var h = embed_->Forward(ag::Var(x));  // [B, N, T, d]
+  for (const Block& b : blocks_) {
+    // Same-length local-context Q/K: pad by repeating the edge steps so the
+    // kernel-3 convolution preserves T.
+    ag::Var first = ag::Slice(h, 2, 0, 1);
+    ag::Var last = ag::Slice(h, 2, steps - 1, 1);
+    ag::Var padded = ag::Concat({first, h, last}, 2);  // [B, N, T+2, d]
+    ag::Var q = b.q_conv->Forward(padded);             // [B, N, T, d]
+    ag::Var k = b.k_conv->Forward(padded);
+    ag::Var v = b.v_proj->Forward(h);
+    // Temporal trend-aware attention.
+    ag::Var attn = ag::SoftmaxLast(
+        ag::MulScalar(ag::MatMul(q, ag::TransposeLast2(k)), scale));
+    ag::Var t_out = ag::MatMul(attn, v);  // [B, N, T, d]
+    // Spatial graph convolution per step.
+    ag::Var mixed = ag::Permute(t_out, {0, 2, 1, 3});  // [B, T, N, d]
+    mixed = ag::Relu(b.gconv->Forward(GraphMix(support_, mixed)));
+    h = ag::Add(h, ag::Permute(mixed, {0, 2, 1, 3}));  // residual
+  }
+  ag::Var flat = ag::Reshape(h, {batch, n, steps * d});
+  ag::Var pred = predictor_->Forward(ag::Relu(flatten_->Forward(flat)));
+  return ag::Reshape(pred, {batch, n, config_.horizon, config_.features});
+}
+
+}  // namespace baselines
+}  // namespace stwa

@@ -1,0 +1,45 @@
+// ASTGNN baseline [Guo et al., TKDE 2021]: self-attention with local
+// trend-aware context — queries and keys come from a 1-D convolution over
+// the local neighbourhood instead of pointwise projections — combined with
+// spatial graph convolution per step.
+
+#ifndef STWA_BASELINES_ASTGNN_H_
+#define STWA_BASELINES_ASTGNN_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/mlp.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace baselines {
+
+/// Trend-aware attention forecaster.
+class Astgnn : public train::ForecastModel {
+ public:
+  explicit Astgnn(BaselineConfig config, Rng* rng = nullptr);
+
+  ag::Var Forward(const Tensor& x, bool training) override;
+  std::string name() const override { return "ASTGNN"; }
+
+ private:
+  BaselineConfig config_;
+  Tensor support_;
+  std::unique_ptr<nn::Linear> embed_;
+  struct Block {
+    /// Trend-aware Q/K: temporal conv (kernel 3, same-ish via crop).
+    std::unique_ptr<TemporalConv> q_conv;
+    std::unique_ptr<TemporalConv> k_conv;
+    std::unique_ptr<nn::Linear> v_proj;
+    std::unique_ptr<nn::Linear> gconv;
+  };
+  std::vector<Block> blocks_;
+  std::unique_ptr<nn::Linear> flatten_;
+  std::unique_ptr<nn::Mlp> predictor_;
+};
+
+}  // namespace baselines
+}  // namespace stwa
+
+#endif  // STWA_BASELINES_ASTGNN_H_

@@ -1,0 +1,52 @@
+#include "baselines/common.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace stwa {
+namespace baselines {
+
+ag::Var GraphMix(const Tensor& support, const ag::Var& h) {
+  STWA_CHECK(support.rank() == 2 && support.dim(0) == support.dim(1),
+             "support must be square [N, N]");
+  const int64_t rank = h.value().rank();
+  STWA_CHECK(rank >= 2, "GraphMix input rank must be >= 2");
+  STWA_CHECK(h.value().dim(-2) == support.dim(0),
+             "GraphMix: sensor axis mismatch, support N=", support.dim(0),
+             " input ", ShapeToString(h.value().shape()));
+  // A [N, N] @ h [..., N, d] broadcasts A across leading axes.
+  return ag::MatMul(ag::Var(support), h);
+}
+
+TemporalConv::TemporalConv(int64_t d_in, int64_t d_out, int64_t taps,
+                           int64_t dilation, Rng* rng)
+    : d_in_(d_in), d_out_(d_out), taps_(taps), dilation_(dilation) {
+  STWA_CHECK(taps >= 1 && dilation >= 1, "bad temporal conv geometry");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  for (int64_t k = 0; k < taps; ++k) {
+    taps_w_.push_back(RegisterParameter(
+        "w" + std::to_string(k),
+        nn::XavierUniform({d_in, d_out}, d_in * taps, d_out, r)));
+  }
+  bias_ = RegisterParameter("bias", Tensor(Shape{d_out}));
+}
+
+ag::Var TemporalConv::Forward(const ag::Var& x) const {
+  STWA_CHECK(x.value().rank() == 4 && x.value().dim(-1) == d_in_,
+             "TemporalConv expects [B, N, T, d_in], got ",
+             ShapeToString(x.value().shape()));
+  const int64_t in_len = x.value().dim(2);
+  const int64_t len = out_len(in_len);
+  STWA_CHECK(len >= 1, "temporal conv output would be empty: T=", in_len,
+             " taps=", taps_, " dilation=", dilation_);
+  ag::Var acc;
+  for (int64_t k = 0; k < taps_; ++k) {
+    ag::Var window = ag::Slice(x, 2, k * dilation_, len);
+    ag::Var term = ag::MatMul(window, taps_w_[k]);
+    acc = acc.defined() ? ag::Add(acc, term) : term;
+  }
+  return ag::Add(acc, bias_);
+}
+
+}  // namespace baselines
+}  // namespace stwa

@@ -1,0 +1,62 @@
+// Shared building blocks for the baseline models: dense graph convolution
+// application, temporal convolution over the window axis, and the common
+// baseline configuration.
+
+#ifndef STWA_BASELINES_COMMON_H_
+#define STWA_BASELINES_COMMON_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "graph/graph.h"
+#include "nn/linear.h"
+
+namespace stwa {
+namespace baselines {
+
+/// Configuration shared by every baseline forecaster.
+struct BaselineConfig {
+  int64_t num_sensors = 0;
+  int64_t history = 12;
+  int64_t horizon = 12;
+  int64_t features = 1;
+  int64_t d_model = 32;
+  int64_t num_layers = 2;
+  int64_t predictor_hidden = 256;
+  /// Dense sensor adjacency supports (normalisations precomputed from the
+  /// dataset graph); empty for models that learn their own adjacency.
+  std::vector<Tensor> supports;
+};
+
+/// Applies a dense support matrix A [N, N] over the sensor axis of
+/// h [B, N, d] (or [B, T, N, d]): out = A @ h along the N axis.
+ag::Var GraphMix(const Tensor& support, const ag::Var& h);
+
+/// Temporal 1-D convolution along axis 2 of x [B, N, T, d_in] with kernel
+/// weights w[k] of shape [d_in, d_out] (k taps, valid padding, given
+/// dilation): out[t] = sum_k x[t + k*dilation] @ w[k] + b.
+/// Output length is T - (taps-1)*dilation.
+class TemporalConv : public nn::Module {
+ public:
+  TemporalConv(int64_t d_in, int64_t d_out, int64_t taps, int64_t dilation,
+               Rng* rng = nullptr);
+
+  ag::Var Forward(const ag::Var& x) const;
+
+  int64_t out_len(int64_t in_len) const {
+    return in_len - (taps_ - 1) * dilation_;
+  }
+
+ private:
+  int64_t d_in_;
+  int64_t d_out_;
+  int64_t taps_;
+  int64_t dilation_;
+  std::vector<ag::Var> taps_w_;
+  ag::Var bias_;
+};
+
+}  // namespace baselines
+}  // namespace stwa
+
+#endif  // STWA_BASELINES_COMMON_H_

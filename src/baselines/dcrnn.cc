@@ -1,0 +1,80 @@
+#include "baselines/dcrnn.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace stwa {
+namespace baselines {
+
+DiffusionConv::DiffusionConv(std::vector<Tensor> supports, int64_t d_in,
+                             int64_t d_out, Rng* rng)
+    : supports_(std::move(supports)) {
+  STWA_CHECK(!supports_.empty(), "diffusion conv needs supports");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  const int64_t total = static_cast<int64_t>(supports_.size()) + 1;
+  for (int64_t s = 0; s < total; ++s) {
+    weights_.push_back(RegisterParameter(
+        "w" + std::to_string(s),
+        nn::XavierUniform({d_in, d_out}, d_in * total, d_out, r)));
+  }
+  bias_ = RegisterParameter("bias", Tensor(Shape{d_out}));
+}
+
+ag::Var DiffusionConv::Forward(const ag::Var& x) const {
+  // Identity term + one term per diffusion support.
+  ag::Var acc = ag::MatMul(x, weights_[0]);
+  for (size_t s = 0; s < supports_.size(); ++s) {
+    acc = ag::Add(acc, ag::MatMul(GraphMix(supports_[s], x),
+                                  weights_[s + 1]));
+  }
+  return ag::Add(acc, bias_);
+}
+
+Dcrnn::Dcrnn(BaselineConfig config, Rng* rng) : config_(config) {
+  STWA_CHECK(config_.num_sensors > 0, "Dcrnn needs num_sensors");
+  STWA_CHECK(!config_.supports.empty(),
+             "Dcrnn needs diffusion supports (graph required)");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  const int64_t h = config_.d_model;
+  gate_rz_ = std::make_unique<DiffusionConv>(
+      config_.supports, config_.features + h, 2 * h, &r);
+  gate_n_ = std::make_unique<DiffusionConv>(config_.supports,
+                                            config_.features + h, h, &r);
+  RegisterModule("gate_rz", gate_rz_.get());
+  RegisterModule("gate_n", gate_n_.get());
+  predictor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{h, config_.predictor_hidden,
+                           config_.horizon * config_.features},
+      nn::Activation::kRelu, nn::Activation::kNone, &r);
+  RegisterModule("predictor", predictor_.get());
+}
+
+ag::Var Dcrnn::Forward(const Tensor& x, bool /*training*/) {
+  STWA_CHECK(x.rank() == 4 && x.dim(1) == config_.num_sensors &&
+                 x.dim(2) == config_.history,
+             "Dcrnn input mismatch: ", ShapeToString(x.shape()));
+  const int64_t batch = x.dim(0);
+  const int64_t sensors = config_.num_sensors;
+  const int64_t h = config_.d_model;
+  ag::Var input(x);
+  ag::Var state(Tensor(Shape{batch, sensors, h}));
+  for (int64_t t = 0; t < config_.history; ++t) {
+    ag::Var x_t = ag::Reshape(ag::Slice(input, 2, t, 1),
+                              {batch, sensors, config_.features});
+    // DCGRU step: gates via diffusion convolution over [x_t || state].
+    ag::Var xs = ag::Concat({x_t, state}, -1);
+    ag::Var rz = ag::Sigmoid(gate_rz_->Forward(xs));
+    ag::Var r = ag::Slice(rz, -1, 0, h);
+    ag::Var z = ag::Slice(rz, -1, h, h);
+    ag::Var xn = ag::Concat({x_t, ag::Mul(r, state)}, -1);
+    ag::Var n = ag::Tanh(gate_n_->Forward(xn));
+    ag::Var one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+    state = ag::Add(ag::Mul(one_minus_z, n), ag::Mul(z, state));
+  }
+  ag::Var pred = predictor_->Forward(state);
+  return ag::Reshape(pred, {batch, sensors, config_.horizon,
+                            config_.features});
+}
+
+}  // namespace baselines
+}  // namespace stwa

@@ -1,0 +1,52 @@
+// DCRNN baseline [Li et al., ICLR 2018]: GRU whose matrix multiplications
+// are replaced by k-hop diffusion convolutions over the sensor graph.
+// Spatio-temporal agnostic (shared weights across sensors and time) but
+// models sensor correlations through the diffusion supports.
+
+#ifndef STWA_BASELINES_DCRNN_H_
+#define STWA_BASELINES_DCRNN_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/mlp.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace baselines {
+
+/// One diffusion-convolutional gate: out = sum_s A_s X W_s + b over all
+/// supports (identity + k-hop forward/backward random walks).
+class DiffusionConv : public nn::Module {
+ public:
+  DiffusionConv(std::vector<Tensor> supports, int64_t d_in, int64_t d_out,
+                Rng* rng = nullptr);
+
+  /// x [B, N, d_in] -> [B, N, d_out].
+  ag::Var Forward(const ag::Var& x) const;
+
+ private:
+  std::vector<Tensor> supports_;  // includes the implicit identity
+  std::vector<ag::Var> weights_;
+  ag::Var bias_;
+};
+
+/// Diffusion-convolutional GRU forecaster.
+class Dcrnn : public train::ForecastModel {
+ public:
+  explicit Dcrnn(BaselineConfig config, Rng* rng = nullptr);
+
+  ag::Var Forward(const Tensor& x, bool training) override;
+  std::string name() const override { return "DCRNN"; }
+
+ private:
+  BaselineConfig config_;
+  std::unique_ptr<DiffusionConv> gate_rz_;  // produces 2h (reset, update)
+  std::unique_ptr<DiffusionConv> gate_n_;   // candidate
+  std::unique_ptr<nn::Mlp> predictor_;
+};
+
+}  // namespace baselines
+}  // namespace stwa
+
+#endif  // STWA_BASELINES_DCRNN_H_

@@ -1,0 +1,68 @@
+#include "baselines/enhancenet.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace baselines {
+
+EnhanceNet::EnhanceNet(BaselineConfig config, Rng* rng) : config_(config) {
+  STWA_CHECK(config_.num_sensors > 0, "EnhanceNet needs num_sensors");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  const int64_t h = config_.d_model;
+  memory_ = RegisterParameter(
+      "memory",
+      ops::MulScalar(Tensor::Randn({config_.num_sensors, mem_dim_}, r),
+                     0.3f));
+  core::DecoderConfig dc;
+  dc.latent_dim = mem_dim_;
+  w_ih_decoder_ = std::make_unique<core::ParamDecoder>(
+      dc, config_.features, 3 * h, &r);
+  w_hh_decoder_ = std::make_unique<core::ParamDecoder>(dc, h, 3 * h, &r);
+  RegisterModule("w_ih_dec", w_ih_decoder_.get());
+  RegisterModule("w_hh_dec", w_hh_decoder_.get());
+  b_ih_ = RegisterParameter("b_ih", Tensor(Shape{3 * h}));
+  b_hh_ = RegisterParameter("b_hh", Tensor(Shape{3 * h}));
+  if (!config_.supports.empty()) {
+    gconv_ = std::make_unique<nn::Linear>(h, h, true, &r);
+    RegisterModule("gconv", gconv_.get());
+  }
+  predictor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{h, config_.predictor_hidden,
+                           config_.horizon * config_.features},
+      nn::Activation::kRelu, nn::Activation::kNone, &r);
+  RegisterModule("predictor", predictor_.get());
+}
+
+ag::Var EnhanceNet::Forward(const Tensor& x, bool /*training*/) {
+  STWA_CHECK(x.rank() == 4 && x.dim(1) == config_.num_sensors &&
+                 x.dim(2) == config_.history,
+             "EnhanceNet input mismatch: ", ShapeToString(x.shape()));
+  const int64_t batch = x.dim(0);
+  const int64_t n = config_.num_sensors;
+  const int64_t h = config_.d_model;
+  ag::Var input(x);
+  // Deterministic memory -> per-node GRU weights (spatial aware, fixed
+  // across time: no z_t, no sampling).
+  ag::Var mem3 = ag::Reshape(memory_, {1, n, mem_dim_});
+  ag::Var w_ih = w_ih_decoder_->Forward(mem3);  // [1, N, F, 3h]
+  ag::Var w_hh = w_hh_decoder_->Forward(mem3);  // [1, N, h, 3h]
+  ag::Var state(Tensor(Shape{batch, n, 1, h}));
+  for (int64_t t = 0; t < config_.history; ++t) {
+    ag::Var x_t = ag::Reshape(ag::Slice(input, 2, t, 1),
+                              {batch, n, 1, config_.features});
+    state = nn::GruCell::Step(x_t, state, w_ih, w_hh, b_ih_, b_hh_, h);
+  }
+  ag::Var final_state = ag::Reshape(state, {batch, n, h});
+  if (gconv_ != nullptr) {
+    final_state = ag::Add(
+        final_state,
+        ag::Relu(gconv_->Forward(
+            GraphMix(config_.supports.front(), final_state))));
+  }
+  ag::Var pred = predictor_->Forward(final_state);
+  return ag::Reshape(pred, {batch, n, config_.horizon, config_.features});
+}
+
+}  // namespace baselines
+}  // namespace stwa

@@ -1,0 +1,47 @@
+// EnhanceNet baseline [Cirstea et al., ICDE 2021]: spatial-aware plugin —
+// a deterministic per-node memory generates distinct RNN weight matrices
+// for every sensor (the paper positions it as the special case of ST-WA
+// with zero covariance and no temporal adaption variable), plus graph
+// convolution over the final states for sensor correlations.
+
+#ifndef STWA_BASELINES_ENHANCENET_H_
+#define STWA_BASELINES_ENHANCENET_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "core/param_decoder.h"
+#include "nn/mlp.h"
+#include "nn/rnn.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace baselines {
+
+/// Deterministic-memory spatial-aware GRU forecaster.
+class EnhanceNet : public train::ForecastModel {
+ public:
+  explicit EnhanceNet(BaselineConfig config, Rng* rng = nullptr);
+
+  ag::Var Forward(const Tensor& x, bool training) override;
+  std::string name() const override { return "EnhanceNet"; }
+
+  /// The per-node memory bank [N, mem]; exposed for analysis.
+  const ag::Var& memory() const { return memory_; }
+
+ private:
+  BaselineConfig config_;
+  int64_t mem_dim_ = 16;
+  ag::Var memory_;  // deterministic per-node memory
+  std::unique_ptr<core::ParamDecoder> w_ih_decoder_;
+  std::unique_ptr<core::ParamDecoder> w_hh_decoder_;
+  ag::Var b_ih_;
+  ag::Var b_hh_;
+  std::unique_ptr<nn::Linear> gconv_;
+  std::unique_ptr<nn::Mlp> predictor_;
+};
+
+}  // namespace baselines
+}  // namespace stwa
+
+#endif  // STWA_BASELINES_ENHANCENET_H_

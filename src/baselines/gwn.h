@@ -1,0 +1,47 @@
+// Graph WaveNet baseline [Wu et al., IJCAI 2019]: dilated causal temporal
+// convolutions with gated activations, graph convolution over both the
+// given supports and a self-learned adaptive adjacency (node embeddings
+// E1 E2^T), residual and skip connections.
+
+#ifndef STWA_BASELINES_GWN_H_
+#define STWA_BASELINES_GWN_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/mlp.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace baselines {
+
+/// Graph WaveNet forecaster.
+class GraphWaveNet : public train::ForecastModel {
+ public:
+  explicit GraphWaveNet(BaselineConfig config, Rng* rng = nullptr);
+
+  ag::Var Forward(const Tensor& x, bool training) override;
+  std::string name() const override { return "GWN"; }
+
+  /// The learned adaptive adjacency softmax(relu(E1 E2^T)) [N, N].
+  Tensor AdaptiveAdjacency() const;
+
+ private:
+  BaselineConfig config_;
+  std::unique_ptr<nn::Linear> embed_;
+  ag::Var node_emb1_;  // [N, e]
+  ag::Var node_emb2_;  // [N, e]
+  struct Block {
+    std::unique_ptr<TemporalConv> filter;
+    std::unique_ptr<TemporalConv> gate;
+    std::unique_ptr<nn::Linear> gconv;
+    std::unique_ptr<nn::Linear> skip;
+  };
+  std::vector<Block> blocks_;
+  std::unique_ptr<nn::Mlp> predictor_;
+};
+
+}  // namespace baselines
+}  // namespace stwa
+
+#endif  // STWA_BASELINES_GWN_H_

@@ -1,0 +1,87 @@
+#include "baselines/longformer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace baselines {
+
+LongFormer::LongFormer(BaselineConfig config, int64_t window_radius,
+                       Rng* rng)
+    : config_(config) {
+  STWA_CHECK(config_.num_sensors > 0, "LongFormer needs num_sensors");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  if (window_radius < 0) {
+    window_radius = std::max<int64_t>(1, config_.history / 4);
+  }
+  embed_ = std::make_unique<nn::Linear>(config_.features, config_.d_model,
+                                        /*bias=*/true, &r);
+  RegisterModule("embed", embed_.get());
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    Block b;
+    nn::AttentionConfig ac;
+    ac.d_model = config_.d_model;
+    ac.num_heads = 4;
+    ac.window_radius = window_radius;
+    b.attn = std::make_unique<nn::MultiHeadSelfAttention>(ac, &r);
+    b.norm1 = std::make_unique<nn::LayerNorm>(config_.d_model);
+    b.ff1 = std::make_unique<nn::Linear>(config_.d_model,
+                                         2 * config_.d_model, true, &r);
+    b.ff2 = std::make_unique<nn::Linear>(2 * config_.d_model,
+                                         config_.d_model, true, &r);
+    b.norm2 = std::make_unique<nn::LayerNorm>(config_.d_model);
+    RegisterModule("attn" + std::to_string(l), b.attn.get());
+    RegisterModule("norm1_" + std::to_string(l), b.norm1.get());
+    RegisterModule("ff1_" + std::to_string(l), b.ff1.get());
+    RegisterModule("ff2_" + std::to_string(l), b.ff2.get());
+    RegisterModule("norm2_" + std::to_string(l), b.norm2.get());
+    blocks_.push_back(std::move(b));
+  }
+  flatten_ = std::make_unique<nn::Linear>(
+      config_.history * config_.d_model, config_.predictor_hidden, true, &r);
+  RegisterModule("flatten", flatten_.get());
+  predictor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{config_.predictor_hidden,
+                           config_.predictor_hidden,
+                           config_.horizon * config_.features},
+      nn::Activation::kRelu, nn::Activation::kNone, &r);
+  RegisterModule("predictor", predictor_.get());
+  // Fixed sinusoidal positional encoding.
+  positional_ = Tensor(Shape{config_.history, config_.d_model});
+  for (int64_t t = 0; t < config_.history; ++t) {
+    for (int64_t i = 0; i < config_.d_model; ++i) {
+      const double rate =
+          std::pow(10000.0, -static_cast<double>(i / 2 * 2) /
+                                 config_.d_model);
+      positional_({t, i}) = static_cast<float>(
+          i % 2 == 0 ? std::sin(t * rate) : std::cos(t * rate));
+    }
+  }
+}
+
+ag::Var LongFormer::Forward(const Tensor& x, bool /*training*/) {
+  STWA_CHECK(x.rank() == 4 && x.dim(1) == config_.num_sensors &&
+                 x.dim(2) == config_.history,
+             "LongFormer input mismatch: ", ShapeToString(x.shape()));
+  const int64_t batch = x.dim(0);
+  const int64_t sensors = config_.num_sensors;
+  // Sensors fold into the batch (the model is spatial agnostic).
+  ag::Var folded = ag::Reshape(ag::Var(x), {batch * sensors,
+                                            config_.history,
+                                            config_.features});
+  ag::Var h = ag::Add(embed_->Forward(folded), ag::Var(positional_));
+  for (const Block& b : blocks_) {
+    h = b.norm1->Forward(ag::Add(h, b.attn->Forward(h)));
+    ag::Var ff = b.ff2->Forward(ag::Relu(b.ff1->Forward(h)));
+    h = b.norm2->Forward(ag::Add(h, ff));
+  }
+  ag::Var flat = ag::Reshape(
+      h, {batch * sensors, config_.history * config_.d_model});
+  ag::Var pred = predictor_->Forward(ag::Relu(flatten_->Forward(flat)));
+  return ag::Reshape(pred, {batch, sensors, config_.horizon,
+                            config_.features});
+}
+
+}  // namespace baselines
+}  // namespace stwa

@@ -1,0 +1,49 @@
+// LongFormer baseline [Beltagy et al. 2020]: Transformer encoder with
+// sliding-window attention (O(H*S) instead of O(H^2)), spatio-temporal
+// agnostic, no sensor correlation modelling.
+
+#ifndef STWA_BASELINES_LONGFORMER_H_
+#define STWA_BASELINES_LONGFORMER_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/attention.h"
+#include "nn/layer_norm.h"
+#include "nn/mlp.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace baselines {
+
+/// Sliding-window Transformer forecaster applied per sensor.
+class LongFormer : public train::ForecastModel {
+ public:
+  /// `window_radius` is the sliding attention radius (paper-style local
+  /// attention); defaults to a quarter of the history.
+  LongFormer(BaselineConfig config, int64_t window_radius = -1,
+             Rng* rng = nullptr);
+
+  ag::Var Forward(const Tensor& x, bool training) override;
+  std::string name() const override { return "LongFormer"; }
+
+ private:
+  BaselineConfig config_;
+  std::unique_ptr<nn::Linear> embed_;
+  struct Block {
+    std::unique_ptr<nn::MultiHeadSelfAttention> attn;
+    std::unique_ptr<nn::LayerNorm> norm1;
+    std::unique_ptr<nn::Linear> ff1;
+    std::unique_ptr<nn::Linear> ff2;
+    std::unique_ptr<nn::LayerNorm> norm2;
+  };
+  std::vector<Block> blocks_;
+  std::unique_ptr<nn::Linear> flatten_;
+  std::unique_ptr<nn::Mlp> predictor_;
+  Tensor positional_;  // [H, d]
+};
+
+}  // namespace baselines
+}  // namespace stwa
+
+#endif  // STWA_BASELINES_LONGFORMER_H_

@@ -1,0 +1,58 @@
+#include "baselines/meta_lstm.h"
+
+#include "common/check.h"
+
+namespace stwa {
+namespace baselines {
+
+MetaLstm::MetaLstm(BaselineConfig config, Rng* rng) : config_(config) {
+  STWA_CHECK(config_.num_sensors > 0, "MetaLstm needs num_sensors");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  const int64_t h = config_.d_model;
+  meta_cell_ = std::make_unique<nn::LstmCell>(config_.features, meta_dim_,
+                                              &r);
+  main_cell_ = std::make_unique<nn::LstmCell>(config_.features, h, &r);
+  modulation_ = std::make_unique<nn::Linear>(meta_dim_, 2 * h, true, &r);
+  RegisterModule("meta", meta_cell_.get());
+  RegisterModule("main", main_cell_.get());
+  RegisterModule("modulation", modulation_.get());
+  predictor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{h, config_.predictor_hidden,
+                           config_.horizon * config_.features},
+      nn::Activation::kRelu, nn::Activation::kNone, &r);
+  RegisterModule("predictor", predictor_.get());
+}
+
+ag::Var MetaLstm::Forward(const Tensor& x, bool /*training*/) {
+  STWA_CHECK(x.rank() == 4 && x.dim(1) == config_.num_sensors &&
+                 x.dim(2) == config_.history,
+             "MetaLstm input mismatch: ", ShapeToString(x.shape()));
+  const int64_t batch = x.dim(0);
+  const int64_t n = config_.num_sensors;
+  const int64_t h = config_.d_model;
+  // Spatial agnostic: sensors fold into the batch.
+  ag::Var folded = ag::Reshape(ag::Var(x), {batch * n, config_.history,
+                                            config_.features});
+  ag::Var meta_h(Tensor(Shape{batch * n, meta_dim_}));
+  ag::Var meta_c(Tensor(Shape{batch * n, meta_dim_}));
+  ag::Var main_h(Tensor(Shape{batch * n, h}));
+  ag::Var main_c(Tensor(Shape{batch * n, h}));
+  for (int64_t t = 0; t < config_.history; ++t) {
+    ag::Var x_t = nn::TimeStep(folded, t);
+    meta_cell_->Forward(x_t, &meta_h, &meta_c);
+    // Time-varying modulation of the main LSTM's state: the meta hidden
+    // state rescales the main hidden state before the main step, so the
+    // effective recurrence weights change over time.
+    ag::Var gate = ag::Sigmoid(modulation_->Forward(meta_h));  // [*, 4h]
+    ag::Var h_scale = ag::MulScalar(ag::Slice(gate, -1, 0, h), 2.0f);
+    ag::Var c_scale = ag::MulScalar(ag::Slice(gate, -1, h, h), 2.0f);
+    main_h = ag::Mul(main_h, h_scale);
+    main_c = ag::Mul(main_c, c_scale);
+    main_cell_->Forward(x_t, &main_h, &main_c);
+  }
+  ag::Var pred = predictor_->Forward(main_h);
+  return ag::Reshape(pred, {batch, n, config_.horizon, config_.features});
+}
+
+}  // namespace baselines
+}  // namespace stwa

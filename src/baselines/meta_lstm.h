@@ -1,0 +1,41 @@
+// meta-LSTM baseline [Chen et al., AAAI 2018]: temporal-aware but
+// spatial-agnostic — a small meta (hyper) LSTM runs alongside the main
+// LSTM and its hidden state generates time-varying scaling vectors for the
+// main LSTM's gates. Sensor correlations are NOT modelled (sensors fold
+// into the batch), which is why the paper finds it the weakest baseline.
+
+#ifndef STWA_BASELINES_META_LSTM_H_
+#define STWA_BASELINES_META_LSTM_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/mlp.h"
+#include "nn/rnn.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace baselines {
+
+/// Hyper-network LSTM forecaster with time-varying gate modulation.
+class MetaLstm : public train::ForecastModel {
+ public:
+  explicit MetaLstm(BaselineConfig config, Rng* rng = nullptr);
+
+  ag::Var Forward(const Tensor& x, bool training) override;
+  std::string name() const override { return "meta-LSTM"; }
+
+ private:
+  BaselineConfig config_;
+  int64_t meta_dim_ = 8;
+  std::unique_ptr<nn::LstmCell> meta_cell_;  // the meta LSTM
+  std::unique_ptr<nn::LstmCell> main_cell_;  // the main LSTM
+  /// Maps the meta hidden state to multiplicative gate modulation (4h).
+  std::unique_ptr<nn::Linear> modulation_;
+  std::unique_ptr<nn::Mlp> predictor_;
+};
+
+}  // namespace baselines
+}  // namespace stwa
+
+#endif  // STWA_BASELINES_META_LSTM_H_

@@ -1,0 +1,178 @@
+#include "baselines/registry.h"
+
+#include "baselines/agcrn.h"
+#include "baselines/astgnn.h"
+#include "baselines/dcrnn.h"
+#include "baselines/enhancenet.h"
+#include "baselines/gwn.h"
+#include "baselines/longformer.h"
+#include "baselines/meta_lstm.h"
+#include "baselines/stfgnn.h"
+#include "baselines/stg2seq.h"
+#include "baselines/stgcn.h"
+#include "baselines/stsgcn.h"
+#include "baselines/var.h"
+#include "common/check.h"
+#include "core/enhanced_models.h"
+#include "core/stwa_model.h"
+
+namespace stwa {
+namespace baselines {
+
+std::vector<std::string> AllBaselineNames() {
+  return {"LongFormer", "DCRNN",  "STGCN",      "STG2Seq",
+          "GWN",        "STSGCN", "ASTGNN",     "STFGNN",
+          "EnhanceNet", "AGCRN",  "meta-LSTM"};
+}
+
+namespace {
+
+BaselineConfig ToBaselineConfig(const data::TrafficDataset& dataset,
+                                const ModelSettings& s) {
+  BaselineConfig c;
+  c.num_sensors = dataset.num_sensors();
+  c.history = s.history;
+  c.horizon = s.horizon;
+  c.features = dataset.num_features();
+  c.d_model = s.d_model;
+  c.num_layers = s.num_layers;
+  c.predictor_hidden = s.predictor_hidden;
+  c.supports = {dataset.graph.SymNormalizedWithSelfLoops()};
+  return c;
+}
+
+core::StwaConfig ToStwaConfig(const data::TrafficDataset& dataset,
+                              const ModelSettings& s) {
+  core::StwaConfig c;
+  c.num_sensors = dataset.num_sensors();
+  c.history = s.history;
+  c.horizon = s.horizon;
+  c.features = dataset.num_features();
+  c.window_sizes = s.window_sizes;
+  c.proxies = s.proxies;
+  c.heads = s.heads;
+  c.d_model = s.d_model;
+  c.latent_dim = s.latent_dim;
+  c.predictor_hidden = s.predictor_hidden;
+  c.kl_weight = s.kl_weight;
+  return c;
+}
+
+core::EnhancedConfig ToEnhancedConfig(const data::TrafficDataset& dataset,
+                                      const ModelSettings& s,
+                                      core::LatentMode mode) {
+  core::EnhancedConfig c;
+  c.num_sensors = dataset.num_sensors();
+  c.history = s.history;
+  c.horizon = s.horizon;
+  c.features = dataset.num_features();
+  c.d_model = s.d_model;
+  c.latent_dim = s.latent_dim;
+  c.predictor_hidden = s.predictor_hidden;
+  c.num_layers = s.num_layers;
+  c.latent_mode = mode;
+  c.kl_weight = s.kl_weight;
+  return c;
+}
+
+}  // namespace
+
+std::unique_ptr<train::ForecastModel> MakeModel(
+    const std::string& name, const data::TrafficDataset& dataset,
+    const ModelSettings& settings) {
+  Rng rng(settings.seed);
+  // Baselines.
+  if (name == "LongFormer") {
+    return std::make_unique<LongFormer>(ToBaselineConfig(dataset, settings),
+                                        -1, &rng);
+  }
+  if (name == "DCRNN") {
+    BaselineConfig c = ToBaselineConfig(dataset, settings);
+    c.supports = dataset.graph.DiffusionSupports(2);
+    return std::make_unique<Dcrnn>(c, &rng);
+  }
+  if (name == "STGCN") {
+    return std::make_unique<Stgcn>(ToBaselineConfig(dataset, settings),
+                                   &rng);
+  }
+  if (name == "STG2Seq") {
+    return std::make_unique<Stg2Seq>(ToBaselineConfig(dataset, settings),
+                                     &rng);
+  }
+  if (name == "GWN") {
+    return std::make_unique<GraphWaveNet>(
+        ToBaselineConfig(dataset, settings), &rng);
+  }
+  if (name == "STSGCN") {
+    return std::make_unique<Stsgcn>(ToBaselineConfig(dataset, settings),
+                                    &rng);
+  }
+  if (name == "ASTGNN") {
+    return std::make_unique<Astgnn>(ToBaselineConfig(dataset, settings),
+                                    &rng);
+  }
+  if (name == "STFGNN") {
+    Tensor temporal = TemporalSimilarityGraph(
+        dataset.values, dataset.steps_per_day, /*top_k=*/3);
+    return std::make_unique<Stfgnn>(ToBaselineConfig(dataset, settings),
+                                    temporal, &rng);
+  }
+  if (name == "EnhanceNet") {
+    return std::make_unique<EnhanceNet>(ToBaselineConfig(dataset, settings),
+                                        &rng);
+  }
+  if (name == "AGCRN") {
+    return std::make_unique<Agcrn>(ToBaselineConfig(dataset, settings),
+                                   &rng);
+  }
+  if (name == "meta-LSTM") {
+    return std::make_unique<MetaLstm>(ToBaselineConfig(dataset, settings),
+                                      &rng);
+  }
+  if (name == "VAR") {
+    return std::make_unique<VarModel>(ToBaselineConfig(dataset, settings),
+                                      &rng);
+  }
+  // Paper model variants.
+  if (name == "ST-WA" || name == "S-WA" || name == "WA" || name == "WA-1" ||
+      name == "Det-ST-WA" || name == "ST-WA-mean") {
+    core::StwaConfig base = ToStwaConfig(dataset, settings);
+    return std::make_unique<core::StwaModel>(
+        core::MakeVariantConfig(base, name), &rng);
+  }
+  // Enhanced models (Table VII).
+  if (name == "GRU") {
+    return std::make_unique<core::GruForecaster>(
+        ToEnhancedConfig(dataset, settings, core::LatentMode::kNone), &rng);
+  }
+  if (name == "GRU+S") {
+    return std::make_unique<core::GruForecaster>(
+        ToEnhancedConfig(dataset, settings, core::LatentMode::kSpatial),
+        &rng);
+  }
+  if (name == "GRU+ST") {
+    return std::make_unique<core::GruForecaster>(
+        ToEnhancedConfig(dataset, settings,
+                         core::LatentMode::kSpatioTemporal),
+        &rng);
+  }
+  if (name == "ATT" || name == "SA") {
+    return std::make_unique<core::AttForecaster>(
+        ToEnhancedConfig(dataset, settings, core::LatentMode::kNone), &rng);
+  }
+  if (name == "ATT+S") {
+    return std::make_unique<core::AttForecaster>(
+        ToEnhancedConfig(dataset, settings, core::LatentMode::kSpatial),
+        &rng);
+  }
+  if (name == "ATT+ST") {
+    return std::make_unique<core::AttForecaster>(
+        ToEnhancedConfig(dataset, settings,
+                         core::LatentMode::kSpatioTemporal),
+        &rng);
+  }
+  STWA_FAIL("unknown model '", name, "'");
+}
+
+}  // namespace baselines
+}  // namespace stwa

@@ -1,0 +1,52 @@
+// Model factory: builds any model of the empirical study by name, with the
+// dataset-appropriate graph supports. Used by every bench binary and by
+// the examples.
+
+#ifndef STWA_BASELINES_REGISTRY_H_
+#define STWA_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace baselines {
+
+/// Settings applied to every constructed model.
+struct ModelSettings {
+  int64_t history = 12;
+  int64_t horizon = 12;
+  int64_t d_model = 16;
+  int64_t num_layers = 2;
+  int64_t predictor_hidden = 64;
+  /// ST-WA specific knobs (ignored by baselines).
+  std::vector<int64_t> window_sizes = {3, 2, 2};
+  int64_t proxies = 1;
+  int64_t heads = 2;
+  int64_t latent_dim = 8;
+  float kl_weight = 1e-3f;
+  uint64_t seed = 7;
+};
+
+/// Names accepted by MakeModel, in the order of the paper's Table IV plus
+/// the ST-WA variants and enhanced models.
+std::vector<std::string> AllBaselineNames();
+
+/// Builds a model by name. Accepted names:
+///   Baselines: "LongFormer", "DCRNN", "STGCN", "STG2Seq", "GWN",
+///              "STSGCN", "ASTGNN", "STFGNN", "EnhanceNet", "AGCRN",
+///              "meta-LSTM"
+///   Paper models: "ST-WA", "S-WA", "WA", "WA-1", "Det-ST-WA",
+///                 "ST-WA-mean"
+///   Enhanced:  "GRU", "GRU+S", "GRU+ST", "ATT", "ATT+S", "ATT+ST"
+std::unique_ptr<train::ForecastModel> MakeModel(
+    const std::string& name, const data::TrafficDataset& dataset,
+    const ModelSettings& settings);
+
+}  // namespace baselines
+}  // namespace stwa
+
+#endif  // STWA_BASELINES_REGISTRY_H_

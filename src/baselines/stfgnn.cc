@@ -1,0 +1,179 @@
+#include "baselines/stfgnn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace baselines {
+
+Tensor TemporalSimilarityGraph(const Tensor& values, int64_t steps_per_day,
+                               int64_t top_k) {
+  STWA_CHECK(values.rank() == 3, "expected [N, T, F] values");
+  const int64_t n = values.dim(0);
+  const int64_t steps = values.dim(1);
+  STWA_CHECK(steps >= steps_per_day, "need at least one day of data");
+  const int64_t days = steps / steps_per_day;
+  // Mean daily profile per sensor (first feature).
+  Tensor profile(Shape{n, steps_per_day});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t s = 0; s < steps_per_day; ++s) {
+      double acc = 0.0;
+      for (int64_t d = 0; d < days; ++d) {
+        acc += values({i, d * steps_per_day + s, 0});
+      }
+      profile({i, s}) = static_cast<float>(acc / days);
+    }
+  }
+  // Normalised correlation between profiles.
+  std::vector<double> mean(n, 0.0);
+  std::vector<double> norm(n, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t s = 0; s < steps_per_day; ++s) mean[i] += profile({i, s});
+    mean[i] /= steps_per_day;
+    for (int64_t s = 0; s < steps_per_day; ++s) {
+      const double c = profile({i, s}) - mean[i];
+      norm[i] += c * c;
+    }
+    norm[i] = std::sqrt(std::max(norm[i], 1e-9));
+  }
+  Tensor sim(Shape{n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double acc = 0.0;
+      for (int64_t s = 0; s < steps_per_day; ++s) {
+        acc += (profile({i, s}) - mean[i]) * (profile({j, s}) - mean[j]);
+      }
+      sim({i, j}) = static_cast<float>(acc / (norm[i] * norm[j]));
+    }
+  }
+  // Keep top_k correlations per sensor as unit edges.
+  Tensor graph(Shape{n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<int64_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return sim({i, a}) > sim({i, b});
+    });
+    for (int64_t r = 0; r < std::min(top_k, n); ++r) {
+      if (order[r] != i) graph({i, order[r]}) = 1.0f;
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+/// Assembles the dense (4N)x(4N) fusion graph: slices 0..3 are consecutive
+/// timestamps; diagonal blocks carry the spatial graph, the two middle
+/// slices carry the temporal similarity graph, and adjacent slices connect
+/// each sensor to itself.
+Tensor BuildFusionGraph(const Tensor& spatial, const Tensor& temporal) {
+  const int64_t n = spatial.dim(0);
+  Tensor a(Shape{4 * n, 4 * n});
+  for (int64_t s = 0; s < 4; ++s) {
+    const bool middle = s == 1 || s == 2;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        a({s * n + i, s * n + j}) =
+            spatial({i, j}) +
+            (middle && !temporal.empty() ? temporal({i, j}) : 0.0f);
+      }
+      a({s * n + i, s * n + i}) += 1.0f;
+      if (s + 1 < 4) {
+        a({s * n + i, (s + 1) * n + i}) = 1.0f;
+        a({(s + 1) * n + i, s * n + i}) = 1.0f;
+      }
+    }
+  }
+  for (int64_t i = 0; i < 4 * n; ++i) {
+    float deg = 0.0f;
+    for (int64_t j = 0; j < 4 * n; ++j) deg += a({i, j});
+    if (deg > 0.0f) {
+      for (int64_t j = 0; j < 4 * n; ++j) a({i, j}) /= deg;
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+Stfgnn::Stfgnn(BaselineConfig config, Tensor temporal_graph, Rng* rng)
+    : config_(config) {
+  STWA_CHECK(config_.num_sensors > 0, "Stfgnn needs num_sensors");
+  STWA_CHECK(!config_.supports.empty(), "Stfgnn needs a graph support");
+  STWA_CHECK(config_.history >= 7, "Stfgnn needs history >= 7");
+  fusion_ = BuildFusionGraph(config_.supports.front(), temporal_graph);
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  const int64_t d = config_.d_model;
+  embed_ = std::make_unique<nn::Linear>(config_.features, d, true, &r);
+  RegisterModule("embed", embed_.get());
+  const int64_t num_blocks = std::min<int64_t>(config_.num_layers,
+                                               (config_.history - 1) / 3);
+  int64_t len = config_.history;
+  for (int64_t m = 0; m < num_blocks; ++m) {
+    Block b;
+    b.gc = std::make_unique<nn::Linear>(d, d, true, &r);
+    b.gate = std::make_unique<nn::Linear>(d, d, true, &r);
+    b.tconv_f = std::make_unique<TemporalConv>(d, d, /*taps=*/4, 1, &r);
+    b.tconv_g = std::make_unique<TemporalConv>(d, d, /*taps=*/4, 1, &r);
+    RegisterModule("gc" + std::to_string(m), b.gc.get());
+    RegisterModule("gate" + std::to_string(m), b.gate.get());
+    RegisterModule("tf" + std::to_string(m), b.tconv_f.get());
+    RegisterModule("tg" + std::to_string(m), b.tconv_g.get());
+    blocks_.push_back(std::move(b));
+    len -= 3;  // groups of 4 -> T-3 outputs
+  }
+  final_len_ = len;
+  flatten_ = std::make_unique<nn::Linear>(len * d, config_.predictor_hidden,
+                                          true, &r);
+  RegisterModule("flatten", flatten_.get());
+  predictor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{config_.predictor_hidden,
+                           config_.predictor_hidden,
+                           config_.horizon * config_.features},
+      nn::Activation::kRelu, nn::Activation::kNone, &r);
+  RegisterModule("predictor", predictor_.get());
+}
+
+ag::Var Stfgnn::Forward(const Tensor& x, bool /*training*/) {
+  STWA_CHECK(x.rank() == 4 && x.dim(1) == config_.num_sensors &&
+                 x.dim(2) == config_.history,
+             "Stfgnn input mismatch: ", ShapeToString(x.shape()));
+  const int64_t batch = x.dim(0);
+  const int64_t n = config_.num_sensors;
+  const int64_t d = config_.d_model;
+  ag::Var h = embed_->Forward(ag::Var(x));  // [B, N, T, d]
+  for (const Block& b : blocks_) {
+    const int64_t len = h.value().dim(2);
+    const int64_t out_len = len - 3;
+    // Fusion-graph branch: sliding groups of 4 steps over the (4N)^2
+    // operator, keeping slice 1 (the "current" step).
+    std::vector<ag::Var> fused;
+    fused.reserve(out_len);
+    for (int64_t t = 0; t < out_len; ++t) {
+      ag::Var group = ag::Reshape(
+          ag::Permute(ag::Slice(h, 2, t, 4), {0, 2, 1, 3}),
+          {batch, 4 * n, d});
+      ag::Var g = GraphMix(fusion_, group);
+      g = ag::Mul(b.gc->Forward(g), ag::Sigmoid(b.gate->Forward(g)));
+      fused.push_back(ag::Slice(g, 1, n, n));  // middle slice
+    }
+    ag::Var graph_branch =
+        ag::Permute(ag::Stack(fused), {1, 2, 0, 3});  // [B, N, T-3, d]
+    // Gated convolution branch over the same receptive field.
+    ag::Var conv_branch = ag::Mul(ag::Tanh(b.tconv_f->Forward(h)),
+                                  ag::Sigmoid(b.tconv_g->Forward(h)));
+    h = ag::Add(graph_branch, conv_branch);
+  }
+  ag::Var flat = ag::Reshape(h, {batch, n, final_len_ * d});
+  ag::Var pred = predictor_->Forward(ag::Relu(flatten_->Forward(flat)));
+  return ag::Reshape(pred, {batch, n, config_.horizon, config_.features});
+}
+
+}  // namespace baselines
+}  // namespace stwa

@@ -1,0 +1,56 @@
+// STFGNN baseline [Li & Zhu, AAAI 2021]: spatial-temporal fusion graph —
+// a dense (4N)x(4N) operator assembled from the spatial graph, a
+// data-driven temporal similarity graph, and inter-slice connectivity —
+// convolved over sliding groups of 4 steps, in parallel with a gated
+// dilated convolution.
+
+#ifndef STWA_BASELINES_STFGNN_H_
+#define STWA_BASELINES_STFGNN_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/mlp.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace baselines {
+
+/// Computes a temporal similarity graph between sensors from their series:
+/// a cheap DTW substitute using normalised cross-correlation of the mean
+/// daily profiles; the top-k most similar pairs per sensor get edges.
+Tensor TemporalSimilarityGraph(const Tensor& values, int64_t steps_per_day,
+                               int64_t top_k);
+
+/// Spatial-temporal fusion graph forecaster.
+class Stfgnn : public train::ForecastModel {
+ public:
+  /// `temporal_graph` is the [N, N] similarity graph (see
+  /// TemporalSimilarityGraph); pass an empty tensor to fall back to the
+  /// identity.
+  Stfgnn(BaselineConfig config, Tensor temporal_graph = {},
+         Rng* rng = nullptr);
+
+  ag::Var Forward(const Tensor& x, bool training) override;
+  std::string name() const override { return "STFGNN"; }
+
+ private:
+  BaselineConfig config_;
+  Tensor fusion_;  // [4N, 4N]
+  std::unique_ptr<nn::Linear> embed_;
+  struct Block {
+    std::unique_ptr<nn::Linear> gc;
+    std::unique_ptr<nn::Linear> gate;
+    std::unique_ptr<TemporalConv> tconv_f;
+    std::unique_ptr<TemporalConv> tconv_g;
+  };
+  std::vector<Block> blocks_;
+  int64_t final_len_ = 0;
+  std::unique_ptr<nn::Linear> flatten_;
+  std::unique_ptr<nn::Mlp> predictor_;
+};
+
+}  // namespace baselines
+}  // namespace stwa
+
+#endif  // STWA_BASELINES_STFGNN_H_

@@ -1,0 +1,59 @@
+#include "baselines/stg2seq.h"
+
+#include "common/check.h"
+
+namespace stwa {
+namespace baselines {
+
+Stg2Seq::Stg2Seq(BaselineConfig config, Rng* rng) : config_(config) {
+  STWA_CHECK(config_.num_sensors > 0, "Stg2Seq needs num_sensors");
+  STWA_CHECK(!config_.supports.empty(), "Stg2Seq needs a graph support");
+  support_ = config_.supports.front();
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  const int64_t d = config_.d_model;
+  embed_ = std::make_unique<nn::Linear>(
+      config_.history * config_.features, d, /*bias=*/true, &r);
+  RegisterModule("embed", embed_.get());
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    Block b;
+    b.value = std::make_unique<nn::Linear>(d, d, true, &r);
+    b.gate = std::make_unique<nn::Linear>(d, d, true, &r);
+    RegisterModule("value" + std::to_string(l), b.value.get());
+    RegisterModule("gate" + std::to_string(l), b.gate.get());
+    blocks_.push_back(std::move(b));
+  }
+  attn_ = std::make_unique<nn::Linear>(d, d, /*bias=*/false, &r);
+  RegisterModule("attn", attn_.get());
+  predictor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{d, config_.predictor_hidden,
+                           config_.horizon * config_.features},
+      nn::Activation::kRelu, nn::Activation::kNone, &r);
+  RegisterModule("predictor", predictor_.get());
+}
+
+ag::Var Stg2Seq::Forward(const Tensor& x, bool /*training*/) {
+  STWA_CHECK(x.rank() == 4 && x.dim(1) == config_.num_sensors &&
+                 x.dim(2) == config_.history,
+             "Stg2Seq input mismatch: ", ShapeToString(x.shape()));
+  const int64_t batch = x.dim(0);
+  const int64_t sensors = config_.num_sensors;
+  // Long-term encoder: whole window as channels per sensor.
+  ag::Var h = embed_->Forward(ag::Reshape(
+      ag::Var(x), {batch, sensors, config_.history * config_.features}));
+  for (const Block& b : blocks_) {
+    // Gated graph convolution with residual: h' = h + GLU(A h).
+    ag::Var mixed = GraphMix(support_, h);
+    ag::Var update = ag::Mul(b.value->Forward(mixed),
+                             ag::Sigmoid(b.gate->Forward(mixed)));
+    h = ag::Add(h, update);
+  }
+  // Output attention: channel-wise gate before the seq2seq-style joint
+  // multi-step prediction.
+  h = ag::Mul(h, ag::Sigmoid(attn_->Forward(h)));
+  ag::Var pred = predictor_->Forward(h);
+  return ag::Reshape(pred, {batch, sensors, config_.horizon,
+                            config_.features});
+}
+
+}  // namespace baselines
+}  // namespace stwa

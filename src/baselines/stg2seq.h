@@ -1,0 +1,42 @@
+// STG2Seq baseline [Bai et al., AAAI 2019]: stacked gated graph
+// convolution modules over the recent window (time folded into channels)
+// with a residual structure and an attention-weighted output, producing
+// all horizon steps at once.
+
+#ifndef STWA_BASELINES_STG2SEQ_H_
+#define STWA_BASELINES_STG2SEQ_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/mlp.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace baselines {
+
+/// Gated graph convolution forecaster over the flattened history window.
+class Stg2Seq : public train::ForecastModel {
+ public:
+  explicit Stg2Seq(BaselineConfig config, Rng* rng = nullptr);
+
+  ag::Var Forward(const Tensor& x, bool training) override;
+  std::string name() const override { return "STG2Seq"; }
+
+ private:
+  BaselineConfig config_;
+  Tensor support_;
+  std::unique_ptr<nn::Linear> embed_;
+  struct Block {
+    std::unique_ptr<nn::Linear> value;
+    std::unique_ptr<nn::Linear> gate;
+  };
+  std::vector<Block> blocks_;
+  std::unique_ptr<nn::Linear> attn_;  // output attention over features
+  std::unique_ptr<nn::Mlp> predictor_;
+};
+
+}  // namespace baselines
+}  // namespace stwa
+
+#endif  // STWA_BASELINES_STG2SEQ_H_

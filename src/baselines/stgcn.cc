@@ -1,0 +1,83 @@
+#include "baselines/stgcn.h"
+
+#include "common/check.h"
+
+namespace stwa {
+namespace baselines {
+
+GatedTemporalConv::GatedTemporalConv(int64_t d_in, int64_t d_out,
+                                     int64_t taps, Rng* rng)
+    : d_out_(d_out) {
+  conv_ = std::make_unique<TemporalConv>(d_in, 2 * d_out, taps,
+                                         /*dilation=*/1, rng);
+  RegisterModule("conv", conv_.get());
+}
+
+ag::Var GatedTemporalConv::Forward(const ag::Var& x) const {
+  ag::Var y = conv_->Forward(x);
+  ag::Var lin = ag::Slice(y, -1, 0, d_out_);
+  ag::Var gate = ag::Slice(y, -1, d_out_, d_out_);
+  return ag::Mul(lin, ag::Sigmoid(gate));  // GLU
+}
+
+Stgcn::Stgcn(BaselineConfig config, Rng* rng) : config_(config) {
+  STWA_CHECK(config_.num_sensors > 0, "Stgcn needs num_sensors");
+  STWA_CHECK(!config_.supports.empty(), "Stgcn needs a graph support");
+  support_ = config_.supports.front();
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  const int64_t d = config_.d_model;
+  int64_t len = config_.history;
+  int64_t d_in = config_.features;
+  // Keep the temporal kernel small enough that two blocks fit in H.
+  const int64_t taps = config_.history >= 12 ? 3 : 2;
+  const int64_t blocks = config_.num_layers >= 2 ? 2 : 1;
+  for (int64_t l = 0; l < blocks; ++l) {
+    Block b;
+    b.tconv1 = std::make_unique<GatedTemporalConv>(d_in, d, taps, &r);
+    b.gconv = std::make_unique<nn::Linear>(d, d, /*bias=*/true, &r);
+    b.tconv2 = std::make_unique<GatedTemporalConv>(d, d, taps, &r);
+    RegisterModule("t1_" + std::to_string(l), b.tconv1.get());
+    RegisterModule("g_" + std::to_string(l), b.gconv.get());
+    RegisterModule("t2_" + std::to_string(l), b.tconv2.get());
+    blocks_.push_back(std::move(b));
+    len = len - 2 * (taps - 1);
+    STWA_CHECK(len >= 1, "STGCN history too short for ", blocks, " blocks");
+    d_in = d;
+  }
+  final_len_ = len;
+  flatten_ = std::make_unique<nn::Linear>(len * d, config_.predictor_hidden,
+                                          true, &r);
+  RegisterModule("flatten", flatten_.get());
+  predictor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{config_.predictor_hidden,
+                           config_.predictor_hidden,
+                           config_.horizon * config_.features},
+      nn::Activation::kRelu, nn::Activation::kNone, &r);
+  RegisterModule("predictor", predictor_.get());
+}
+
+ag::Var Stgcn::Forward(const Tensor& x, bool /*training*/) {
+  STWA_CHECK(x.rank() == 4 && x.dim(1) == config_.num_sensors &&
+                 x.dim(2) == config_.history,
+             "Stgcn input mismatch: ", ShapeToString(x.shape()));
+  const int64_t batch = x.dim(0);
+  const int64_t sensors = config_.num_sensors;
+  ag::Var h(x);  // [B, N, T, F]
+  for (const Block& b : blocks_) {
+    h = b.tconv1->Forward(h);  // [B, N, T', d]
+    // Graph convolution per timestamp: mix over the sensor axis.
+    ag::Var mixed = ag::Permute(h, {0, 2, 1, 3});  // [B, T', N, d]
+    mixed = GraphMix(support_, mixed);
+    mixed = ag::Relu(b.gconv->Forward(mixed));
+    h = ag::Permute(mixed, {0, 2, 1, 3});
+    h = b.tconv2->Forward(h);
+  }
+  ag::Var flat = ag::Reshape(
+      h, {batch, sensors, final_len_ * config_.d_model});
+  ag::Var pred = predictor_->Forward(ag::Relu(flatten_->Forward(flat)));
+  return ag::Reshape(pred, {batch, sensors, config_.horizon,
+                            config_.features});
+}
+
+}  // namespace baselines
+}  // namespace stwa

@@ -1,0 +1,57 @@
+// STGCN baseline [Yu et al., IJCAI 2018]: sandwiched ST-Conv blocks —
+// gated temporal convolution (GLU), Chebyshev graph convolution, gated
+// temporal convolution — followed by an output layer.
+
+#ifndef STWA_BASELINES_STGCN_H_
+#define STWA_BASELINES_STGCN_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/mlp.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace baselines {
+
+/// Gated temporal convolution: GLU over a 2*d_out conv output.
+class GatedTemporalConv : public nn::Module {
+ public:
+  GatedTemporalConv(int64_t d_in, int64_t d_out, int64_t taps,
+                    Rng* rng = nullptr);
+
+  ag::Var Forward(const ag::Var& x) const;
+
+  int64_t out_len(int64_t in_len) const { return conv_->out_len(in_len); }
+
+ private:
+  int64_t d_out_;
+  std::unique_ptr<TemporalConv> conv_;  // d_in -> 2*d_out
+};
+
+/// STGCN forecaster.
+class Stgcn : public train::ForecastModel {
+ public:
+  explicit Stgcn(BaselineConfig config, Rng* rng = nullptr);
+
+  ag::Var Forward(const Tensor& x, bool training) override;
+  std::string name() const override { return "STGCN"; }
+
+ private:
+  BaselineConfig config_;
+  struct Block {
+    std::unique_ptr<GatedTemporalConv> tconv1;
+    std::unique_ptr<nn::Linear> gconv;  // applied after graph mixing
+    std::unique_ptr<GatedTemporalConv> tconv2;
+  };
+  std::vector<Block> blocks_;
+  Tensor support_;  // symmetric normalised adjacency
+  int64_t final_len_ = 0;
+  std::unique_ptr<nn::Linear> flatten_;
+  std::unique_ptr<nn::Mlp> predictor_;
+};
+
+}  // namespace baselines
+}  // namespace stwa
+
+#endif  // STWA_BASELINES_STGCN_H_

@@ -1,0 +1,110 @@
+#include "baselines/stsgcn.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace baselines {
+namespace {
+
+/// Builds the localized spatio-temporal sandwich adjacency over 3 slices:
+/// block diagonal = spatial adjacency (with self loops), off-diagonal
+/// blocks = identity (each sensor connects to itself one step away).
+Tensor BuildSandwich(const Tensor& spatial) {
+  const int64_t n = spatial.dim(0);
+  Tensor a(Shape{3 * n, 3 * n});
+  for (int64_t s = 0; s < 3; ++s) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        a({s * n + i, s * n + j}) = spatial({i, j});
+      }
+      a({s * n + i, s * n + i}) += 1.0f;
+      if (s + 1 < 3) {
+        a({s * n + i, (s + 1) * n + i}) = 1.0f;
+        a({(s + 1) * n + i, s * n + i}) = 1.0f;
+      }
+    }
+  }
+  // Row normalise.
+  for (int64_t i = 0; i < 3 * n; ++i) {
+    float deg = 0.0f;
+    for (int64_t j = 0; j < 3 * n; ++j) deg += a({i, j});
+    if (deg > 0.0f) {
+      for (int64_t j = 0; j < 3 * n; ++j) a({i, j}) /= deg;
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+Stsgcn::Stsgcn(BaselineConfig config, Rng* rng) : config_(config) {
+  STWA_CHECK(config_.num_sensors > 0, "Stsgcn needs num_sensors");
+  STWA_CHECK(!config_.supports.empty(), "Stsgcn needs a graph support");
+  STWA_CHECK(config_.history >= 5, "Stsgcn needs history >= 5");
+  sandwich_ = BuildSandwich(config_.supports.front());
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  const int64_t d = config_.d_model;
+  embed_ = std::make_unique<nn::Linear>(config_.features, d, true, &r);
+  RegisterModule("embed", embed_.get());
+  // Each module shrinks the sequence by 2 (crop to middle slice).
+  const int64_t num_modules = std::min<int64_t>(config_.num_layers,
+                                                (config_.history - 1) / 2);
+  int64_t len = config_.history;
+  for (int64_t m = 0; m < num_modules; ++m) {
+    Module3 mod;
+    mod.gc1 = std::make_unique<nn::Linear>(d, d, true, &r);
+    mod.gc2 = std::make_unique<nn::Linear>(d, d, true, &r);
+    RegisterModule("gc1_" + std::to_string(m), mod.gc1.get());
+    RegisterModule("gc2_" + std::to_string(m), mod.gc2.get());
+    modules_.push_back(std::move(mod));
+    len -= 2;
+  }
+  final_len_ = len;
+  flatten_ = std::make_unique<nn::Linear>(len * d, config_.predictor_hidden,
+                                          true, &r);
+  RegisterModule("flatten", flatten_.get());
+  predictor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{config_.predictor_hidden,
+                           config_.predictor_hidden,
+                           config_.horizon * config_.features},
+      nn::Activation::kRelu, nn::Activation::kNone, &r);
+  RegisterModule("predictor", predictor_.get());
+}
+
+ag::Var Stsgcn::Forward(const Tensor& x, bool /*training*/) {
+  STWA_CHECK(x.rank() == 4 && x.dim(1) == config_.num_sensors &&
+                 x.dim(2) == config_.history,
+             "Stsgcn input mismatch: ", ShapeToString(x.shape()));
+  const int64_t batch = x.dim(0);
+  const int64_t n = config_.num_sensors;
+  const int64_t d = config_.d_model;
+  ag::Var h = embed_->Forward(ag::Var(x));  // [B, N, T, d]
+  for (const Module3& mod : modules_) {
+    const int64_t len = h.value().dim(2);
+    const int64_t out_len = len - 2;
+    // For every group of 3 consecutive steps build [B, 3N, d], convolve
+    // over the sandwich graph twice, keep the middle slice.
+    std::vector<ag::Var> outputs;
+    outputs.reserve(out_len);
+    for (int64_t t = 0; t < out_len; ++t) {
+      // [B, N, 3, d] -> [B, 3, N, d] -> [B, 3N, d]
+      ag::Var group = ag::Reshape(
+          ag::Permute(ag::Slice(h, 2, t, 3), {0, 2, 1, 3}),
+          {batch, 3 * n, d});
+      ag::Var g1 = ag::Relu(mod.gc1->Forward(GraphMix(sandwich_, group)));
+      ag::Var g2 = ag::Relu(mod.gc2->Forward(GraphMix(sandwich_, g1)));
+      // Crop the middle slice [B, N, d].
+      outputs.push_back(ag::Slice(g2, 1, n, n));
+    }
+    // [T-2, B, N, d] -> [B, N, T-2, d]
+    h = ag::Permute(ag::Stack(outputs), {1, 2, 0, 3});
+  }
+  ag::Var flat =
+      ag::Reshape(h, {batch, n, final_len_ * d});
+  ag::Var pred = predictor_->Forward(ag::Relu(flatten_->Forward(flat)));
+  return ag::Reshape(pred, {batch, n, config_.horizon, config_.features});
+}
+
+}  // namespace baselines
+}  // namespace stwa

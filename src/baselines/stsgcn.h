@@ -1,0 +1,44 @@
+// STSGCN baseline [Song et al., AAAI 2020]: localized spatio-temporal
+// synchronous graph convolution. A sandwich adjacency over 3 consecutive
+// timestamps (spatial edges in each slice, temporal self-edges between
+// slices) lets one graph convolution capture local spatial AND temporal
+// dependencies synchronously; cropping keeps the middle slice.
+
+#ifndef STWA_BASELINES_STSGCN_H_
+#define STWA_BASELINES_STSGCN_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/mlp.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace baselines {
+
+/// Spatial-temporal synchronous graph convolutional forecaster.
+class Stsgcn : public train::ForecastModel {
+ public:
+  explicit Stsgcn(BaselineConfig config, Rng* rng = nullptr);
+
+  ag::Var Forward(const Tensor& x, bool training) override;
+  std::string name() const override { return "STSGCN"; }
+
+ private:
+  BaselineConfig config_;
+  Tensor sandwich_;  // [3N, 3N] localized spatio-temporal adjacency
+  std::unique_ptr<nn::Linear> embed_;
+  struct Module3 {
+    std::unique_ptr<nn::Linear> gc1;
+    std::unique_ptr<nn::Linear> gc2;
+  };
+  std::vector<Module3> modules_;
+  int64_t final_len_ = 0;
+  std::unique_ptr<nn::Linear> flatten_;
+  std::unique_ptr<nn::Mlp> predictor_;
+};
+
+}  // namespace baselines
+}  // namespace stwa
+
+#endif  // STWA_BASELINES_STSGCN_H_

@@ -1,0 +1,32 @@
+#include "baselines/var.h"
+
+#include "common/check.h"
+
+namespace stwa {
+namespace baselines {
+
+VarModel::VarModel(BaselineConfig config, Rng* rng) : config_(config) {
+  STWA_CHECK(config_.num_sensors > 0, "VarModel needs num_sensors");
+  const int64_t in = config_.num_sensors * config_.history *
+                     config_.features;
+  const int64_t out = config_.num_sensors * config_.horizon *
+                      config_.features;
+  map_ = std::make_unique<nn::Linear>(in, out, /*bias=*/true, rng);
+  RegisterModule("map", map_.get());
+}
+
+ag::Var VarModel::Forward(const Tensor& x, bool /*training*/) {
+  STWA_CHECK(x.rank() == 4 && x.dim(1) == config_.num_sensors &&
+                 x.dim(2) == config_.history,
+             "VarModel input mismatch: ", ShapeToString(x.shape()));
+  const int64_t batch = x.dim(0);
+  ag::Var flat = ag::Reshape(
+      ag::Var(x), {batch, config_.num_sensors * config_.history *
+                              config_.features});
+  ag::Var pred = map_->Forward(flat);
+  return ag::Reshape(pred, {batch, config_.num_sensors, config_.horizon,
+                            config_.features});
+}
+
+}  // namespace baselines
+}  // namespace stwa

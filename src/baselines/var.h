@@ -1,0 +1,36 @@
+// Classical Vector Auto-Regression (VAR) baseline, as discussed in the
+// paper's related work: a single linear map from the flattened history of
+// ALL sensors to the flattened horizon of all sensors. Captures linear
+// cross-sensor correlations but no nonlinear patterns — the traditional
+// method deep models are measured against.
+
+#ifndef STWA_BASELINES_VAR_H_
+#define STWA_BASELINES_VAR_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/linear.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace baselines {
+
+/// Linear VAR forecaster fitted by gradient descent on the Huber loss
+/// (equivalent to regularised least squares under MSE).
+class VarModel : public train::ForecastModel {
+ public:
+  explicit VarModel(BaselineConfig config, Rng* rng = nullptr);
+
+  ag::Var Forward(const Tensor& x, bool training) override;
+  std::string name() const override { return "VAR"; }
+
+ private:
+  BaselineConfig config_;
+  std::unique_ptr<nn::Linear> map_;
+};
+
+}  // namespace baselines
+}  // namespace stwa
+
+#endif  // STWA_BASELINES_VAR_H_

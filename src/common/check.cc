@@ -1,0 +1,17 @@
+#include "common/check.h"
+
+namespace stwa {
+namespace detail {
+
+void CheckFail(const char* expr, const char* file, int line,
+               const std::string& message) {
+  std::ostringstream oss;
+  oss << "STWA_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw Error(oss.str());
+}
+
+}  // namespace detail
+}  // namespace stwa

@@ -1,0 +1,58 @@
+// Error handling primitives for the ST-WA library.
+//
+// API misuse (shape mismatches, invalid configuration, out-of-range access)
+// throws stwa::Error via the STWA_CHECK family so that tests can assert on
+// failures with EXPECT_THROW and applications can recover cleanly.
+
+#ifndef STWA_COMMON_CHECK_H_
+#define STWA_COMMON_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace stwa {
+
+/// Exception type thrown for all precondition and invariant violations in
+/// the library. Carries a human-readable message including the failing
+/// expression and source location.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+/// Concatenates a heterogeneous argument pack into a string using
+/// operator<<. Used by the STWA_CHECK macros to build messages lazily.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+/// Throws stwa::Error with a formatted message. Never returns.
+[[noreturn]] void CheckFail(const char* expr, const char* file, int line,
+                            const std::string& message);
+
+}  // namespace detail
+}  // namespace stwa
+
+/// Checks a precondition; on failure throws stwa::Error with the expression,
+/// source location and an optional message built from the remaining
+/// arguments, e.g. STWA_CHECK(a == b, "a=", a, " b=", b).
+#define STWA_CHECK(cond, ...)                                       \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::stwa::detail::CheckFail(#cond, __FILE__, __LINE__,          \
+                                ::stwa::detail::StrCat(__VA_ARGS__)); \
+    }                                                               \
+  } while (false)
+
+/// Unconditional failure; used for unreachable switch arms.
+#define STWA_FAIL(...)                                            \
+  ::stwa::detail::CheckFail("failure", __FILE__, __LINE__,        \
+                            ::stwa::detail::StrCat(__VA_ARGS__))
+
+#endif  // STWA_COMMON_CHECK_H_

@@ -1,0 +1,75 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace stwa {
+
+Rng::Rng(uint64_t seed) : state_(seed) {
+  // Warm up so that small seeds diverge quickly.
+  NextU64();
+  NextU64();
+}
+
+uint64_t Rng::NextU64() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+float Rng::Uniform() {
+  // 24 high-quality bits → float in [0, 1).
+  return static_cast<float>(NextU64() >> 40) * (1.0f / 16777216.0f);
+}
+
+float Rng::Uniform(float lo, float hi) { return lo + (hi - lo) * Uniform(); }
+
+float Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller on (0,1] uniforms to avoid log(0).
+  float u1 = 1.0f - Uniform();
+  float u2 = Uniform();
+  float r = std::sqrt(-2.0f * std::log(u1));
+  float theta = 2.0f * std::numbers::pi_v<float> * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+float Rng::Normal(float mean, float stddev) {
+  return mean + stddev * Normal();
+}
+
+int64_t Rng::UniformInt(int64_t n) {
+  STWA_CHECK(n > 0, "UniformInt requires n > 0, got ", n);
+  // Rejection-free modulo is fine for our n << 2^64 use cases.
+  return static_cast<int64_t>(NextU64() % static_cast<uint64_t>(n));
+}
+
+std::vector<int64_t> Rng::Permutation(int64_t n) {
+  std::vector<int64_t> perm(n);
+  for (int64_t i = 0; i < n; ++i) perm[i] = i;
+  for (int64_t i = n - 1; i > 0; --i) {
+    int64_t j = UniformInt(i + 1);
+    std::swap(perm[i], perm[j]);
+  }
+  return perm;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+Rng& GlobalRng() {
+  static Rng rng(0x5eed5eed5eed5eedULL);
+  return rng;
+}
+
+void SetGlobalSeed(uint64_t seed) { GlobalRng() = Rng(seed); }
+
+}  // namespace stwa

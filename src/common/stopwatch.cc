@@ -1,0 +1,17 @@
+#include "common/stopwatch.h"
+
+namespace stwa {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+double Stopwatch::ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+}  // namespace stwa

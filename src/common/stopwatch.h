@@ -1,0 +1,31 @@
+// Wall-clock timing helper used by the trainer and the benchmark harness.
+
+#ifndef STWA_COMMON_STOPWATCH_H_
+#define STWA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace stwa {
+
+/// Monotonic stopwatch. Starts on construction; Elapsed* report time since
+/// construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Resets the start point to now.
+  void Restart();
+
+  /// Seconds elapsed since start.
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since start.
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace stwa
+
+#endif  // STWA_COMMON_STOPWATCH_H_

@@ -1,0 +1,29 @@
+// Small string helpers shared by the data loaders and the table printers.
+
+#ifndef STWA_COMMON_STRING_UTIL_H_
+#define STWA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace stwa {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// Formats a float with `decimals` fractional digits (fixed notation).
+std::string FormatFloat(double value, int decimals = 2);
+
+/// Reads an environment variable, returning `fallback` when unset/empty.
+std::string GetEnvOr(const std::string& name, const std::string& fallback);
+
+/// Reads an integer environment variable, returning `fallback` when
+/// unset/empty or unparsable.
+int64_t GetEnvIntOr(const std::string& name, int64_t fallback);
+
+}  // namespace stwa
+
+#endif  // STWA_COMMON_STRING_UTIL_H_

@@ -1,0 +1,221 @@
+#include "core/enhanced_models.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace core {
+namespace {
+
+std::unique_ptr<StLatent> MakeLatent(const EnhancedConfig& config, Rng& r) {
+  LatentConfig lc;
+  lc.num_sensors = config.num_sensors;
+  lc.history = config.history;
+  lc.features = config.features;
+  lc.latent_dim = config.latent_dim;
+  lc.encoder_hidden = config.encoder_hidden;
+  lc.mode = config.latent_mode;
+  lc.stochastic = config.stochastic;
+  return std::make_unique<StLatent>(lc, &r);
+}
+
+std::string Suffix(LatentMode mode) {
+  switch (mode) {
+    case LatentMode::kNone:
+      return "";
+    case LatentMode::kSpatial:
+      return "+S";
+    case LatentMode::kSpatioTemporal:
+      return "+ST";
+  }
+  return "";
+}
+
+}  // namespace
+
+// --- GruForecaster ---------------------------------------------------------
+
+GruForecaster::GruForecaster(EnhancedConfig config, Rng* rng)
+    : config_(config), noise_rng_(config.noise_seed) {
+  STWA_CHECK(config_.num_sensors > 0, "GruForecaster needs num_sensors");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  config_.decoder.latent_dim = config_.latent_dim;
+  const int64_t h = config_.d_model;
+  if (config_.latent_mode == LatentMode::kNone) {
+    cell_ = std::make_unique<nn::GruCell>(config_.features, h, &r);
+    RegisterModule("cell", cell_.get());
+  } else {
+    latent_ = MakeLatent(config_, r);
+    RegisterModule("latent", latent_.get());
+    w_ih_decoder_ = std::make_unique<ParamDecoder>(config_.decoder,
+                                                   config_.features, 3 * h,
+                                                   &r);
+    w_hh_decoder_ =
+        std::make_unique<ParamDecoder>(config_.decoder, h, 3 * h, &r);
+    RegisterModule("w_ih_dec", w_ih_decoder_.get());
+    RegisterModule("w_hh_dec", w_hh_decoder_.get());
+    b_ih_ = RegisterParameter("b_ih", Tensor(Shape{3 * h}));
+    b_hh_ = RegisterParameter("b_hh", Tensor(Shape{3 * h}));
+  }
+  predictor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{h, config_.predictor_hidden,
+                           config_.horizon * config_.features},
+      nn::Activation::kRelu, nn::Activation::kNone, &r);
+  RegisterModule("predictor", predictor_.get());
+}
+
+ag::Var GruForecaster::Forward(const Tensor& x, bool training) {
+  STWA_CHECK(x.rank() == 4 && x.dim(1) == config_.num_sensors &&
+                 x.dim(2) == config_.history &&
+                 x.dim(3) == config_.features,
+             "GruForecaster input mismatch: ", ShapeToString(x.shape()));
+  const int64_t batch = x.dim(0);
+  const int64_t sensors = config_.num_sensors;
+  const int64_t h = config_.d_model;
+  ag::Var input(x);
+  last_reg_ = ag::Var();
+
+  if (config_.latent_mode == LatentMode::kNone) {
+    // Sensors fold into the batch; the shared cell sees [B*N, H, F].
+    ag::Var folded = ag::Reshape(input, {batch * sensors, config_.history,
+                                         config_.features});
+    ag::Var state(Tensor(Shape{batch * sensors, h}));
+    for (int64_t t = 0; t < config_.history; ++t) {
+      state = cell_->Forward(nn::TimeStep(folded, t), state);
+    }
+    ag::Var pred = predictor_->Forward(state);  // [B*N, U*F]
+    return ag::Reshape(pred, {batch, sensors, config_.horizon,
+                              config_.features});
+  }
+
+  // Generated per-sensor weights: theta -> w_ih [B,N,F,3h], w_hh [B,N,h,3h].
+  ag::Var theta = latent_->Forward(input, training, noise_rng_);
+  last_reg_ = ag::MulScalar(latent_->last_kl(), config_.kl_weight);
+  ag::Var w_ih = w_ih_decoder_->Forward(theta);
+  ag::Var w_hh = w_hh_decoder_->Forward(theta);
+  // Recurrence with singleton row matrices: x_t [B, N, 1, F].
+  ag::Var state(Tensor(Shape{batch, sensors, 1, h}));
+  for (int64_t t = 0; t < config_.history; ++t) {
+    ag::Var x_t = ag::Reshape(ag::Slice(input, 2, t, 1),
+                              {batch, sensors, 1, config_.features});
+    state = nn::GruCell::Step(x_t, state, w_ih, w_hh, b_ih_, b_hh_, h);
+  }
+  ag::Var final_state = ag::Reshape(state, {batch, sensors, h});
+  ag::Var pred = predictor_->Forward(final_state);
+  return ag::Reshape(pred, {batch, sensors, config_.horizon,
+                            config_.features});
+}
+
+ag::Var GruForecaster::RegularizationLoss() const { return last_reg_; }
+
+std::string GruForecaster::name() const {
+  return "GRU" + Suffix(config_.latent_mode);
+}
+
+// --- AttForecaster ----------------------------------------------------------
+
+AttForecaster::AttForecaster(EnhancedConfig config, Rng* rng)
+    : config_(config), noise_rng_(config.noise_seed + 1) {
+  STWA_CHECK(config_.num_sensors > 0, "AttForecaster needs num_sensors");
+  STWA_CHECK(config_.num_layers >= 1, "need at least one attention layer");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  config_.decoder.latent_dim = config_.latent_dim;
+  const bool st_aware = config_.latent_mode != LatentMode::kNone;
+  if (st_aware) {
+    latent_ = MakeLatent(config_, r);
+    RegisterModule("latent", latent_.get());
+  }
+  int64_t d_in = config_.features;
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    Layer layer;
+    if (st_aware) {
+      layer.q_dec = std::make_unique<ParamDecoder>(config_.decoder, d_in,
+                                                   config_.d_model, &r);
+      layer.k_dec = std::make_unique<ParamDecoder>(config_.decoder, d_in,
+                                                   config_.d_model, &r);
+      layer.v_dec = std::make_unique<ParamDecoder>(config_.decoder, d_in,
+                                                   config_.d_model, &r);
+      RegisterModule("q_dec" + std::to_string(l), layer.q_dec.get());
+      RegisterModule("k_dec" + std::to_string(l), layer.k_dec.get());
+      RegisterModule("v_dec" + std::to_string(l), layer.v_dec.get());
+    } else {
+      layer.q_static = std::make_unique<nn::Linear>(d_in, config_.d_model,
+                                                    /*bias=*/false, &r);
+      layer.k_static = std::make_unique<nn::Linear>(d_in, config_.d_model,
+                                                    /*bias=*/false, &r);
+      layer.v_static = std::make_unique<nn::Linear>(d_in, config_.d_model,
+                                                    /*bias=*/false, &r);
+      RegisterModule("q" + std::to_string(l), layer.q_static.get());
+      RegisterModule("k" + std::to_string(l), layer.k_static.get());
+      RegisterModule("v" + std::to_string(l), layer.v_static.get());
+    }
+    layers_.push_back(std::move(layer));
+    d_in = config_.d_model;
+  }
+  flatten_proj_ = std::make_unique<nn::Linear>(
+      config_.history * config_.d_model, config_.predictor_hidden,
+      /*bias=*/true, &r);
+  RegisterModule("flatten", flatten_proj_.get());
+  predictor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{config_.predictor_hidden,
+                           config_.predictor_hidden,
+                           config_.horizon * config_.features},
+      nn::Activation::kRelu, nn::Activation::kNone, &r);
+  RegisterModule("predictor", predictor_.get());
+}
+
+ag::Var AttForecaster::Forward(const Tensor& x, bool training) {
+  STWA_CHECK(x.rank() == 4 && x.dim(1) == config_.num_sensors &&
+                 x.dim(2) == config_.history &&
+                 x.dim(3) == config_.features,
+             "AttForecaster input mismatch: ", ShapeToString(x.shape()));
+  const int64_t batch = x.dim(0);
+  const int64_t sensors = config_.num_sensors;
+  ag::Var input(x);
+  last_reg_ = ag::Var();
+
+  const bool st_aware = config_.latent_mode != LatentMode::kNone;
+  ag::Var theta;
+  if (st_aware) {
+    theta = latent_->Forward(input, training, noise_rng_);
+    last_reg_ = ag::MulScalar(latent_->last_kl(), config_.kl_weight);
+  }
+  const float scale = 1.0f / std::sqrt(static_cast<float>(config_.d_model));
+  ag::Var cur = input;  // [B, N, H, d_in]
+  for (const Layer& layer : layers_) {
+    ag::Var q;
+    ag::Var k;
+    ag::Var v;
+    if (st_aware) {
+      q = ag::MatMul(cur, layer.q_dec->Forward(theta));
+      k = ag::MatMul(cur, layer.k_dec->Forward(theta));
+      v = ag::MatMul(cur, layer.v_dec->Forward(theta));
+    } else {
+      q = layer.q_static->Forward(cur);
+      k = layer.k_static->Forward(cur);
+      v = layer.v_static->Forward(cur);
+    }
+    // Canonical (quadratic) attention over the time axis (Eq. 2-3):
+    // scores [B, N, H, H].
+    ag::Var scores = ag::MulScalar(ag::MatMul(q, ag::TransposeLast2(k)),
+                                   scale);
+    cur = ag::MatMul(ag::SoftmaxLast(scores), v);  // [B, N, H, d]
+  }
+  ag::Var flat = ag::Reshape(
+      cur, {batch, sensors, config_.history * config_.d_model});
+  ag::Var pred = predictor_->Forward(
+      ag::Relu(flatten_proj_->Forward(flat)));
+  return ag::Reshape(pred, {batch, sensors, config_.horizon,
+                            config_.features});
+}
+
+ag::Var AttForecaster::RegularizationLoss() const { return last_reg_; }
+
+std::string AttForecaster::name() const {
+  return "ATT" + Suffix(config_.latent_mode);
+}
+
+}  // namespace core
+}  // namespace stwa

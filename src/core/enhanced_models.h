@@ -1,0 +1,108 @@
+// Model-agnostic ST-aware enhancement (paper Table VII).
+//
+// The parameter-generation framework is model agnostic: the same latent +
+// decoder machinery that powers ST-WA here generates weights for a GRU
+// forecaster and for a canonical-attention (Transformer-style) forecaster.
+// The plain (latent_mode = kNone) AttForecaster is also the "SA" row of the
+// Table VIII ablation and the quadratic-attention baseline of the
+// complexity study (Fig. 6 / Fig. 10).
+
+#ifndef STWA_CORE_ENHANCED_MODELS_H_
+#define STWA_CORE_ENHANCED_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/latent.h"
+#include "core/param_decoder.h"
+#include "nn/mlp.h"
+#include "nn/rnn.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace core {
+
+/// Shared configuration for the enhanced forecasters.
+struct EnhancedConfig {
+  int64_t num_sensors = 0;
+  int64_t history = 12;
+  int64_t horizon = 12;
+  int64_t features = 1;
+  /// Hidden width (GRU state size / attention d).
+  int64_t d_model = 32;
+  int64_t latent_dim = 16;
+  int64_t encoder_hidden = 32;
+  DecoderConfig decoder;
+  /// kNone = base model, kSpatial = "+S", kSpatioTemporal = "+ST".
+  LatentMode latent_mode = LatentMode::kNone;
+  bool stochastic = true;
+  float kl_weight = 1e-3f;
+  int64_t predictor_hidden = 256;
+  /// Attention layers (AttForecaster only).
+  int64_t num_layers = 2;
+  uint64_t noise_seed = 43;
+};
+
+/// GRU forecaster over each sensor's series; optionally with generated
+/// per-sensor (and time-varying) GRU weight matrices.
+class GruForecaster : public train::ForecastModel {
+ public:
+  explicit GruForecaster(EnhancedConfig config, Rng* rng = nullptr);
+
+  ag::Var Forward(const Tensor& x, bool training) override;
+  ag::Var RegularizationLoss() const override;
+  std::string name() const override;
+
+  const EnhancedConfig& config() const { return config_; }
+
+ private:
+  EnhancedConfig config_;
+  std::unique_ptr<StLatent> latent_;
+  // Static cell (base model) or generated weights (+S/+ST).
+  std::unique_ptr<nn::GruCell> cell_;
+  std::unique_ptr<ParamDecoder> w_ih_decoder_;
+  std::unique_ptr<ParamDecoder> w_hh_decoder_;
+  ag::Var b_ih_;
+  ag::Var b_hh_;
+  std::unique_ptr<nn::Mlp> predictor_;
+  ag::Var last_reg_;
+  Rng noise_rng_;
+};
+
+/// Canonical (quadratic) self-attention forecaster; the spatio-temporal
+/// agnostic "ATT"/"SA" baseline, or its "+S"/"+ST" enhanced variants with
+/// generated projection matrices (Eq. 9).
+class AttForecaster : public train::ForecastModel {
+ public:
+  explicit AttForecaster(EnhancedConfig config, Rng* rng = nullptr);
+
+  ag::Var Forward(const Tensor& x, bool training) override;
+  ag::Var RegularizationLoss() const override;
+  std::string name() const override;
+
+  const EnhancedConfig& config() const { return config_; }
+
+ private:
+  EnhancedConfig config_;
+  std::unique_ptr<StLatent> latent_;
+  // Per layer: static projections or generated ones.
+  struct Layer {
+    std::unique_ptr<nn::Linear> q_static;
+    std::unique_ptr<nn::Linear> k_static;
+    std::unique_ptr<nn::Linear> v_static;
+    std::unique_ptr<ParamDecoder> q_dec;
+    std::unique_ptr<ParamDecoder> k_dec;
+    std::unique_ptr<ParamDecoder> v_dec;
+  };
+  std::vector<Layer> layers_;
+  std::unique_ptr<nn::Mlp> predictor_;
+  std::unique_ptr<nn::Linear> flatten_proj_;
+  ag::Var last_reg_;
+  Rng noise_rng_;
+};
+
+}  // namespace core
+}  // namespace stwa
+
+#endif  // STWA_CORE_ENHANCED_MODELS_H_

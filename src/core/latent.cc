@@ -1,0 +1,101 @@
+#include "core/latent.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace core {
+
+StLatent::StLatent(LatentConfig config, Rng* rng) : config_(config) {
+  STWA_CHECK(config_.num_sensors > 0, "latent needs num_sensors > 0");
+  STWA_CHECK(config_.latent_dim > 0, "latent_dim must be positive");
+  STWA_CHECK(config_.mode != LatentMode::kNone,
+             "StLatent with mode kNone is meaningless; skip the module");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  // mu ~ small random, log-variance starts small (sigma ≈ 0.1) so early
+  // samples stay informative rather than pure noise.
+  mu_ = RegisterParameter(
+      "mu", ops::MulScalar(
+                Tensor::Randn({config_.num_sensors, config_.latent_dim}, r),
+                0.3f));
+  if (config_.stochastic) {
+    logvar_ = RegisterParameter(
+        "logvar",
+        Tensor::Full({config_.num_sensors, config_.latent_dim}, -4.5f));
+  }
+  if (config_.mode == LatentMode::kSpatioTemporal) {
+    // Table XI's deterministic variant replaces the stochastic latents
+    // with plain vectors: the encoder then emits only the mean.
+    const int64_t out = config_.stochastic ? 2 * config_.latent_dim
+                                           : config_.latent_dim;
+    encoder_ = std::make_unique<nn::Mlp>(
+        std::vector<int64_t>{config_.history * config_.features,
+                             config_.encoder_hidden, config_.encoder_hidden,
+                             out},
+        nn::Activation::kRelu, nn::Activation::kNone, &r);
+    RegisterModule("encoder", encoder_.get());
+  }
+}
+
+ag::Var StLatent::Forward(const ag::Var& x_recent, bool training,
+                          Rng& noise_rng) {
+  STWA_CHECK(x_recent.value().rank() == 4,
+             "latent input must be [B, N, H, F], got ",
+             ShapeToString(x_recent.value().shape()));
+  const int64_t batch = x_recent.value().dim(0);
+  const int64_t sensors = x_recent.value().dim(1);
+  STWA_CHECK(sensors == config_.num_sensors, "expected ",
+             config_.num_sensors, " sensors, got ", sensors);
+  STWA_CHECK(x_recent.value().dim(2) == config_.history &&
+                 x_recent.value().dim(3) == config_.features,
+             "latent input window mismatch");
+  const int64_t k = config_.latent_dim;
+
+  // Combined mean / variance of Theta (sum of independent Gaussians).
+  ag::Var mean = mu_;  // [N, k], broadcasts over batch
+  ag::Var var;
+  if (config_.stochastic) var = ag::Exp(logvar_);  // [N, k]
+  if (config_.mode == LatentMode::kSpatioTemporal) {
+    ag::Var flat =
+        ag::Reshape(x_recent, {batch, sensors,
+                               config_.history * config_.features});
+    ag::Var enc = encoder_->Forward(flat);      // [B, N, 2k] or [B, N, k]
+    ag::Var mu_t = ag::Slice(enc, -1, 0, k);    // [B, N, k]
+    mean = ag::Add(mean, mu_t);                 // broadcast [N,k] + [B,N,k]
+    if (config_.stochastic) {
+      ag::Var logvar_t = ag::Slice(enc, -1, k, k);  // [B, N, k]
+      // Shift encoder log-variances down so the temporal component starts
+      // near-deterministic.
+      logvar_t = ag::AddScalar(logvar_t, -4.5f);
+      var = ag::Add(var, ag::Exp(logvar_t));
+    }
+  }
+
+  // KL( N(mean, var) || N(0, I) ) = 0.5 * (mean^2 + var - log var - 1),
+  // averaged over elements so the alpha weight is scale independent.
+  if (config_.stochastic) {
+    ag::Var kl = ag::MulScalar(
+        ag::Sub(ag::Add(ag::Square(mean), var),
+                ag::AddScalar(ag::Log(var), 1.0f)),
+        0.5f);
+    last_kl_ = ag::MeanAll(kl);
+  } else {
+    last_kl_ = ag::Scalar(0.0f);
+  }
+
+  if (!config_.stochastic || !training) {
+    // Deterministic variant (Table XI) and eval mode use the mean.
+    if (mean.value().rank() == 2) {
+      // Broadcast [N, k] to [B, N, k].
+      return ag::Add(mean, ag::Var(Tensor(Shape{batch, 1, 1})));
+    }
+    return mean;
+  }
+
+  // Reparameterisation: Theta = mean + sqrt(var) * eps, eps ~ N(0, I).
+  Tensor eps = Tensor::Randn({batch, sensors, k}, noise_rng);
+  return ag::Add(mean, ag::Mul(ag::Sqrt(var), ag::Var(eps)));
+}
+
+}  // namespace core
+}  // namespace stwa

@@ -1,0 +1,85 @@
+// Spatio-temporal aware stochastic latent variables (paper §IV-A2).
+//
+// Theta_t^(i) = z^(i) + z_t^(i)                              (Eq. 4)
+//   z^(i)   ~ N(mu^(i), Sigma^(i)),   mu/Sigma directly learnable (Eq. 5)
+//   z_t^(i) ~ N(mu_t^(i), Sigma_t^(i)) = E_psi(recent H steps) (Eq. 6-7)
+//
+// Covariances are diagonal (as in the paper's implementation). The sum of
+// the two independent Gaussians is again Gaussian, which gives an analytic
+// KL divergence to the prior N(0, I) for the loss regulariser (Eq. 20).
+// Sampling uses the reparameterisation trick so gradients flow to mu and
+// log-variance. A deterministic variant (Table XI) uses the means directly
+// and reports zero KL.
+
+#ifndef STWA_CORE_LATENT_H_
+#define STWA_CORE_LATENT_H_
+
+#include "autograd/ops.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+
+namespace stwa {
+namespace core {
+
+/// Which latent variables participate in Theta.
+enum class LatentMode {
+  /// No parameter generation (spatio-temporal agnostic model).
+  kNone,
+  /// Only the spatial-aware z^(i) (the paper's S-WA / "+S" variants).
+  kSpatial,
+  /// z^(i) + z_t^(i) (the full ST-aware model, "+ST").
+  kSpatioTemporal,
+};
+
+/// Configuration of the latent module.
+struct LatentConfig {
+  int64_t num_sensors = 0;
+  /// Length H of the recent window fed to the temporal encoder.
+  int64_t history = 12;
+  /// Input features F per timestamp.
+  int64_t features = 1;
+  /// Latent dimensionality k (paper default 16; Table XII sweeps it).
+  int64_t latent_dim = 16;
+  /// Hidden width of the 3-layer encoder E_psi (paper: 32).
+  int64_t encoder_hidden = 32;
+  LatentMode mode = LatentMode::kSpatioTemporal;
+  /// Stochastic (reparameterised sampling + KL) vs deterministic means.
+  bool stochastic = true;
+};
+
+/// Learns the stochastic latents and produces Theta samples plus the KL
+/// regulariser of the most recent Forward call.
+class StLatent : public nn::Module {
+ public:
+  StLatent(LatentConfig config, Rng* rng = nullptr);
+
+  /// Produces Theta [B, N, k] from the recent window x [B, N, H, F].
+  /// In training mode with stochastic=true, samples via reparameterisation
+  /// with noise drawn from `noise_rng`; otherwise returns the mean.
+  /// Also records the analytic KL(Theta || N(0, I)) (mean over elements),
+  /// retrievable through last_kl() until the next Forward.
+  ag::Var Forward(const ag::Var& x_recent, bool training, Rng& noise_rng);
+
+  /// KL term of the last Forward ([] scalar; zero when deterministic or
+  /// mode == kNone).
+  const ag::Var& last_kl() const { return last_kl_; }
+
+  const LatentConfig& config() const { return config_; }
+
+  /// Learnable per-sensor means mu^(i) [N, k] (for the Fig. 9 analysis).
+  const ag::Var& spatial_mean() const { return mu_; }
+
+ private:
+  LatentConfig config_;
+  // Spatial latent parameters (Eq. 5).
+  ag::Var mu_;       // [N, k]
+  ag::Var logvar_;   // [N, k]
+  // Temporal encoder E_psi (Eq. 6): 3-layer MLP -> 2k (mean, logvar).
+  std::unique_ptr<nn::Mlp> encoder_;
+  ag::Var last_kl_;
+};
+
+}  // namespace core
+}  // namespace stwa
+
+#endif  // STWA_CORE_LATENT_H_

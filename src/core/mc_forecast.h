@@ -1,0 +1,35 @@
+// Monte-Carlo predictive uncertainty from the stochastic latents.
+//
+// ST-WA's Theta is a distribution; sampling it at inference time yields an
+// ensemble of forecasts whose spread quantifies model uncertainty — a
+// natural extension of the paper's stochastic design (its deterministic
+// eval uses the latent mean only). Useful for the route-planning /
+// early-warning applications the paper's introduction motivates.
+
+#ifndef STWA_CORE_MC_FORECAST_H_
+#define STWA_CORE_MC_FORECAST_H_
+
+#include "core/stwa_model.h"
+
+namespace stwa {
+namespace core {
+
+/// Mean and elementwise standard deviation of an MC forecast ensemble.
+struct McForecast {
+  /// Ensemble mean [B, N, U, F].
+  Tensor mean;
+  /// Elementwise std-dev across samples [B, N, U, F].
+  Tensor stddev;
+  int64_t num_samples = 0;
+};
+
+/// Runs `num_samples` stochastic forward passes (training-mode sampling of
+/// the latents, no dropout) and aggregates mean and spread. Requires a
+/// stochastic ST-aware configuration; throws otherwise.
+McForecast MonteCarloForecast(StwaModel& model, const Tensor& x,
+                              int64_t num_samples);
+
+}  // namespace core
+}  // namespace stwa
+
+#endif  // STWA_CORE_MC_FORECAST_H_

@@ -1,0 +1,46 @@
+#include "core/param_decoder.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace core {
+
+ParamDecoder::ParamDecoder(DecoderConfig config, int64_t rows, int64_t cols,
+                           Rng* rng)
+    : config_(config), rows_(rows), cols_(cols) {
+  STWA_CHECK(rows > 0 && cols > 0, "decoder output shape must be positive");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  trunk_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{config_.latent_dim, config_.hidden1,
+                           config_.hidden2},
+      nn::Activation::kRelu, nn::Activation::kRelu, &r);
+  RegisterModule("trunk", trunk_.get());
+  // The shared base acts like an ordinary (spatio-temporal agnostic)
+  // projection matrix; the pool contribution modulates it per sensor and
+  // per window, so training starts from a sane agnostic model.
+  base_ = RegisterParameter(
+      "base", nn::XavierUniform({rows * cols}, rows, cols, r));
+  pool_ = RegisterParameter(
+      "pool",
+      ops::MulScalar(nn::XavierUniform({config_.hidden2, rows * cols},
+                                       config_.hidden2, rows * cols, r),
+                     0.5f));
+}
+
+ag::Var ParamDecoder::Forward(const ag::Var& theta) const {
+  STWA_CHECK(theta.value().rank() == 3 &&
+                 theta.value().dim(-1) == config_.latent_dim,
+             "decoder expects [B, N, k], got ",
+             ShapeToString(theta.value().shape()));
+  const int64_t batch = theta.value().dim(0);
+  const int64_t sensors = theta.value().dim(1);
+  ag::Var code = trunk_->Forward(theta);        // [B, N, m2]
+  ag::Var flat = ag::MatMul(code, pool_);       // [B, N, rows*cols]
+  flat = ag::Add(flat, base_);                  // broadcast shared base
+  return ag::Reshape(flat, {batch, sensors, rows_, cols_});
+}
+
+}  // namespace core
+}  // namespace stwa

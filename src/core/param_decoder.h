@@ -1,0 +1,54 @@
+// Decoder D_omega: stochastic latent -> model parameters (paper §IV-A3).
+//
+// The decoder is shared across sensors; its factorised output layer (a
+// weight pool contracted against the decoder code) keeps the parameter
+// count at O(k*m1 + m1*m2 + m2*rows*cols), decoupling the number of
+// sensors N from the dominant rows*cols term — exactly the complexity
+// argument of the paper. The pool bias acts as a shared "base" projection
+// matrix which the per-sensor code modulates.
+
+#ifndef STWA_CORE_PARAM_DECODER_H_
+#define STWA_CORE_PARAM_DECODER_H_
+
+#include <memory>
+
+#include "nn/mlp.h"
+#include "nn/module.h"
+
+namespace stwa {
+namespace core {
+
+/// Decoder widths (paper: a 3-layer fully connected network).
+struct DecoderConfig {
+  int64_t latent_dim = 16;  // k
+  int64_t hidden1 = 16;     // m1
+  int64_t hidden2 = 32;     // m2
+};
+
+/// Decodes Theta [B, N, k] into per-sensor parameter matrices
+/// [B, N, rows, cols], e.g. attention projections K_t^(i), V_t^(i)
+/// (rows = d_in, cols = d) or GRU weight blocks.
+class ParamDecoder : public nn::Module {
+ public:
+  ParamDecoder(DecoderConfig config, int64_t rows, int64_t cols,
+               Rng* rng = nullptr);
+
+  /// theta [B, N, k] -> parameters [B, N, rows, cols].
+  ag::Var Forward(const ag::Var& theta) const;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+ private:
+  DecoderConfig config_;
+  int64_t rows_;
+  int64_t cols_;
+  std::unique_ptr<nn::Mlp> trunk_;  // k -> m1 -> m2 (ReLU)
+  ag::Var pool_;                    // [m2, rows*cols]
+  ag::Var base_;                    // [rows*cols] shared base parameters
+};
+
+}  // namespace core
+}  // namespace stwa
+
+#endif  // STWA_CORE_PARAM_DECODER_H_

@@ -1,0 +1,35 @@
+#include "core/proxy_aggregator.h"
+
+#include "common/check.h"
+
+namespace stwa {
+namespace core {
+
+ProxyAggregator::ProxyAggregator(AggregatorKind kind, int64_t d_model,
+                                 Rng* rng)
+    : kind_(kind), d_model_(d_model) {
+  if (kind_ == AggregatorKind::kWeighted) {
+    w1_ = std::make_unique<nn::Linear>(d_model, d_model, /*bias=*/true, rng);
+    w2_ = std::make_unique<nn::Linear>(d_model, d_model, /*bias=*/true, rng);
+    RegisterModule("w1", w1_.get());
+    RegisterModule("w2", w2_.get());
+  }
+}
+
+ag::Var ProxyAggregator::Forward(const ag::Var& proxy_outputs) const {
+  STWA_CHECK(proxy_outputs.value().rank() == 4 &&
+                 proxy_outputs.value().dim(-1) == d_model_,
+             "aggregator expects [B, N, p, d], got ",
+             ShapeToString(proxy_outputs.value().shape()));
+  if (kind_ == AggregatorKind::kMean) {
+    return ag::Mean(proxy_outputs, 2);
+  }
+  // A = sigmoid(W2 tanh(W1 h)) in [0, 1]^{p x d} gates the information flow
+  // per proxy and channel; the gated proxies are summed over p.
+  ag::Var gate =
+      ag::Sigmoid(w2_->Forward(ag::Tanh(w1_->Forward(proxy_outputs))));
+  return ag::Sum(ag::Mul(gate, proxy_outputs), 2);
+}
+
+}  // namespace core
+}  // namespace stwa

@@ -1,0 +1,43 @@
+// Proxy aggregation (paper Eq. 12-13, Fig. 7): weighs the p proxy outputs
+// of a window with a 2-layer gate network and sums them into one window
+// representation. The mean aggregator of Table XIV is the ablation.
+
+#ifndef STWA_CORE_PROXY_AGGREGATOR_H_
+#define STWA_CORE_PROXY_AGGREGATOR_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace stwa {
+namespace core {
+
+/// Aggregation strategy for the p proxies of a window.
+enum class AggregatorKind {
+  /// A = sigmoid(W2 tanh(W1 h)); h_hat = sum_j A_j ⊙ h_j (Eq. 12-13).
+  kWeighted,
+  /// h_hat = mean_j h_j (Table XIV ablation).
+  kMean,
+};
+
+/// Aggregates proxy outputs [B, N, p, d] into [B, N, d].
+class ProxyAggregator : public nn::Module {
+ public:
+  ProxyAggregator(AggregatorKind kind, int64_t d_model, Rng* rng = nullptr);
+
+  ag::Var Forward(const ag::Var& proxy_outputs) const;
+
+  AggregatorKind kind() const { return kind_; }
+
+ private:
+  AggregatorKind kind_;
+  int64_t d_model_;
+  std::unique_ptr<nn::Linear> w1_;
+  std::unique_ptr<nn::Linear> w2_;
+};
+
+}  // namespace core
+}  // namespace stwa
+
+#endif  // STWA_CORE_PROXY_AGGREGATOR_H_

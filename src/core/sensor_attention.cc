@@ -1,0 +1,58 @@
+#include "core/sensor_attention.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace core {
+
+SensorCorrelationAttention::SensorCorrelationAttention(int64_t d_model,
+                                                       bool st_aware,
+                                                       Rng* rng)
+    : d_model_(d_model), st_aware_(st_aware) {
+  if (!st_aware_) {
+    theta1_static_ =
+        std::make_unique<nn::Linear>(d_model, d_model, /*bias=*/false, rng);
+    theta2_static_ =
+        std::make_unique<nn::Linear>(d_model, d_model, /*bias=*/false, rng);
+    RegisterModule("theta1", theta1_static_.get());
+    RegisterModule("theta2", theta2_static_.get());
+  }
+}
+
+ag::Var SensorCorrelationAttention::Forward(const ag::Var& h,
+                                            const ag::Var& theta1,
+                                            const ag::Var& theta2) const {
+  STWA_CHECK(h.value().rank() == 3 && h.value().dim(-1) == d_model_,
+             "sensor attention expects [B, N, d], got ",
+             ShapeToString(h.value().shape()));
+  const int64_t batch = h.value().dim(0);
+  const int64_t sensors = h.value().dim(1);
+  ag::Var e1;
+  ag::Var e2;
+  if (st_aware_) {
+    STWA_CHECK(theta1.defined() && theta2.defined(),
+               "st_aware sensor attention needs generated theta matrices");
+    // Per-sensor embedding: h [B,N,1,d] @ theta [B,N,d,d] -> [B,N,1,d].
+    ag::Var h4 = ag::Reshape(h, {batch, sensors, 1, d_model_});
+    e1 = ag::Reshape(ag::MatMul(h4, theta1), {batch, sensors, d_model_});
+    e2 = ag::Reshape(ag::MatMul(h4, theta2), {batch, sensors, d_model_});
+  } else {
+    STWA_CHECK(!theta1.defined() && !theta2.defined(),
+               "static sensor attention must not receive generated thetas");
+    e1 = theta1_static_->Forward(h);
+    e2 = theta2_static_->Forward(h);
+  }
+  // Eq. 15: B(i, j) = softmax_j( e1(i) . e2(j) ).
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_model_));
+  ag::Var scores =
+      ag::MulScalar(ag::MatMul(e1, ag::TransposeLast2(e2)), scale);
+  ag::Var weights = ag::SoftmaxLast(scores);  // [B, N, N]
+  // Eq. 16: h_bar(i) = sum_j B(i, j) * h(j).
+  return ag::MatMul(weights, h);
+}
+
+}  // namespace core
+}  // namespace stwa

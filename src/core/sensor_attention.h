@@ -1,0 +1,44 @@
+// Sensor correlation attention (paper §IV-C, Eq. 15-16).
+//
+// After window aggregation each sensor holds one d-vector per window; this
+// module lets sensors attend to each other through a normalised embedded
+// Gaussian similarity, optionally with per-sensor generated embedding
+// matrices (the ST-aware variant of theta_1 / theta_2).
+
+#ifndef STWA_CORE_SENSOR_ATTENTION_H_
+#define STWA_CORE_SENSOR_ATTENTION_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace stwa {
+namespace core {
+
+/// Cross-sensor attention over [B, N, d] window summaries.
+class SensorCorrelationAttention : public nn::Module {
+ public:
+  /// When st_aware, Forward expects generated theta matrices; otherwise
+  /// static shared Linear embeddings are owned by the module.
+  SensorCorrelationAttention(int64_t d_model, bool st_aware,
+                             Rng* rng = nullptr);
+
+  /// h [B, N, d] -> [B, N, d]. For the st_aware variant, `theta1` and
+  /// `theta2` are generated per-sensor embedding matrices [B, N, d, d].
+  ag::Var Forward(const ag::Var& h, const ag::Var& theta1 = {},
+                  const ag::Var& theta2 = {}) const;
+
+  bool st_aware() const { return st_aware_; }
+
+ private:
+  int64_t d_model_;
+  bool st_aware_;
+  std::unique_ptr<nn::Linear> theta1_static_;
+  std::unique_ptr<nn::Linear> theta2_static_;
+};
+
+}  // namespace core
+}  // namespace stwa
+
+#endif  // STWA_CORE_SENSOR_ATTENTION_H_

@@ -1,0 +1,260 @@
+#include "core/stwa_model.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace core {
+
+StwaModel::StwaModel(StwaConfig config, Rng* rng)
+    : config_(config), noise_rng_(config.noise_seed) {
+  STWA_CHECK(config_.num_sensors > 0, "StwaModel needs num_sensors");
+  STWA_CHECK(!config_.window_sizes.empty(), "need at least one layer");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  config_.decoder.latent_dim = config_.latent_dim;
+
+  const bool st_aware = config_.latent_mode != LatentMode::kNone;
+  if (st_aware) {
+    LatentConfig lc;
+    lc.num_sensors = config_.num_sensors;
+    lc.history = config_.history;
+    lc.features = config_.features;
+    lc.latent_dim = config_.latent_dim;
+    lc.encoder_hidden = config_.encoder_hidden;
+    lc.mode = config_.latent_mode;
+    lc.stochastic = config_.stochastic;
+    latent_ = std::make_unique<StLatent>(lc, &r);
+    RegisterModule("latent", latent_.get());
+  }
+
+  if (config_.input_embedding) {
+    input_embed_ = std::make_unique<nn::Linear>(config_.features,
+                                                config_.d_model,
+                                                /*bias=*/true, &r);
+    RegisterModule("input_embed", input_embed_.get());
+  }
+
+  // Stack of window attention layers. Layer l consumes a sequence of
+  // length len_l with width d_in_l and emits [*, W_l, d].
+  int64_t len = config_.history;
+  int64_t d_in = config_.input_embedding ? config_.d_model
+                                         : config_.features;
+  int64_t skip_width = config_.predictor_hidden;
+  for (size_t l = 0; l < config_.window_sizes.size(); ++l) {
+    const int64_t s = config_.window_sizes[l];
+    STWA_CHECK(s > 0 && len % s == 0, "layer ", l, ": window ", s,
+               " does not divide input length ", len);
+    WindowAttentionConfig wc;
+    wc.num_sensors = config_.num_sensors;
+    wc.input_len = len;
+    wc.window = s;
+    wc.proxies = config_.proxies;
+    wc.heads = config_.heads;
+    wc.chain_windows = config_.chain_windows;
+    wc.d_in = d_in;
+    wc.d_model = config_.d_model;
+    wc.st_aware = st_aware;
+    wc.aggregator = config_.aggregator;
+    layers_.push_back(std::make_unique<WindowAttentionLayer>(wc, &r));
+    RegisterModule("wa" + std::to_string(l), layers_.back().get());
+
+    if (st_aware) {
+      k_decoders_.push_back(std::make_unique<ParamDecoder>(
+          config_.decoder, d_in, config_.d_model, &r));
+      v_decoders_.push_back(std::make_unique<ParamDecoder>(
+          config_.decoder, d_in, config_.d_model, &r));
+      RegisterModule("k_dec" + std::to_string(l), k_decoders_.back().get());
+      RegisterModule("v_dec" + std::to_string(l), v_decoders_.back().get());
+    }
+    if (config_.sensor_attention) {
+      sensor_attn_.push_back(std::make_unique<SensorCorrelationAttention>(
+          config_.d_model, config_.st_aware_sensor_attention, &r));
+      RegisterModule("sensor" + std::to_string(l),
+                     sensor_attn_.back().get());
+      if (config_.st_aware_sensor_attention) {
+        STWA_CHECK(st_aware,
+                   "st_aware_sensor_attention requires a latent mode");
+        theta1_decoders_.push_back(std::make_unique<ParamDecoder>(
+            config_.decoder, config_.d_model, config_.d_model, &r));
+        theta2_decoders_.push_back(std::make_unique<ParamDecoder>(
+            config_.decoder, config_.d_model, config_.d_model, &r));
+        RegisterModule("t1_dec" + std::to_string(l),
+                       theta1_decoders_.back().get());
+        RegisterModule("t2_dec" + std::to_string(l),
+                       theta2_decoders_.back().get());
+      }
+    }
+    len = len / s;  // window count becomes the next layer's length
+    d_in = config_.d_model;
+
+    // Per-layer skip connection: flatten [W_l, d] and project to the
+    // shared predictor width (Eq. 18).
+    skips_.push_back(std::make_unique<nn::Linear>(
+        len * config_.d_model, skip_width, /*bias=*/true, &r));
+    RegisterModule("skip" + std::to_string(l), skips_.back().get());
+  }
+
+  // Predictor (Eq. 19): 2 fully connected layers.
+  predictor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{skip_width, config_.predictor_hidden,
+                           config_.horizon * config_.features},
+      nn::Activation::kRelu, nn::Activation::kNone, &r);
+  RegisterModule("predictor", predictor_.get());
+}
+
+ag::Var StwaModel::Forward(const Tensor& x, bool training) {
+  STWA_CHECK(x.rank() == 4 && x.dim(1) == config_.num_sensors &&
+                 x.dim(2) == config_.history &&
+                 x.dim(3) == config_.features,
+             "StwaModel expects [B, ", config_.num_sensors, ", ",
+             config_.history, ", ", config_.features, "], got ",
+             ShapeToString(x.shape()));
+  const int64_t batch = x.dim(0);
+  ag::Var input(x);
+
+  ag::Var theta;
+  const bool st_aware = config_.latent_mode != LatentMode::kNone;
+  if (st_aware) {
+    theta = latent_->Forward(input, training, noise_rng_);  // [B, N, k]
+    last_reg_ = ag::MulScalar(latent_->last_kl(), config_.kl_weight);
+  } else {
+    last_reg_ = ag::Var();
+  }
+
+  ag::Var cur = input_embed_ != nullptr ? input_embed_->Forward(input)
+                                        : input;
+  ag::Var skip_sum;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    ag::Var out;
+    if (st_aware) {
+      ag::Var k_proj = k_decoders_[l]->Forward(theta);
+      ag::Var v_proj = v_decoders_[l]->Forward(theta);
+      out = layers_[l]->Forward(cur, k_proj, v_proj);
+    } else {
+      out = layers_[l]->Forward(cur);
+    }
+    // out: [B, N, W_l, d]
+    if (config_.sensor_attention) {
+      const int64_t windows = out.value().dim(2);
+      // Fold the window axis into the batch so the sensor attention mixes
+      // sensors within the same window: [B, N, W, d] -> [B*W, N, d].
+      ag::Var folded = ag::Reshape(
+          ag::Permute(out, {0, 2, 1, 3}),
+          {batch * windows, config_.num_sensors, config_.d_model});
+      if (config_.st_aware_sensor_attention) {
+        // The generated thetas are per (batch, sensor); repeat them across
+        // the folded window axis via IndexSelect on axis 0 after reshaping
+        // would be costly — instead fold windows into the matrix batch by
+        // tiling theta matrices. For W windows we reuse the same matrices,
+        // so expand with a broadcast-friendly reshape.
+        ag::Var t1 = theta1_decoders_[l]->Forward(theta);  // [B,N,d,d]
+        ag::Var t2 = theta2_decoders_[l]->Forward(theta);
+        // [B, N, d, d] -> [B, 1, N, d, d] -> tile W -> [B*W, N, d, d]
+        Shape t_shape = t1.value().shape();
+        ag::Var t1e = ag::Reshape(
+            t1, {batch, 1, config_.num_sensors, t_shape[2], t_shape[3]});
+        ag::Var t2e = ag::Reshape(
+            t2, {batch, 1, config_.num_sensors, t_shape[2], t_shape[3]});
+        ag::Var tile{Tensor(Shape{1, windows, 1, 1, 1})};
+        t1e = ag::Reshape(ag::Add(t1e, tile),
+                          {batch * windows, config_.num_sensors, t_shape[2],
+                           t_shape[3]});
+        t2e = ag::Reshape(ag::Add(t2e, tile),
+                          {batch * windows, config_.num_sensors, t_shape[2],
+                           t_shape[3]});
+        folded = sensor_attn_[l]->Forward(folded, t1e, t2e);
+      } else {
+        folded = sensor_attn_[l]->Forward(folded);
+      }
+      out = ag::Permute(
+          ag::Reshape(folded,
+                      {batch, windows, config_.num_sensors, config_.d_model}),
+          {0, 2, 1, 3});
+    }
+    // Skip connection (Eq. 18).
+    const int64_t windows = out.value().dim(2);
+    ag::Var flat = ag::Reshape(
+        out, {batch, config_.num_sensors, windows * config_.d_model});
+    ag::Var skip = skips_[l]->Forward(flat);
+    skip_sum = skip_sum.defined() ? ag::Add(skip_sum, skip) : skip;
+    cur = out;
+  }
+
+  // Predictor (Eq. 19).
+  ag::Var pred = predictor_->Forward(skip_sum);  // [B, N, U*F]
+  return ag::Reshape(pred, {batch, config_.num_sensors, config_.horizon,
+                            config_.features});
+}
+
+ag::Var StwaModel::RegularizationLoss() const { return last_reg_; }
+
+std::string StwaModel::name() const {
+  const bool st = config_.latent_mode == LatentMode::kSpatioTemporal;
+  const bool s = config_.latent_mode == LatentMode::kSpatial;
+  std::string base = config_.window_sizes.size() == 1 ? "WA-1" : "WA";
+  if (s) return "S-" + base;
+  if (st) {
+    if (!config_.stochastic) return "Det-ST-" + base;
+    if (config_.aggregator == AggregatorKind::kMean) {
+      return "ST-" + base + "(mean)";
+    }
+    return "ST-" + base;
+  }
+  return base;
+}
+
+Tensor StwaModel::GeneratedProjections(const Tensor& x, int64_t layer) {
+  STWA_CHECK(config_.latent_mode != LatentMode::kNone,
+             "no generated projections in the agnostic variant");
+  STWA_CHECK(layer >= 0 && layer < static_cast<int64_t>(k_decoders_.size()),
+             "layer out of range");
+  ag::Var input(x);
+  ag::Var theta = latent_->Forward(input, /*training=*/false, noise_rng_);
+  ag::Var k_proj = k_decoders_[layer]->Forward(theta);  // [B, N, d_in, d]
+  Tensor value = k_proj.value();
+  const int64_t sensors = value.dim(1);
+  const int64_t flat = value.dim(2) * value.dim(3);
+  // Batch element 0.
+  return ops::Slice(value, 0, 0, 1).Reshape({sensors, flat});
+}
+
+Tensor StwaModel::SpatialLatentMeans() const {
+  STWA_CHECK(latent_ != nullptr, "no latent module in this variant");
+  return latent_->spatial_mean().value().Clone();
+}
+
+StwaConfig MakeVariantConfig(const StwaConfig& base,
+                             const std::string& variant) {
+  StwaConfig c = base;
+  if (variant == "WA-1") {
+    c.latent_mode = LatentMode::kNone;
+    // Single layer whose window divides H (largest of the base sizes that
+    // divides the history; fall back to the first divisor).
+    int64_t w = base.history;
+    for (int64_t cand : base.window_sizes) {
+      if (base.history % cand == 0) {
+        w = cand;
+        break;
+      }
+    }
+    c.window_sizes = {w};
+  } else if (variant == "WA") {
+    c.latent_mode = LatentMode::kNone;
+  } else if (variant == "S-WA") {
+    c.latent_mode = LatentMode::kSpatial;
+  } else if (variant == "ST-WA") {
+    c.latent_mode = LatentMode::kSpatioTemporal;
+  } else if (variant == "Det-ST-WA") {
+    c.latent_mode = LatentMode::kSpatioTemporal;
+    c.stochastic = false;
+  } else if (variant == "ST-WA-mean") {
+    c.latent_mode = LatentMode::kSpatioTemporal;
+    c.aggregator = AggregatorKind::kMean;
+  } else {
+    STWA_FAIL("unknown ST-WA variant '", variant, "'");
+  }
+  return c;
+}
+
+}  // namespace core
+}  // namespace stwa

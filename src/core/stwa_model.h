@@ -1,0 +1,121 @@
+// The full ST-WA forecasting model (paper §IV-D, Fig. 8) and its ablation
+// variants.
+//
+// Stacked window attention layers with spatio-temporal aware generated
+// projections; each layer shrinks the temporal axis by its window size,
+// sensor correlation attention mixes information across sensors, per-layer
+// skip connections feed a 2-layer predictor (Eq. 17-19). The configuration
+// flags reproduce every ablation of §V-B:
+//
+//   variant            | latent_mode       | stochastic | aggregator
+//   -------------------+-------------------+------------+-----------
+//   WA-1 / WA          | kNone             | -          | weighted
+//   S-WA               | kSpatial          | true       | weighted
+//   ST-WA              | kSpatioTemporal   | true       | weighted
+//   Deterministic ST-WA| kSpatioTemporal   | false      | weighted
+//   Mean-agg ST-WA     | kSpatioTemporal   | true       | mean
+//
+// (The SA variant — canonical self-attention — lives in
+// core/enhanced_models.h as AttForecaster.)
+
+#ifndef STWA_CORE_STWA_MODEL_H_
+#define STWA_CORE_STWA_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/latent.h"
+#include "core/param_decoder.h"
+#include "core/sensor_attention.h"
+#include "core/window_attention.h"
+#include "nn/mlp.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace core {
+
+/// Full-model configuration (defaults follow the paper's H=12 setting:
+/// 3 layers with windows 3/2/2, p=1, d=32, k=16).
+struct StwaConfig {
+  int64_t num_sensors = 0;
+  int64_t history = 12;
+  int64_t horizon = 12;
+  int64_t features = 1;
+  /// Window size per layer; layer l+1's input length is layer l's window
+  /// count. Every size must divide the incoming length.
+  std::vector<int64_t> window_sizes = {3, 2, 2};
+  int64_t proxies = 1;
+  /// Attention heads inside each window attention layer (paper: 8).
+  int64_t heads = 2;
+  int64_t d_model = 32;
+  int64_t latent_dim = 16;
+  int64_t encoder_hidden = 32;
+  DecoderConfig decoder;
+  LatentMode latent_mode = LatentMode::kSpatioTemporal;
+  bool stochastic = true;
+  AggregatorKind aggregator = AggregatorKind::kWeighted;
+  /// Enable the cross-sensor attention of §IV-C.
+  bool sensor_attention = true;
+  /// Generate per-sensor theta_1/theta_2 for the sensor attention too.
+  bool st_aware_sensor_attention = false;
+  int64_t predictor_hidden = 256;
+  /// Lift the raw F-dimensional input to d_model with a start projection
+  /// before the first window attention layer (as in the authors' released
+  /// implementation); the latent encoder still sees the raw window.
+  bool input_embedding = true;
+  /// Cross-window proxy chaining (Eq. 14); extra ablation knob.
+  bool chain_windows = true;
+  /// alpha of Eq. 20.
+  float kl_weight = 1e-3f;
+  /// Seed for the reparameterisation noise stream.
+  uint64_t noise_seed = 42;
+};
+
+/// The ST-WA model; ablation variants are produced purely by configuration.
+class StwaModel : public train::ForecastModel {
+ public:
+  explicit StwaModel(StwaConfig config, Rng* rng = nullptr);
+
+  /// x [B, N, H, F] (normalised) -> forecast [B, N, U, F] (normalised).
+  ag::Var Forward(const Tensor& x, bool training) override;
+
+  /// alpha * KL of the last Forward (undefined when latent_mode == kNone).
+  ag::Var RegularizationLoss() const override;
+
+  std::string name() const override;
+
+  const StwaConfig& config() const { return config_; }
+
+  /// Generated K-projection matrices of layer `layer` for the given input,
+  /// flattened per sensor: [N, d_in*d] (batch 0). Used by the Figure 9
+  /// t-SNE analysis of phi_t^(i).
+  Tensor GeneratedProjections(const Tensor& x, int64_t layer);
+
+  /// Learned per-sensor spatial latent means mu^(i) [N, k] (Figure 9b).
+  Tensor SpatialLatentMeans() const;
+
+ private:
+  StwaConfig config_;
+  std::unique_ptr<StLatent> latent_;
+  std::vector<std::unique_ptr<ParamDecoder>> k_decoders_;
+  std::vector<std::unique_ptr<ParamDecoder>> v_decoders_;
+  std::vector<std::unique_ptr<ParamDecoder>> theta1_decoders_;
+  std::vector<std::unique_ptr<ParamDecoder>> theta2_decoders_;
+  std::vector<std::unique_ptr<WindowAttentionLayer>> layers_;
+  std::vector<std::unique_ptr<SensorCorrelationAttention>> sensor_attn_;
+  std::vector<std::unique_ptr<nn::Linear>> skips_;
+  std::unique_ptr<nn::Linear> input_embed_;
+  std::unique_ptr<nn::Mlp> predictor_;
+  ag::Var last_reg_;
+  Rng noise_rng_;
+};
+
+/// Builds the paper's named ablation variants on top of a base config.
+StwaConfig MakeVariantConfig(const StwaConfig& base,
+                             const std::string& variant);
+
+}  // namespace core
+}  // namespace stwa
+
+#endif  // STWA_CORE_STWA_MODEL_H_

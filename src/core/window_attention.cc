@@ -1,0 +1,160 @@
+#include "core/window_attention.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace core {
+
+WindowAttentionLayer::WindowAttentionLayer(WindowAttentionConfig config,
+                                           Rng* rng)
+    : config_(config) {
+  STWA_CHECK(config_.num_sensors > 0, "window attention needs num_sensors");
+  STWA_CHECK(config_.window > 0 &&
+                 config_.input_len % config_.window == 0,
+             "window size ", config_.window, " must divide input length ",
+             config_.input_len);
+  STWA_CHECK(config_.proxies > 0, "need at least one proxy");
+  STWA_CHECK(config_.heads > 0 && config_.d_model % config_.heads == 0,
+             "heads ", config_.heads, " must divide d_model ",
+             config_.d_model);
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  const int64_t windows = num_windows();
+  // Each of the W windows has its own p proxies per sensor (learned query
+  // prototypes capturing the window's representative temporal patterns).
+  proxy_ = RegisterParameter(
+      "proxy",
+      ops::MulScalar(
+          Tensor::Randn(
+              {windows, config_.num_sensors, config_.proxies,
+               config_.d_model},
+              r),
+          0.3f));
+  if (windows > 1 && config_.chain_windows) {
+    // With a single window there is no previous window to chain from
+    // (Eq. 14), so the fusion network would be dead weight.
+    chain_ = std::make_unique<nn::Linear>(2 * config_.d_model,
+                                          config_.d_model,
+                                          /*bias=*/true, &r);
+    RegisterModule("chain", chain_.get());
+  }
+  aggregator_ =
+      std::make_unique<ProxyAggregator>(config_.aggregator, config_.d_model,
+                                        &r);
+  RegisterModule("aggregator", aggregator_.get());
+  if (!config_.st_aware) {
+    k_static_ = std::make_unique<nn::Linear>(config_.d_in, config_.d_model,
+                                             /*bias=*/false, &r);
+    v_static_ = std::make_unique<nn::Linear>(config_.d_in, config_.d_model,
+                                             /*bias=*/false, &r);
+    RegisterModule("k_static", k_static_.get());
+    RegisterModule("v_static", v_static_.get());
+  }
+}
+
+ag::Var WindowAttentionLayer::Forward(const ag::Var& x,
+                                      const ag::Var& k_proj,
+                                      const ag::Var& v_proj) const {
+  STWA_CHECK(x.value().rank() == 4, "window attention expects [B, N, H, F]");
+  const int64_t batch = x.value().dim(0);
+  const int64_t sensors = x.value().dim(1);
+  STWA_CHECK(sensors == config_.num_sensors && x.value().dim(2) ==
+                 config_.input_len && x.value().dim(3) == config_.d_in,
+             "window attention input mismatch: got ",
+             ShapeToString(x.value().shape()));
+  if (config_.st_aware) {
+    STWA_CHECK(k_proj.defined() && v_proj.defined(),
+               "st_aware layer requires generated K/V projections");
+    STWA_CHECK(k_proj.value().rank() == 4 &&
+                   k_proj.value().dim(-2) == config_.d_in &&
+                   k_proj.value().dim(-1) == config_.d_model,
+               "bad K projection shape ",
+               ShapeToString(k_proj.value().shape()));
+  } else {
+    STWA_CHECK(!k_proj.defined() && !v_proj.defined(),
+               "static layer must not receive generated projections");
+  }
+
+  // Keys / values for the whole sequence at once:
+  //   st-aware:  x [B,N,H,F] @ K^(i) [B,N,F,d]  (per-sensor matrices)
+  //   static:    x [B,N,H,F] @ K [F,d]          (shared matrix)
+  ag::Var keys;
+  ag::Var values;
+  if (config_.st_aware) {
+    keys = ag::MatMul(x, k_proj);     // [B, N, H, d]
+    values = ag::MatMul(x, v_proj);   // [B, N, H, d]
+  } else {
+    keys = k_static_->Forward(x);
+    values = v_static_->Forward(x);
+  }
+
+  const int64_t windows = num_windows();
+  const int64_t s = config_.window;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(config_.d_model));
+  // Broadcast helper: zeros [B,1,1,1] lift the [N,p,d] proxy slice to
+  // [B,N,p,d] through the autograd broadcast-add.
+  ag::Var batch_lift{Tensor(Shape{batch, 1, 1, 1})};
+
+  ag::Var prev_window;  // h_hat_{w-1} [B, N, d]
+  std::vector<ag::Var> window_outputs;
+  window_outputs.reserve(windows);
+  for (int64_t w = 0; w < windows; ++w) {
+    // P_w: [N, p, d] -> [B, N, p, d].
+    ag::Var p_w = ag::Reshape(ag::Slice(proxy_, 0, w, 1),
+                              {config_.num_sensors, config_.proxies,
+                               config_.d_model});
+    ag::Var proxies = ag::Add(p_w, batch_lift);
+    if (prev_window.defined() && chain_ != nullptr) {
+      // Eq. 14: fuse the previous window's output into every proxy.
+      ag::Var prev = ag::Reshape(prev_window,
+                                 {batch, sensors, 1, config_.d_model});
+      // Broadcast prev over the proxy axis.
+      ag::Var prev_tiled = ag::Add(
+          prev, ag::Var(Tensor(Shape{1, 1, config_.proxies, 1})));
+      proxies = chain_->Forward(ag::Concat({prev_tiled, proxies}, -1));
+    }
+    // Window slice of keys/values: [B, N, S, d].
+    ag::Var k_w = ag::Slice(keys, 2, w * s, s);
+    ag::Var v_w = ag::Slice(values, 2, w * s, s);
+    // Eq. 10: scores = proxies @ keys^T / sqrt(d), multi-head: each head
+    // uses its own d/heads-wide slice of proxies, keys and values.
+    ag::Var h_w;
+    if (config_.heads == 1) {
+      ag::Var scores = ag::MulScalar(
+          ag::MatMul(proxies, ag::TransposeLast2(k_w)), scale);
+      h_w = ag::MatMul(ag::SoftmaxLast(scores), v_w);  // [B, N, p, d]
+    } else {
+      const int64_t heads = config_.heads;
+      const int64_t dh = config_.d_model / heads;
+      auto split = [&](const ag::Var& t, int64_t rows) {
+        // [B, N, rows, d] -> [B, N, heads, rows, dh]
+        return ag::Permute(
+            ag::Reshape(t, {batch, sensors, rows, heads, dh}),
+            {0, 1, 3, 2, 4});
+      };
+      ag::Var ph = split(proxies, config_.proxies);
+      ag::Var kh = split(k_w, s);
+      ag::Var vh = split(v_w, s);
+      ag::Var scores = ag::MulScalar(
+          ag::MatMul(ph, ag::TransposeLast2(kh)),
+          1.0f / std::sqrt(static_cast<float>(dh)));
+      ag::Var heads_out =
+          ag::MatMul(ag::SoftmaxLast(scores), vh);  // [B,N,heads,p,dh]
+      h_w = ag::Reshape(ag::Permute(heads_out, {0, 1, 3, 2, 4}),
+                        {batch, sensors, config_.proxies,
+                         config_.d_model});
+    }
+    // Eq. 12-13: aggregate the p proxies into one representation.
+    ag::Var h_hat = aggregator_->Forward(h_w);  // [B, N, d]
+    window_outputs.push_back(h_hat);
+    prev_window = h_hat;
+  }
+  // [W, B, N, d] -> [B, N, W, d].
+  return ag::Permute(ag::Stack(window_outputs), {1, 2, 0, 3});
+}
+
+}  // namespace core
+}  // namespace stwa

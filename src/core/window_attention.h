@@ -1,0 +1,75 @@
+// Window attention with learnable proxies (paper §IV-B, Fig. 6-7).
+//
+// The input sequence (length H_l) is split into W = H_l / S windows. Each
+// window has p learnable proxies (a slice of the proxy tensor
+// P in R^{W x N x p x d}) that replace the Query of canonical attention:
+// every timestamp in the window computes one score per proxy, giving O(H)
+// complexity instead of O(H^2) (Eq. 10-11). A weighting network aggregates
+// the p proxy outputs into one window representation (Eq. 12-13), and the
+// previous window's output is fused into the current window's proxies to
+// restore cross-window information flow (Eq. 14).
+
+#ifndef STWA_CORE_WINDOW_ATTENTION_H_
+#define STWA_CORE_WINDOW_ATTENTION_H_
+
+#include <memory>
+
+#include "core/proxy_aggregator.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace stwa {
+namespace core {
+
+/// Configuration of one window attention layer.
+struct WindowAttentionConfig {
+  int64_t num_sensors = 0;  // N (proxy tensor is per sensor)
+  int64_t input_len = 12;   // H_l; must be divisible by window
+  int64_t window = 3;       // S
+  int64_t proxies = 1;      // p
+  int64_t d_in = 1;         // input feature width
+  int64_t d_model = 32;     // d
+  /// Attention heads; each head attends with its own d/heads-wide slice of
+  /// the proxies and keys (the paper uses 8 heads). Must divide d_model.
+  int64_t heads = 1;
+  /// When true, Forward expects generated K/V projections; otherwise the
+  /// layer owns static (spatio-temporal agnostic) projections.
+  bool st_aware = false;
+  /// Fuse the previous window's output into the current proxies (Eq. 14);
+  /// disabling it removes cross-window information flow (extra ablation).
+  bool chain_windows = true;
+  AggregatorKind aggregator = AggregatorKind::kWeighted;
+};
+
+/// One window attention layer: [B, N, H_l, d_in] -> [B, N, W, d].
+class WindowAttentionLayer : public nn::Module {
+ public:
+  explicit WindowAttentionLayer(WindowAttentionConfig config,
+                                Rng* rng = nullptr);
+
+  /// Applies the layer. When config.st_aware, `k_proj` and `v_proj` are the
+  /// generated per-sensor projections [B, N, d_in, d] (Eq. 9/10); otherwise
+  /// they must be undefined and the static projections are used.
+  ag::Var Forward(const ag::Var& x, const ag::Var& k_proj = {},
+                  const ag::Var& v_proj = {}) const;
+
+  /// Number of windows W = H_l / S.
+  int64_t num_windows() const { return config_.input_len / config_.window; }
+
+  const WindowAttentionConfig& config() const { return config_; }
+
+ private:
+  WindowAttentionConfig config_;
+  ag::Var proxy_;  // P [W, N, p, d]
+  /// theta of Eq. 14: fuses previous window output with the proxies.
+  std::unique_ptr<nn::Linear> chain_;
+  std::unique_ptr<ProxyAggregator> aggregator_;
+  // Static projections used when !st_aware.
+  std::unique_ptr<nn::Linear> k_static_;
+  std::unique_ptr<nn::Linear> v_static_;
+};
+
+}  // namespace core
+}  // namespace stwa
+
+#endif  // STWA_CORE_WINDOW_ATTENTION_H_

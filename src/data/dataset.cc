@@ -1,0 +1,77 @@
+#include "data/dataset.h"
+
+#include <fstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace stwa {
+namespace data {
+
+SplitBounds ChronologicalSplit(int64_t num_steps, double train_frac,
+                               double val_frac) {
+  STWA_CHECK(num_steps > 0, "empty dataset");
+  STWA_CHECK(train_frac > 0 && val_frac >= 0 && train_frac + val_frac < 1.0,
+             "invalid split fractions");
+  SplitBounds b;
+  b.num_steps = num_steps;
+  b.train_end = static_cast<int64_t>(num_steps * train_frac);
+  b.val_end = static_cast<int64_t>(num_steps * (train_frac + val_frac));
+  STWA_CHECK(b.train_end > 0 && b.val_end > b.train_end &&
+                 num_steps > b.val_end,
+             "split produced an empty partition for ", num_steps, " steps");
+  return b;
+}
+
+void SaveSeriesCsv(const TrafficDataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  STWA_CHECK(out.good(), "cannot open '", path, "' for writing");
+  const int64_t n = dataset.num_sensors();
+  const int64_t t = dataset.num_steps();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t s = 0; s < t; ++s) {
+      if (s > 0) out << ',';
+      out << dataset.values({i, s, 0});
+    }
+    out << '\n';
+  }
+  STWA_CHECK(out.good(), "write to '", path, "' failed");
+}
+
+TrafficDataset LoadSeriesCsv(const std::string& path,
+                             int64_t steps_per_day) {
+  std::ifstream in(path);
+  STWA_CHECK(in.good(), "cannot open '", path, "' for reading");
+  std::vector<std::vector<float>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    std::vector<float> row;
+    row.reserve(fields.size());
+    for (const std::string& f : fields) row.push_back(std::stof(f));
+    if (!rows.empty()) {
+      STWA_CHECK(row.size() == rows.front().size(),
+                 "ragged CSV row in '", path, "'");
+    }
+    rows.push_back(std::move(row));
+  }
+  STWA_CHECK(!rows.empty(), "empty CSV '", path, "'");
+  const int64_t n = static_cast<int64_t>(rows.size());
+  const int64_t t = static_cast<int64_t>(rows.front().size());
+  TrafficDataset dataset;
+  dataset.name = path;
+  dataset.steps_per_day = steps_per_day;
+  dataset.values = Tensor(Shape{n, t, 1});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t s = 0; s < t; ++s) {
+      dataset.values({i, s, 0}) = rows[i][s];
+    }
+  }
+  dataset.graph = graph::SensorGraph(n);
+  dataset.road_of_sensor.assign(n, 0);
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace stwa

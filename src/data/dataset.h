@@ -1,0 +1,62 @@
+// Traffic time series dataset container and CSV persistence.
+
+#ifndef STWA_DATA_DATASET_H_
+#define STWA_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace data {
+
+/// A multi-sensor traffic time series: values [N, T, F] plus the sensor
+/// network metadata. Matches the paper's X in R^{N x T x F}.
+struct TrafficDataset {
+  /// Dataset name, e.g. "PEMS04-like".
+  std::string name;
+
+  /// Time series values [num_sensors, num_steps, num_features].
+  Tensor values;
+
+  /// Number of timestamps per day (PEMS: 288 at 5-minute sampling).
+  int64_t steps_per_day = 288;
+
+  /// Road label per sensor (ground truth for the Figure 9 clustering).
+  std::vector<int> road_of_sensor;
+
+  /// 2-D sensor coordinates (synthetic map layout).
+  std::vector<std::pair<float, float>> coords;
+
+  /// Sensor network graph used by graph-convolutional baselines.
+  graph::SensorGraph graph;
+
+  int64_t num_sensors() const { return values.dim(0); }
+  int64_t num_steps() const { return values.dim(1); }
+  int64_t num_features() const { return values.dim(2); }
+};
+
+/// Chronological split boundaries (paper: 60% / 20% / 20%).
+struct SplitBounds {
+  int64_t train_end = 0;  // [0, train_end)
+  int64_t val_end = 0;    // [train_end, val_end)
+  int64_t num_steps = 0;  // [val_end, num_steps) is test
+};
+
+/// Computes chronological split boundaries for `num_steps` timestamps.
+SplitBounds ChronologicalSplit(int64_t num_steps, double train_frac = 0.6,
+                               double val_frac = 0.2);
+
+/// Writes the [N, T] first-feature matrix as CSV (one row per sensor).
+void SaveSeriesCsv(const TrafficDataset& dataset, const std::string& path);
+
+/// Loads a values-only dataset from the CSV produced by SaveSeriesCsv.
+TrafficDataset LoadSeriesCsv(const std::string& path,
+                             int64_t steps_per_day = 288);
+
+}  // namespace data
+}  // namespace stwa
+
+#endif  // STWA_DATA_DATASET_H_

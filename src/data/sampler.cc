@@ -1,0 +1,89 @@
+#include "data/sampler.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace data {
+
+WindowSampler::WindowSampler(Tensor values, Tensor targets, int64_t history,
+                             int64_t horizon, int64_t range_begin,
+                             int64_t range_end, int64_t stride)
+    : values_(std::move(values)),
+      targets_(std::move(targets)),
+      history_(history),
+      horizon_(horizon) {
+  STWA_CHECK(values_.rank() == 3, "sampler expects [N, T, F] values");
+  STWA_CHECK(values_.shape() == targets_.shape(),
+             "values/targets shape mismatch");
+  STWA_CHECK(history > 0 && horizon > 0, "history/horizon must be positive");
+  STWA_CHECK(stride > 0, "stride must be positive");
+  const int64_t steps = values_.dim(1);
+  STWA_CHECK(range_begin >= 0 && range_end <= steps &&
+                 range_begin <= range_end,
+             "bad sample range [", range_begin, ", ", range_end, ")");
+  // Anchor t needs t-H+1 >= range_begin and t+U <= range_end.
+  for (int64_t t = range_begin + history - 1; t + horizon < range_end + 1;
+       t += stride) {
+    if (t + horizon <= steps - 1 + 1) anchors_.push_back(t);
+  }
+  STWA_CHECK(!anchors_.empty(), "no valid window anchors in range [",
+             range_begin, ", ", range_end, ") with H=", history,
+             " U=", horizon);
+}
+
+Batch WindowSampler::MakeBatch(
+    const std::vector<int64_t>& anchor_indices) const {
+  STWA_CHECK(!anchor_indices.empty(), "empty batch");
+  const int64_t batch = static_cast<int64_t>(anchor_indices.size());
+  const int64_t sensors = values_.dim(0);
+  const int64_t steps = values_.dim(1);
+  const int64_t features = values_.dim(2);
+  Batch out;
+  out.x = Tensor(Shape{batch, sensors, history_, features});
+  out.y = Tensor(Shape{batch, sensors, horizon_, features});
+  const float* vp = values_.data();
+  const float* tp = targets_.data();
+  float* xp = out.x.data();
+  float* yp = out.y.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t idx = anchor_indices[b];
+    STWA_CHECK(idx >= 0 && idx < num_samples(), "anchor index ", idx,
+               " out of range");
+    const int64_t t = anchors_[idx];
+    for (int64_t i = 0; i < sensors; ++i) {
+      // values[i, t-H+1 : t+1, :] -> x[b, i, :, :]
+      std::memcpy(
+          xp + ((b * sensors + i) * history_) * features,
+          vp + (i * steps + (t - history_ + 1)) * features,
+          sizeof(float) * history_ * features);
+      // targets[i, t+1 : t+U+1, :] -> y[b, i, :, :]
+      std::memcpy(
+          yp + ((b * sensors + i) * horizon_) * features,
+          tp + (i * steps + (t + 1)) * features,
+          sizeof(float) * horizon_ * features);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int64_t>> WindowSampler::EpochBatches(
+    int64_t batch_size, Rng* shuffle_rng) const {
+  STWA_CHECK(batch_size > 0, "batch_size must be positive");
+  std::vector<int64_t> order(num_samples());
+  for (int64_t i = 0; i < num_samples(); ++i) order[i] = i;
+  if (shuffle_rng != nullptr) {
+    std::vector<int64_t> perm = shuffle_rng->Permutation(num_samples());
+    order = std::move(perm);
+  }
+  std::vector<std::vector<int64_t>> batches;
+  for (int64_t start = 0; start < num_samples(); start += batch_size) {
+    const int64_t end = std::min(start + batch_size, num_samples());
+    batches.emplace_back(order.begin() + start, order.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace data
+}  // namespace stwa

@@ -1,0 +1,63 @@
+// Sliding-window sampling of forecasting examples.
+//
+// A sample anchored at timestamp t packs the past H steps of all sensors as
+// the input and the following U steps as the target (Eq. 1 of the paper).
+
+#ifndef STWA_DATA_SAMPLER_H_
+#define STWA_DATA_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace stwa {
+namespace data {
+
+/// A mini-batch of forecasting examples.
+struct Batch {
+  /// Inputs [B, N, H, F] (normalised).
+  Tensor x;
+  /// Targets [B, N, U, F] (original scale; losses normalise as needed).
+  Tensor y;
+};
+
+/// Enumerates valid window anchors in a timestamp range and materialises
+/// batches. Anchor t uses inputs [t-H+1, t] and targets [t+1, t+U].
+class WindowSampler {
+ public:
+  /// `values` is the (already normalised) [N, T, F] input tensor;
+  /// `targets` the [N, T, F] target tensor (typically the raw values).
+  /// Anchors are placed in [range_begin, range_end) every `stride` steps.
+  WindowSampler(Tensor values, Tensor targets, int64_t history,
+                int64_t horizon, int64_t range_begin, int64_t range_end,
+                int64_t stride = 1);
+
+  /// Number of available samples.
+  int64_t num_samples() const {
+    return static_cast<int64_t>(anchors_.size());
+  }
+
+  int64_t history() const { return history_; }
+  int64_t horizon() const { return horizon_; }
+
+  /// Materialises the batch for `anchor_indices` (indices into the anchor
+  /// list, not timestamps).
+  Batch MakeBatch(const std::vector<int64_t>& anchor_indices) const;
+
+  /// Convenience: consecutive batches covering all samples in order.
+  std::vector<std::vector<int64_t>> EpochBatches(int64_t batch_size,
+                                                 Rng* shuffle_rng) const;
+
+ private:
+  Tensor values_;
+  Tensor targets_;
+  int64_t history_;
+  int64_t horizon_;
+  std::vector<int64_t> anchors_;
+};
+
+}  // namespace data
+}  // namespace stwa
+
+#endif  // STWA_DATA_SAMPLER_H_

@@ -1,0 +1,41 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace data {
+
+void StandardScaler::Fit(const Tensor& values, int64_t train_end) {
+  STWA_CHECK(values.rank() == 3, "scaler expects [N, T, F]");
+  STWA_CHECK(train_end > 0 && train_end <= values.dim(1),
+             "train_end out of range");
+  Tensor train = ops::Slice(values, 1, 0, train_end);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const float* p = train.data();
+  const int64_t n = train.size();
+  for (int64_t i = 0; i < n; ++i) {
+    sum += p[i];
+    sum_sq += static_cast<double>(p[i]) * p[i];
+  }
+  mean_ = static_cast<float>(sum / n);
+  const double var = sum_sq / n - static_cast<double>(mean_) * mean_;
+  std_ = static_cast<float>(std::sqrt(std::max(var, 1e-8)));
+  fitted_ = true;
+}
+
+Tensor StandardScaler::Transform(const Tensor& x) const {
+  STWA_CHECK(fitted_, "scaler used before Fit()");
+  return ops::MulScalar(ops::AddScalar(x, -mean_), 1.0f / std_);
+}
+
+Tensor StandardScaler::InverseTransform(const Tensor& x) const {
+  STWA_CHECK(fitted_, "scaler used before Fit()");
+  return ops::AddScalar(ops::MulScalar(x, std_), mean_);
+}
+
+}  // namespace data
+}  // namespace stwa

@@ -1,0 +1,39 @@
+// Z-score normalisation fitted on the training partition only.
+
+#ifndef STWA_DATA_SCALER_H_
+#define STWA_DATA_SCALER_H_
+
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace data {
+
+/// Standard (z-score) scaler: transform(x) = (x - mean) / std. Fitted on
+/// the chronological training slice only, as in the paper's protocol, so
+/// no test-set statistics leak into training.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Fits mean/std on values[:, 0:train_end, :] of a [N, T, F] tensor.
+  void Fit(const Tensor& values, int64_t train_end);
+
+  /// Applies (x - mean) / std elementwise.
+  Tensor Transform(const Tensor& x) const;
+
+  /// Applies x * std + mean elementwise.
+  Tensor InverseTransform(const Tensor& x) const;
+
+  float mean() const { return mean_; }
+  float stddev() const { return std_; }
+
+ private:
+  bool fitted_ = false;
+  float mean_ = 0.0f;
+  float std_ = 1.0f;
+};
+
+}  // namespace data
+}  // namespace stwa
+
+#endif  // STWA_DATA_SCALER_H_

@@ -1,0 +1,77 @@
+// Sensor/road network graph and the adjacency normalisations used by the
+// graph-convolutional baselines (DCRNN, STGCN, GWN, STSGCN, ...).
+
+#ifndef STWA_GRAPH_GRAPH_H_
+#define STWA_GRAPH_GRAPH_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace graph {
+
+/// Weighted directed edge.
+struct Edge {
+  int64_t to = 0;
+  float weight = 1.0f;
+};
+
+/// Directed weighted graph over the sensors of a traffic network.
+class SensorGraph {
+ public:
+  SensorGraph() = default;
+
+  /// Creates an edgeless graph with `num_nodes` nodes.
+  explicit SensorGraph(int64_t num_nodes);
+
+  /// Adds a directed edge from -> to with the given weight.
+  void AddEdge(int64_t from, int64_t to, float weight = 1.0f);
+
+  /// Adds both directions.
+  void AddUndirectedEdge(int64_t a, int64_t b, float weight = 1.0f);
+
+  int64_t num_nodes() const { return num_nodes_; }
+
+  /// Number of directed edges.
+  int64_t num_edges() const;
+
+  /// Outgoing edges of `node`.
+  const std::vector<Edge>& Neighbors(int64_t node) const;
+
+  /// Dense adjacency matrix A [n, n] (A[i][j] = weight of i -> j).
+  Tensor DenseAdjacency() const;
+
+  /// Random-walk normalisation D_out^-1 A (rows sum to 1 where deg > 0).
+  Tensor RandomWalkNormalized() const;
+
+  /// Symmetric normalisation with self loops:
+  /// D^-1/2 (A + I) D^-1/2, as in GCN.
+  Tensor SymNormalizedWithSelfLoops() const;
+
+  /// Scaled Laplacian 2 L / lambda_max - I used by Chebyshev graph
+  /// convolutions (lambda_max approximated as 2).
+  Tensor ScaledLaplacian() const;
+
+  /// K-hop diffusion supports: powers (D_out^-1 A)^k and (D_in^-1 A^T)^k
+  /// for k = 1..max_hops, as used by DCRNN's diffusion convolution.
+  std::vector<Tensor> DiffusionSupports(int64_t max_hops) const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  std::vector<std::vector<Edge>> adj_;
+};
+
+/// Builds the corridor-structured sensor network used by the synthetic
+/// datasets: each road is a chain of sensors with strong consecutive links;
+/// a few weaker inter-road links connect roads that "intersect".
+/// `road_of_sensor` receives the road label per node when non-null.
+SensorGraph BuildCorridorGraph(int64_t num_roads, int64_t sensors_per_road,
+                               Rng& rng,
+                               std::vector<int>* road_of_sensor = nullptr);
+
+}  // namespace graph
+}  // namespace stwa
+
+#endif  // STWA_GRAPH_GRAPH_H_

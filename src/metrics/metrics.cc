@@ -1,0 +1,92 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace metrics {
+
+ForecastMetrics Evaluate(const Tensor& pred, const Tensor& target,
+                         float mask_threshold, bool mask_zeros) {
+  STWA_CHECK(pred.shape() == target.shape(), "metric shape mismatch: ",
+             ShapeToString(pred.shape()), " vs ",
+             ShapeToString(target.shape()));
+  STWA_CHECK(pred.size() > 0, "empty metric input");
+  const float* p = pred.data();
+  const float* t = target.data();
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  double ape_sum = 0.0;
+  int64_t count = 0;
+  int64_t mape_count = 0;
+  for (int64_t i = 0; i < pred.size(); ++i) {
+    const bool masked = std::fabs(t[i]) <= mask_threshold;
+    if (mask_zeros && masked) continue;
+    const double err = static_cast<double>(p[i]) - t[i];
+    abs_sum += std::fabs(err);
+    sq_sum += err * err;
+    ++count;
+    if (!masked) {
+      ape_sum += std::fabs(err) / std::fabs(t[i]);
+      ++mape_count;
+    }
+  }
+  ForecastMetrics m;
+  if (count > 0) {
+    m.mae = abs_sum / count;
+    m.rmse = std::sqrt(sq_sum / count);
+  }
+  if (mape_count > 0) {
+    m.mape = 100.0 * ape_sum / mape_count;
+  }
+  return m;
+}
+
+std::vector<ForecastMetrics> EvaluatePerHorizon(const Tensor& pred,
+                                                const Tensor& target,
+                                                float mask_threshold) {
+  STWA_CHECK(pred.rank() == 4 && pred.shape() == target.shape(),
+             "per-horizon metrics expect matching [B, N, U, F] tensors");
+  const int64_t horizon = pred.dim(2);
+  std::vector<ForecastMetrics> out;
+  out.reserve(horizon);
+  for (int64_t u = 0; u < horizon; ++u) {
+    out.push_back(Evaluate(ops::Slice(pred, 2, u, 1),
+                           ops::Slice(target, 2, u, 1), mask_threshold));
+  }
+  return out;
+}
+
+void MetricAccumulator::Add(const Tensor& pred, const Tensor& target,
+                            float mask_threshold) {
+  STWA_CHECK(pred.shape() == target.shape(), "metric shape mismatch");
+  const float* p = pred.data();
+  const float* t = target.data();
+  for (int64_t i = 0; i < pred.size(); ++i) {
+    const double err = static_cast<double>(p[i]) - t[i];
+    abs_sum_ += std::fabs(err);
+    sq_sum_ += err * err;
+    ++count_;
+    if (std::fabs(t[i]) > mask_threshold) {
+      ape_sum_ += std::fabs(err) / std::fabs(t[i]);
+      ++mape_count_;
+    }
+  }
+}
+
+ForecastMetrics MetricAccumulator::Result() const {
+  ForecastMetrics m;
+  if (count_ > 0) {
+    m.mae = abs_sum_ / count_;
+    m.rmse = std::sqrt(sq_sum_ / count_);
+  }
+  if (mape_count_ > 0) {
+    m.mape = 100.0 * ape_sum_ / mape_count_;
+  }
+  return m;
+}
+
+}  // namespace metrics
+}  // namespace stwa

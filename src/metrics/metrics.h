@@ -1,0 +1,61 @@
+// Forecast accuracy metrics: MAE, RMSE, MAPE (masked), as reported in every
+// table of the paper.
+
+#ifndef STWA_METRICS_METRICS_H_
+#define STWA_METRICS_METRICS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace metrics {
+
+/// One row of forecast metrics.
+struct ForecastMetrics {
+  double mae = 0.0;
+  double rmse = 0.0;
+  /// Mean absolute percentage error, in percent (paper convention).
+  double mape = 0.0;
+};
+
+/// Computes MAE/RMSE/MAPE between pred and target (same shape). Positions
+/// where |target| <= mask_threshold are excluded from MAPE (standard
+/// practice on traffic flow to avoid division blow-ups), and from MAE/RMSE
+/// only if mask_zeros is set.
+ForecastMetrics Evaluate(const Tensor& pred, const Tensor& target,
+                         float mask_threshold = 1e-1f,
+                         bool mask_zeros = false);
+
+/// Per-horizon breakdown for [B, N, U, F] tensors: element u of the result
+/// is the metric over forecast step u+1.
+std::vector<ForecastMetrics> EvaluatePerHorizon(const Tensor& pred,
+                                                const Tensor& target,
+                                                float mask_threshold = 1e-1f);
+
+/// Streaming accumulator so evaluation loops do not need to keep all
+/// predictions in memory.
+class MetricAccumulator {
+ public:
+  /// Adds a batch of predictions/targets (same shape).
+  void Add(const Tensor& pred, const Tensor& target,
+           float mask_threshold = 1e-1f);
+
+  /// Final aggregate metrics.
+  ForecastMetrics Result() const;
+
+  /// Number of accumulated elements.
+  int64_t count() const { return count_; }
+
+ private:
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  double ape_sum_ = 0.0;
+  int64_t count_ = 0;
+  int64_t mape_count_ = 0;
+};
+
+}  // namespace metrics
+}  // namespace stwa
+
+#endif  // STWA_METRICS_METRICS_H_

@@ -1,0 +1,77 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(AttentionConfig config,
+                                               Rng* rng)
+    : config_(config),
+      wq_(config.d_model, config.d_model, /*bias=*/false, rng),
+      wk_(config.d_model, config.d_model, /*bias=*/false, rng),
+      wv_(config.d_model, config.d_model, /*bias=*/false, rng),
+      wo_(config.d_model, config.d_model, /*bias=*/true, rng) {
+  STWA_CHECK(config_.num_heads > 0 &&
+                 config_.d_model % config_.num_heads == 0,
+             "d_model ", config_.d_model, " must be divisible by num_heads ",
+             config_.num_heads);
+  RegisterModule("wq", &wq_);
+  RegisterModule("wk", &wk_);
+  RegisterModule("wv", &wv_);
+  RegisterModule("wo", &wo_);
+}
+
+Tensor MultiHeadSelfAttention::BuildMask(int64_t steps) const {
+  const bool windowed = config_.window_radius >= 0;
+  if (!windowed && !config_.causal) return Tensor();
+  Tensor mask(Shape{steps, steps});
+  float* m = mask.data();
+  for (int64_t i = 0; i < steps; ++i) {
+    for (int64_t j = 0; j < steps; ++j) {
+      bool blocked = false;
+      if (windowed && std::llabs(i - j) > config_.window_radius) {
+        blocked = true;
+      }
+      if (config_.causal && j > i) blocked = true;
+      m[i * steps + j] = blocked ? -1e9f : 0.0f;
+    }
+  }
+  return mask;
+}
+
+ag::Var MultiHeadSelfAttention::Forward(const ag::Var& x) const {
+  STWA_CHECK(x.value().rank() == 3, "attention input must be [B, T, d], got ",
+             ShapeToString(x.value().shape()));
+  const int64_t batch = x.value().dim(0);
+  const int64_t steps = x.value().dim(1);
+  const int64_t d = config_.d_model;
+  const int64_t heads = config_.num_heads;
+  const int64_t dh = d / heads;
+
+  auto split_heads = [&](const ag::Var& v) {
+    // [B, T, d] -> [B, heads, T, dh]
+    return ag::Permute(ag::Reshape(v, {batch, steps, heads, dh}),
+                       {0, 2, 1, 3});
+  };
+  ag::Var q = split_heads(wq_.Forward(x));
+  ag::Var k = split_heads(wk_.Forward(x));
+  ag::Var v = split_heads(wv_.Forward(x));
+
+  ag::Var scores = ag::MulScalar(
+      ag::MatMul(q, ag::TransposeLast2(k)),
+      1.0f / std::sqrt(static_cast<float>(dh)));  // [B, heads, T, T]
+  Tensor mask = BuildMask(steps);
+  if (!mask.empty()) {
+    scores = ag::Add(scores, ag::Var(mask));  // broadcasts over [B, heads]
+  }
+  ag::Var attn = ag::SoftmaxLast(scores);
+  ag::Var out = ag::MatMul(attn, v);  // [B, heads, T, dh]
+  out = ag::Reshape(ag::Permute(out, {0, 2, 1, 3}), {batch, steps, d});
+  return wo_.Forward(out);
+}
+
+}  // namespace nn
+}  // namespace stwa

@@ -1,0 +1,52 @@
+// Canonical multi-head self-attention, with optional sliding-window and
+// causal masking. This is the spatio-temporal *agnostic* attention of
+// Eq. 2–3 in the paper; LongFormer-style masking implements the related-work
+// sliding-window baseline. The ST-aware and window attentions live in
+// src/core.
+
+#ifndef STWA_NN_ATTENTION_H_
+#define STWA_NN_ATTENTION_H_
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace stwa {
+namespace nn {
+
+/// Configuration for MultiHeadSelfAttention.
+struct AttentionConfig {
+  int64_t d_model = 32;
+  int64_t num_heads = 4;
+  /// Sliding-window radius; timestamp i attends to |i-j| <= radius.
+  /// Negative means full (quadratic) attention.
+  int64_t window_radius = -1;
+  /// Mask out attention to future timestamps.
+  bool causal = false;
+};
+
+/// Canonical scaled dot-product multi-head self-attention over the time
+/// axis: x [B, T, d_model] -> [B, T, d_model].
+class MultiHeadSelfAttention : public Module {
+ public:
+  explicit MultiHeadSelfAttention(AttentionConfig config, Rng* rng = nullptr);
+
+  ag::Var Forward(const ag::Var& x) const;
+
+  const AttentionConfig& config() const { return config_; }
+
+ private:
+  /// Builds the additive mask [T, T] (0 allowed / -1e9 blocked) or an empty
+  /// tensor when no masking applies.
+  Tensor BuildMask(int64_t steps) const;
+
+  AttentionConfig config_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+};
+
+}  // namespace nn
+}  // namespace stwa
+
+#endif  // STWA_NN_ATTENTION_H_

@@ -1,0 +1,28 @@
+#include "nn/layer_norm.h"
+
+#include "common/check.h"
+
+namespace stwa {
+namespace nn {
+
+LayerNorm::LayerNorm(int64_t features, float eps)
+    : features_(features), eps_(eps) {
+  STWA_CHECK(features > 0, "LayerNorm features must be > 0");
+  gamma_ = RegisterParameter("gamma", Tensor(Shape{features}, 1.0f));
+  beta_ = RegisterParameter("beta", Tensor(Shape{features}));
+}
+
+ag::Var LayerNorm::Forward(const ag::Var& x) const {
+  STWA_CHECK(x.value().dim(-1) == features_, "LayerNorm expected ",
+             features_, " features, got ", x.value().dim(-1));
+  ag::Var mean = ag::Mean(x, -1, /*keepdims=*/true);
+  ag::Var centered = ag::Sub(x, mean);
+  ag::Var var = ag::Mean(ag::Square(centered), -1, /*keepdims=*/true);
+  ag::Var inv_std = ag::Div(ag::Scalar(1.0f),
+                            ag::Sqrt(ag::AddScalar(var, eps_)));
+  ag::Var normalised = ag::Mul(centered, inv_std);
+  return ag::Add(ag::Mul(normalised, gamma_), beta_);
+}
+
+}  // namespace nn
+}  // namespace stwa

@@ -1,0 +1,32 @@
+// Layer normalisation over the last axis.
+
+#ifndef STWA_NN_LAYER_NORM_H_
+#define STWA_NN_LAYER_NORM_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace stwa {
+namespace nn {
+
+/// y = (x - mean) / sqrt(var + eps) * gamma + beta, statistics taken over
+/// the last axis.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t features, float eps = 1e-5f);
+
+  ag::Var Forward(const ag::Var& x) const;
+
+  int64_t features() const { return features_; }
+
+ private:
+  int64_t features_;
+  float eps_;
+  ag::Var gamma_;
+  ag::Var beta_;
+};
+
+}  // namespace nn
+}  // namespace stwa
+
+#endif  // STWA_NN_LAYER_NORM_H_

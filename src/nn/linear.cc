@@ -1,0 +1,35 @@
+#include "nn/linear.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace stwa {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias,
+               Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  STWA_CHECK(in_features > 0 && out_features > 0,
+             "Linear features must be positive");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  weight_ = RegisterParameter(
+      "weight",
+      XavierUniform({in_features, out_features}, in_features, out_features,
+                    r));
+  if (bias) {
+    bias_ = RegisterParameter("bias", Tensor(Shape{out_features}));
+  }
+}
+
+ag::Var Linear::Forward(const ag::Var& x) const {
+  STWA_CHECK(x.value().rank() >= 2, "Linear input must have rank >= 2, got ",
+             ShapeToString(x.value().shape()));
+  STWA_CHECK(x.value().dim(-1) == in_features_, "Linear expected ",
+             in_features_, " input features, got ", x.value().dim(-1));
+  ag::Var y = ag::MatMul(x, weight_);
+  if (bias_.defined()) y = ag::Add(y, bias_);
+  return y;
+}
+
+}  // namespace nn
+}  // namespace stwa

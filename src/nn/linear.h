@@ -1,0 +1,39 @@
+// Affine layer y = x W + b.
+
+#ifndef STWA_NN_LINEAR_H_
+#define STWA_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace stwa {
+namespace nn {
+
+/// Dense affine transformation over the last axis: x [..., in] -> [..., out].
+class Linear : public Module {
+ public:
+  /// Builds a layer with Xavier-uniform weights; `rng` defaults to the
+  /// global generator.
+  Linear(int64_t in_features, int64_t out_features, bool bias = true,
+         Rng* rng = nullptr);
+
+  /// Applies the layer. The input rank must be >= 2 (batched rows).
+  ag::Var Forward(const ag::Var& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+  /// Weight handle [in, out] (exposed for tests and weight tying).
+  const ag::Var& weight() const { return weight_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  ag::Var weight_;
+  ag::Var bias_;
+};
+
+}  // namespace nn
+}  // namespace stwa
+
+#endif  // STWA_NN_LINEAR_H_

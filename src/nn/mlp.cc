@@ -1,0 +1,49 @@
+#include "nn/mlp.h"
+
+#include "common/check.h"
+
+namespace stwa {
+namespace nn {
+
+ag::Var Activate(const ag::Var& x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return ag::Relu(x);
+    case Activation::kTanh:
+      return ag::Tanh(x);
+    case Activation::kSigmoid:
+      return ag::Sigmoid(x);
+  }
+  STWA_FAIL("unknown activation");
+}
+
+Mlp::Mlp(std::vector<int64_t> dims, Activation hidden,
+         Activation output_activation, Rng* rng)
+    : dims_(std::move(dims)),
+      hidden_(hidden),
+      output_activation_(output_activation) {
+  STWA_CHECK(dims_.size() >= 2, "Mlp needs at least input and output dims");
+  for (size_t i = 0; i + 1 < dims_.size(); ++i) {
+    layers_.push_back(
+        std::make_unique<Linear>(dims_[i], dims_[i + 1], /*bias=*/true, rng));
+    RegisterModule("fc" + std::to_string(i), layers_.back().get());
+  }
+}
+
+ag::Var Mlp::Forward(const ag::Var& x) const {
+  ag::Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) {
+      h = Activate(h, hidden_);
+    } else {
+      h = Activate(h, output_activation_);
+    }
+  }
+  return h;
+}
+
+}  // namespace nn
+}  // namespace stwa

@@ -1,0 +1,46 @@
+// Multi-layer perceptron with a configurable activation.
+
+#ifndef STWA_NN_MLP_H_
+#define STWA_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace stwa {
+namespace nn {
+
+/// Elementwise activation choices used across the library.
+enum class Activation { kNone, kRelu, kTanh, kSigmoid };
+
+/// Applies an Activation to a Var.
+ag::Var Activate(const ag::Var& x, Activation act);
+
+/// Fully connected feed-forward stack. `dims` lists layer widths including
+/// input and output, e.g. {16, 32, 8} builds 16->32->8. The hidden
+/// activation is applied between layers; `output_activation` (default none)
+/// after the last.
+class Mlp : public Module {
+ public:
+  Mlp(std::vector<int64_t> dims, Activation hidden = Activation::kRelu,
+      Activation output_activation = Activation::kNone, Rng* rng = nullptr);
+
+  /// Applies the stack over the last axis of `x` (rank >= 2).
+  ag::Var Forward(const ag::Var& x) const;
+
+  int64_t in_features() const { return dims_.front(); }
+  int64_t out_features() const { return dims_.back(); }
+
+ private:
+  std::vector<int64_t> dims_;
+  Activation hidden_;
+  Activation output_activation_;
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace nn
+}  // namespace stwa
+
+#endif  // STWA_NN_MLP_H_

@@ -1,0 +1,60 @@
+#include "nn/module.h"
+
+#include "common/check.h"
+
+namespace stwa {
+namespace nn {
+
+ag::Var Module::RegisterParameter(const std::string& name, Tensor init) {
+  for (const auto& [existing, _] : params_) {
+    STWA_CHECK(existing != name, "duplicate parameter name '", name, "'");
+  }
+  params_.emplace_back(name, ag::Parameter(std::move(init)));
+  return params_.back().second;
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  STWA_CHECK(child != nullptr, "null child module '", name, "'");
+  STWA_CHECK(child != this, "module cannot register itself");
+  children_.emplace_back(name, child);
+}
+
+std::vector<ag::Var> Module::Parameters() const {
+  std::vector<std::pair<std::string, ag::Var>> named;
+  CollectNamed("", &named);
+  std::vector<ag::Var> out;
+  out.reserve(named.size());
+  for (auto& [_, v] : named) out.push_back(v);
+  return out;
+}
+
+std::vector<std::pair<std::string, ag::Var>> Module::NamedParameters()
+    const {
+  std::vector<std::pair<std::string, ag::Var>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, ag::Var>>* out) const {
+  for (const auto& [name, var] : params_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, var);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t total = 0;
+  for (const ag::Var& v : Parameters()) total += v.value().size();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (ag::Var& v : Parameters()) v.ZeroGrad();
+}
+
+}  // namespace nn
+}  // namespace stwa

@@ -1,0 +1,62 @@
+// Module system: parameter registration and recursive collection.
+//
+// A Module owns its parameters (as ag::Var leaf handles) and registers child
+// modules non-owningly (children are members of the derived class).
+// Parameters() walks the tree and returns aliasing Var handles, which the
+// optimizers mutate through the shared tape nodes.
+
+#ifndef STWA_NN_MODULE_H_
+#define STWA_NN_MODULE_H_
+
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace stwa {
+namespace nn {
+
+/// Base class for all neural network building blocks.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  // Modules are identity objects: parameters alias tape nodes, so copying
+  // would silently share or duplicate state. Forbid it.
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Registers a trainable parameter initialised with `init`; returns a Var
+  /// handle aliasing the stored parameter.
+  ag::Var RegisterParameter(const std::string& name, Tensor init);
+
+  /// Registers a child module (non-owning; the child must outlive this).
+  void RegisterModule(const std::string& name, Module* child);
+
+  /// All parameters of this module and its descendants.
+  std::vector<ag::Var> Parameters() const;
+
+  /// All parameters with hierarchical dotted names.
+  std::vector<std::pair<std::string, ag::Var>> NamedParameters() const;
+
+  /// Total number of scalar parameters.
+  int64_t ParameterCount() const;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, ag::Var>>* out) const;
+
+  std::deque<std::pair<std::string, ag::Var>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace nn
+}  // namespace stwa
+
+#endif  // STWA_NN_MODULE_H_

@@ -1,0 +1,136 @@
+#include "nn/rnn.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace stwa {
+namespace nn {
+namespace {
+
+ag::Var Chunk(const ag::Var& gates, int64_t index, int64_t hidden) {
+  return ag::Slice(gates, -1, index * hidden, hidden);
+}
+
+}  // namespace
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  STWA_CHECK(input_size > 0 && hidden_size > 0, "GruCell sizes must be > 0");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  w_ih_ = RegisterParameter(
+      "w_ih", LecunUniform({input_size, 3 * hidden_size}, hidden_size, r));
+  w_hh_ = RegisterParameter(
+      "w_hh", LecunUniform({hidden_size, 3 * hidden_size}, hidden_size, r));
+  b_ih_ = RegisterParameter("b_ih", Tensor(Shape{3 * hidden_size}));
+  b_hh_ = RegisterParameter("b_hh", Tensor(Shape{3 * hidden_size}));
+}
+
+ag::Var GruCell::Forward(const ag::Var& x, const ag::Var& h) const {
+  return Step(x, h, w_ih_, w_hh_, b_ih_, b_hh_, hidden_size_);
+}
+
+ag::Var GruCell::Step(const ag::Var& x, const ag::Var& h, const ag::Var& w_ih,
+                      const ag::Var& w_hh, const ag::Var& b_ih,
+                      const ag::Var& b_hh, int64_t hidden_size) {
+  ag::Var gi = ag::Add(ag::MatMul(x, w_ih), b_ih);
+  ag::Var gh = ag::Add(ag::MatMul(h, w_hh), b_hh);
+  ag::Var r = ag::Sigmoid(ag::Add(Chunk(gi, 0, hidden_size),
+                                  Chunk(gh, 0, hidden_size)));
+  ag::Var z = ag::Sigmoid(ag::Add(Chunk(gi, 1, hidden_size),
+                                  Chunk(gh, 1, hidden_size)));
+  ag::Var n = ag::Tanh(ag::Add(Chunk(gi, 2, hidden_size),
+                               ag::Mul(r, Chunk(gh, 2, hidden_size))));
+  // h' = (1 - z) * n + z * h
+  ag::Var one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+  return ag::Add(ag::Mul(one_minus_z, n), ag::Mul(z, h));
+}
+
+Gru::Gru(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : cell_(input_size, hidden_size, rng) {
+  RegisterModule("cell", &cell_);
+}
+
+ag::Var Gru::Forward(const ag::Var& x, const ag::Var& h0) const {
+  return ForwardWithState(x, nullptr, h0);
+}
+
+ag::Var Gru::ForwardWithState(const ag::Var& x, ag::Var* final_state,
+                              const ag::Var& h0) const {
+  STWA_CHECK(x.value().rank() == 3, "Gru input must be [B, T, in], got ",
+             ShapeToString(x.value().shape()));
+  const int64_t batch = x.value().dim(0);
+  const int64_t steps = x.value().dim(1);
+  ag::Var h = h0.defined()
+                  ? h0
+                  : ag::Var(Tensor(Shape{batch, cell_.hidden_size()}));
+  std::vector<ag::Var> outputs;
+  outputs.reserve(steps);
+  for (int64_t t = 0; t < steps; ++t) {
+    h = cell_.Forward(TimeStep(x, t), h);
+    outputs.push_back(h);
+  }
+  if (final_state != nullptr) *final_state = h;
+  // [T, B, H] -> [B, T, H]
+  return ag::Permute(ag::Stack(outputs), {1, 0, 2});
+}
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  STWA_CHECK(input_size > 0 && hidden_size > 0, "LstmCell sizes must be > 0");
+  Rng& r = rng != nullptr ? *rng : GlobalRng();
+  w_ih_ = RegisterParameter(
+      "w_ih", LecunUniform({input_size, 4 * hidden_size}, hidden_size, r));
+  w_hh_ = RegisterParameter(
+      "w_hh", LecunUniform({hidden_size, 4 * hidden_size}, hidden_size, r));
+  b_ih_ = RegisterParameter("b_ih", Tensor(Shape{4 * hidden_size}));
+  b_hh_ = RegisterParameter("b_hh", Tensor(Shape{4 * hidden_size}));
+}
+
+void LstmCell::Forward(const ag::Var& x, ag::Var* h, ag::Var* c) const {
+  Step(x, h, c, w_ih_, w_hh_, b_ih_, b_hh_, hidden_size_);
+}
+
+void LstmCell::Step(const ag::Var& x, ag::Var* h, ag::Var* c,
+                    const ag::Var& w_ih, const ag::Var& w_hh,
+                    const ag::Var& b_ih, const ag::Var& b_hh,
+                    int64_t hidden_size) {
+  STWA_CHECK(h != nullptr && c != nullptr, "LstmCell::Step needs h and c");
+  ag::Var gates = ag::Add(ag::Add(ag::MatMul(x, w_ih), b_ih),
+                          ag::Add(ag::MatMul(*h, w_hh), b_hh));
+  ag::Var i = ag::Sigmoid(Chunk(gates, 0, hidden_size));
+  ag::Var f = ag::Sigmoid(Chunk(gates, 1, hidden_size));
+  ag::Var g = ag::Tanh(Chunk(gates, 2, hidden_size));
+  ag::Var o = ag::Sigmoid(Chunk(gates, 3, hidden_size));
+  *c = ag::Add(ag::Mul(f, *c), ag::Mul(i, g));
+  *h = ag::Mul(o, ag::Tanh(*c));
+}
+
+Lstm::Lstm(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : cell_(input_size, hidden_size, rng) {
+  RegisterModule("cell", &cell_);
+}
+
+ag::Var Lstm::Forward(const ag::Var& x) const {
+  STWA_CHECK(x.value().rank() == 3, "Lstm input must be [B, T, in]");
+  const int64_t batch = x.value().dim(0);
+  const int64_t steps = x.value().dim(1);
+  ag::Var h{Tensor(Shape{batch, cell_.hidden_size()})};
+  ag::Var c{Tensor(Shape{batch, cell_.hidden_size()})};
+  std::vector<ag::Var> outputs;
+  outputs.reserve(steps);
+  for (int64_t t = 0; t < steps; ++t) {
+    cell_.Forward(TimeStep(x, t), &h, &c);
+    outputs.push_back(h);
+  }
+  return ag::Permute(ag::Stack(outputs), {1, 0, 2});
+}
+
+ag::Var TimeStep(const ag::Var& x, int64_t t) {
+  STWA_CHECK(x.value().rank() == 3, "TimeStep expects [B, T, F]");
+  const int64_t batch = x.value().dim(0);
+  const int64_t features = x.value().dim(2);
+  return ag::Reshape(ag::Slice(x, 1, t, 1), {batch, features});
+}
+
+}  // namespace nn
+}  // namespace stwa

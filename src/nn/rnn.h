@@ -1,0 +1,109 @@
+// Recurrent cells and sequence modules (GRU / LSTM).
+//
+// The cell math is exposed as static Step functions taking explicit weight
+// Vars so that the spatio-temporal aware parameter generator (src/core) and
+// the meta-LSTM baseline can plug generated — per-sensor or per-timestep —
+// weights into the exact same recurrence.
+
+#ifndef STWA_NN_RNN_H_
+#define STWA_NN_RNN_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace stwa {
+namespace nn {
+
+/// Gated recurrent unit cell (PyTorch gate conventions).
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, Rng* rng = nullptr);
+
+  /// One step with this cell's own weights: x [..., in], h [..., hidden].
+  ag::Var Forward(const ag::Var& x, const ag::Var& h) const;
+
+  /// One step with externally supplied weights. `w_ih` is [.., in, 3*hidden]
+  /// and `w_hh` is [.., hidden, 3*hidden]; leading axes broadcast against
+  /// x/h through batched matmul, enabling per-sensor generated weights.
+  static ag::Var Step(const ag::Var& x, const ag::Var& h, const ag::Var& w_ih,
+                      const ag::Var& w_hh, const ag::Var& b_ih,
+                      const ag::Var& b_hh, int64_t hidden_size);
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  ag::Var w_ih_;
+  ag::Var w_hh_;
+  ag::Var b_ih_;
+  ag::Var b_hh_;
+};
+
+/// GRU over a sequence.
+class Gru : public Module {
+ public:
+  Gru(int64_t input_size, int64_t hidden_size, Rng* rng = nullptr);
+
+  /// x [B, T, in] -> outputs [B, T, hidden]; h0 (optional) [B, hidden].
+  ag::Var Forward(const ag::Var& x, const ag::Var& h0 = {}) const;
+
+  /// Final hidden state of the last Forward call is not cached; use
+  /// ForwardWithState when the final state is needed.
+  ag::Var ForwardWithState(const ag::Var& x, ag::Var* final_state,
+                           const ag::Var& h0 = {}) const;
+
+  int64_t hidden_size() const { return cell_.hidden_size(); }
+
+ private:
+  GruCell cell_;
+};
+
+/// Long short-term memory cell (PyTorch gate conventions: i, f, g, o).
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng = nullptr);
+
+  /// One step; updates (h, c) in place through the output parameters.
+  void Forward(const ag::Var& x, ag::Var* h, ag::Var* c) const;
+
+  /// One step with externally supplied weights (w_ih [.., in, 4*hidden],
+  /// w_hh [.., hidden, 4*hidden]); used by the meta-LSTM baseline.
+  static void Step(const ag::Var& x, ag::Var* h, ag::Var* c,
+                   const ag::Var& w_ih, const ag::Var& w_hh,
+                   const ag::Var& b_ih, const ag::Var& b_hh,
+                   int64_t hidden_size);
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  ag::Var w_ih_;
+  ag::Var w_hh_;
+  ag::Var b_ih_;
+  ag::Var b_hh_;
+};
+
+/// LSTM over a sequence: x [B, T, in] -> outputs [B, T, hidden].
+class Lstm : public Module {
+ public:
+  Lstm(int64_t input_size, int64_t hidden_size, Rng* rng = nullptr);
+
+  ag::Var Forward(const ag::Var& x) const;
+
+  int64_t hidden_size() const { return cell_.hidden_size(); }
+
+ private:
+  LstmCell cell_;
+};
+
+/// Slices time step `t` out of a [B, T, F] sequence as [B, F].
+ag::Var TimeStep(const ag::Var& x, int64_t t);
+
+}  // namespace nn
+}  // namespace stwa
+
+#endif  // STWA_NN_RNN_H_

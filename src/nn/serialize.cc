@@ -1,0 +1,91 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace nn {
+namespace {
+
+constexpr uint32_t kMagic = 0x53545741;  // "STWA"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  STWA_CHECK(in.good(), "truncated checkpoint");
+  return value;
+}
+
+}  // namespace
+
+void SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  STWA_CHECK(out.good(), "cannot open '", path, "' for writing");
+  auto named = module.NamedParameters();
+  WritePod(out, kMagic);
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(named.size()));
+  for (const auto& [name, var] : named) {
+    WritePod(out, static_cast<uint64_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const Tensor& t = var.value();
+    WritePod(out, static_cast<uint64_t>(t.rank()));
+    for (int64_t d : t.shape()) WritePod(out, static_cast<int64_t>(d));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(sizeof(float) * t.size()));
+  }
+  STWA_CHECK(out.good(), "write to '", path, "' failed");
+}
+
+void LoadParameters(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  STWA_CHECK(in.good(), "cannot open checkpoint '", path, "'");
+  STWA_CHECK(ReadPod<uint32_t>(in) == kMagic, "'", path,
+             "' is not an STWA checkpoint");
+  STWA_CHECK(ReadPod<uint32_t>(in) == kVersion,
+             "unsupported checkpoint version");
+  const uint64_t count = ReadPod<uint64_t>(in);
+
+  std::map<std::string, ag::Var> params;
+  for (auto& [name, var] : module.NamedParameters()) {
+    params.emplace(name, var);
+  }
+  STWA_CHECK(count == params.size(), "checkpoint has ", count,
+             " parameters but the module has ", params.size());
+
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t name_len = ReadPod<uint64_t>(in);
+    STWA_CHECK(name_len < 4096, "implausible parameter name length");
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    const uint64_t rank = ReadPod<uint64_t>(in);
+    STWA_CHECK(rank <= 16, "implausible parameter rank");
+    Shape shape(rank);
+    for (uint64_t d = 0; d < rank; ++d) shape[d] = ReadPod<int64_t>(in);
+
+    auto it = params.find(name);
+    STWA_CHECK(it != params.end(), "checkpoint parameter '", name,
+               "' not found in the module");
+    Tensor& target = it->second.node()->value;
+    STWA_CHECK(target.shape() == shape, "shape mismatch for '", name,
+               "': module ", ShapeToString(target.shape()), " vs file ",
+               ShapeToString(shape));
+    in.read(reinterpret_cast<char*>(target.data()),
+            static_cast<std::streamsize>(sizeof(float) * target.size()));
+    STWA_CHECK(in.good(), "truncated checkpoint while reading '", name,
+               "'");
+  }
+}
+
+}  // namespace nn
+}  // namespace stwa

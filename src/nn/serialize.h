@@ -1,0 +1,27 @@
+// Parameter checkpointing: save/load a Module's named parameters to a
+// simple binary format. Loading matches by hierarchical name and checks
+// shapes, so a checkpoint survives construction-order refactors but not
+// architecture changes.
+
+#ifndef STWA_NN_SERIALIZE_H_
+#define STWA_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace stwa {
+namespace nn {
+
+/// Writes every named parameter of `module` to `path`.
+void SaveParameters(const Module& module, const std::string& path);
+
+/// Loads parameters by name into `module`. Throws if the file is missing
+/// or malformed, if a stored name is absent from the module, if a module
+/// parameter is absent from the file, or if any shape differs.
+void LoadParameters(Module& module, const std::string& path);
+
+}  // namespace nn
+}  // namespace stwa
+
+#endif  // STWA_NN_SERIALIZE_H_

@@ -1,0 +1,24 @@
+#include "optim/early_stopping.h"
+
+namespace stwa {
+namespace optim {
+
+EarlyStopping::EarlyStopping(int patience, float min_delta)
+    : patience_(patience), min_delta_(min_delta) {}
+
+bool EarlyStopping::Update(float value) {
+  ++epoch_;
+  if (value < best_ - min_delta_) {
+    best_ = value;
+    best_epoch_ = epoch_;
+    bad_epochs_ = 0;
+    return true;
+  }
+  ++bad_epochs_;
+  return false;
+}
+
+bool EarlyStopping::ShouldStop() const { return bad_epochs_ >= patience_; }
+
+}  // namespace optim
+}  // namespace stwa

@@ -1,0 +1,42 @@
+// Early stopping on a validation metric (paper: patience 15).
+
+#ifndef STWA_OPTIM_EARLY_STOPPING_H_
+#define STWA_OPTIM_EARLY_STOPPING_H_
+
+#include <limits>
+
+namespace stwa {
+namespace optim {
+
+/// Tracks the best validation metric and signals when training should stop
+/// after `patience` epochs without improvement.
+class EarlyStopping {
+ public:
+  explicit EarlyStopping(int patience = 15, float min_delta = 0.0f);
+
+  /// Records a new validation value; returns true when the value improved
+  /// on the best seen so far (by more than min_delta).
+  bool Update(float value);
+
+  /// True once `patience` consecutive non-improving updates have occurred.
+  bool ShouldStop() const;
+
+  /// Best value observed.
+  float best() const { return best_; }
+
+  /// Epoch index (0-based update counter) of the best value.
+  int best_epoch() const { return best_epoch_; }
+
+ private:
+  int patience_;
+  float min_delta_;
+  float best_ = std::numeric_limits<float>::infinity();
+  int best_epoch_ = -1;
+  int epoch_ = -1;
+  int bad_epochs_ = 0;
+};
+
+}  // namespace optim
+}  // namespace stwa
+
+#endif  // STWA_OPTIM_EARLY_STOPPING_H_

@@ -1,0 +1,113 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace optim {
+
+Optimizer::Optimizer(std::vector<ag::Var> params)
+    : params_(std::move(params)) {
+  for (const ag::Var& p : params_) {
+    STWA_CHECK(p.requires_grad(), "optimizer parameter must require grad");
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (ag::Var& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<ag::Var> params, float lr, float momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const ag::Var& p : params_) {
+      velocity_.emplace_back(p.value().shape());
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Var& p = params_[i];
+    Tensor& value = p.node()->value;
+    const Tensor& grad = p.grad();
+    float* w = value.data();
+    const float* g = grad.data();
+    if (momentum_ > 0.0f) {
+      float* vel = velocity_[i].data();
+      for (int64_t j = 0; j < value.size(); ++j) {
+        vel[j] = momentum_ * vel[j] + g[j];
+        w[j] -= lr_ * vel[j];
+      }
+    } else {
+      for (int64_t j = 0; j < value.size(); ++j) w[j] -= lr_ * g[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<ag::Var> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ag::Var& p : params_) {
+    m_.emplace_back(p.value().shape());
+    v_.emplace_back(p.value().shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Var& p = params_[i];
+    Tensor& value = p.node()->value;
+    const Tensor& grad = p.grad();
+    float* w = value.data();
+    const float* g = grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (int64_t j = 0; j < value.size(); ++j) {
+      float gj = g[j] + weight_decay_ * w[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * gj;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * gj * gj;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm) {
+  STWA_CHECK(max_norm > 0.0f, "max_norm must be positive");
+  double total = 0.0;
+  for (const ag::Var& p : params) {
+    const Tensor& g = p.grad();
+    const float* data = g.data();
+    for (int64_t j = 0; j < g.size(); ++j) {
+      total += static_cast<double>(data[j]) * data[j];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-6f);
+    for (const ag::Var& p : params) {
+      Tensor& g = p.node()->grad;
+      float* data = g.data();
+      for (int64_t j = 0; j < g.size(); ++j) data[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace optim
+}  // namespace stwa

@@ -1,0 +1,73 @@
+// First-order optimizers over Module parameters.
+
+#ifndef STWA_OPTIM_OPTIMIZER_H_
+#define STWA_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace stwa {
+namespace optim {
+
+/// Base optimizer: owns handles to the parameters it updates.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Var> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Current learning rate.
+  float learning_rate() const { return lr_; }
+
+  /// Updates the learning rate (for schedules).
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ protected:
+  std::vector<ag::Var> params_;
+  float lr_ = 1e-3f;
+};
+
+/// Plain stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Var> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba). The paper trains with Adam at lr = 1e-3.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Var> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Rescales all gradients so their global L2 norm is at most `max_norm`;
+/// returns the pre-clip norm.
+float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm);
+
+}  // namespace optim
+}  // namespace stwa
+
+#endif  // STWA_OPTIM_OPTIMIZER_H_

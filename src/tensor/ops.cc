@@ -1,0 +1,633 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace ops {
+namespace {
+
+// Odometer-style iteration over an output shape with per-input strides that
+// are zero on broadcast dimensions. Calls fn(out_flat, a_flat, b_flat).
+template <typename Fn>
+void ForEachBroadcast(const Shape& out_shape,
+                      const std::vector<int64_t>& a_strides,
+                      const std::vector<int64_t>& b_strides, Fn&& fn) {
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+  const int64_t total = NumElements(out_shape);
+  if (total == 0) return;
+  if (rank == 0) {
+    fn(0, 0, 0);
+    return;
+  }
+  std::vector<int64_t> idx(rank, 0);
+  int64_t a_off = 0;
+  int64_t b_off = 0;
+  for (int64_t flat = 0; flat < total; ++flat) {
+    fn(flat, a_off, b_off);
+    // Increment the odometer from the last axis.
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++idx[d];
+      a_off += a_strides[d];
+      b_off += b_strides[d];
+      if (idx[d] < out_shape[d]) break;
+      a_off -= a_strides[d] * out_shape[d];
+      b_off -= b_strides[d] * out_shape[d];
+      idx[d] = 0;
+    }
+  }
+}
+
+// Strides of `shape` aligned to `out_rank` dims, with 0 stride where the
+// dimension is broadcast (missing or extent 1 against a larger extent).
+std::vector<int64_t> BroadcastStrides(const Shape& shape,
+                                      const Shape& out_shape) {
+  const int64_t out_rank = static_cast<int64_t>(out_shape.size());
+  const int64_t rank = static_cast<int64_t>(shape.size());
+  std::vector<int64_t> strides = Strides(shape);
+  std::vector<int64_t> out(out_rank, 0);
+  for (int64_t d = 0; d < rank; ++d) {
+    int64_t out_d = out_rank - rank + d;
+    if (shape[d] == out_shape[out_d]) {
+      out[out_d] = strides[d];
+    } else {
+      STWA_CHECK(shape[d] == 1, "broadcast mismatch: ", ShapeToString(shape),
+                 " vs ", ShapeToString(out_shape));
+      out[out_d] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename Fn>
+Tensor BinaryImpl(const Tensor& a, const Tensor& b, Fn&& fn) {
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = a.size();
+    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    return out;
+  }
+  Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out(out_shape);
+  auto as = BroadcastStrides(a.shape(), out_shape);
+  auto bs = BroadcastStrides(b.shape(), out_shape);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ForEachBroadcast(out_shape, as, bs,
+                   [&](int64_t o, int64_t ia, int64_t ib) {
+                     po[o] = fn(pa[ia], pb[ib]);
+                   });
+  return out;
+}
+
+template <typename Fn>
+Tensor UnaryImpl(const Tensor& a, Fn&& fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+int64_t NormalizeAxis(int64_t axis, int64_t rank) {
+  if (axis < 0) axis += rank;
+  STWA_CHECK(axis >= 0 && axis < rank, "axis ", axis,
+             " out of range for rank ", rank);
+  return axis;
+}
+
+// Collapses `shape` around `axis` into (outer, extent, inner).
+void AxisSplit(const Shape& shape, int64_t axis, int64_t* outer,
+               int64_t* extent, int64_t* inner) {
+  *outer = 1;
+  *inner = 1;
+  for (int64_t d = 0; d < axis; ++d) *outer *= shape[d];
+  *extent = shape[axis];
+  for (int64_t d = axis + 1; d < static_cast<int64_t>(shape.size()); ++d) {
+    *inner *= shape[d];
+  }
+}
+
+}  // namespace
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const int64_t rank = std::max(a.size(), b.size());
+  Shape out(rank);
+  for (int64_t d = 0; d < rank; ++d) {
+    int64_t ad = d >= rank - static_cast<int64_t>(a.size())
+                     ? a[d - (rank - a.size())]
+                     : 1;
+    int64_t bd = d >= rank - static_cast<int64_t>(b.size())
+                     ? b[d - (rank - b.size())]
+                     : 1;
+    STWA_CHECK(ad == bd || ad == 1 || bd == 1, "cannot broadcast ",
+               ShapeToString(a), " with ", ShapeToString(b));
+    out[d] = std::max(ad, bd);
+  }
+  return out;
+}
+
+std::vector<int64_t> Strides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size());
+  int64_t acc = 1;
+  for (int64_t d = static_cast<int64_t>(shape.size()) - 1; d >= 0; --d) {
+    strides[d] = acc;
+    acc *= shape[d];
+  }
+  return strides;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryImpl(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryImpl(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryImpl(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryImpl(a, b, [](float x, float y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryImpl(a, b, [](float x, float y) { return std::max(x, y); });
+}
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return BinaryImpl(a, b, [](float x, float y) { return std::min(x, y); });
+}
+
+Tensor BinaryOp(const Tensor& a, const Tensor& b,
+                const std::function<float(float, float)>& fn) {
+  return BinaryImpl(a, b, fn);
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryImpl(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryImpl(a, [s](float x) { return x * s; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryImpl(a, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& a) {
+  return UnaryImpl(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return UnaryImpl(a, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return UnaryImpl(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Abs(const Tensor& a) {
+  return UnaryImpl(a, [](float x) { return std::fabs(x); });
+}
+Tensor Square(const Tensor& a) {
+  return UnaryImpl(a, [](float x) { return x * x; });
+}
+Tensor Tanh(const Tensor& a) {
+  return UnaryImpl(a, [](float x) { return std::tanh(x); });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryImpl(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Relu(const Tensor& a) {
+  return UnaryImpl(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor UnaryOp(const Tensor& a, const std::function<float(float)>& fn) {
+  return UnaryImpl(a, fn);
+}
+
+Tensor MatMul2D(const Tensor& a, const Tensor& b) {
+  STWA_CHECK(a.rank() == 2 && b.rank() == 2, "MatMul2D needs rank-2 inputs, ",
+             ShapeToString(a.shape()), " x ", ShapeToString(b.shape()));
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(1);
+  STWA_CHECK(b.dim(0) == k, "inner dimensions mismatch: ",
+             ShapeToString(a.shape()), " x ", ShapeToString(b.shape()));
+  Tensor out(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // i-k-j loop order: the inner j loop is contiguous on both b and out,
+  // which auto-vectorises well.
+  for (int64_t i = 0; i < m; ++i) {
+    float* out_row = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* b_row = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  if (a.rank() == 2 && b.rank() == 2) return MatMul2D(a, b);
+  STWA_CHECK(a.rank() >= 2 && b.rank() >= 2,
+             "MatMul needs rank >= 2 inputs");
+  // Normalise to equal batch shapes; a rank-2 operand is shared.
+  Shape a_batch(a.shape().begin(), a.shape().end() - 2);
+  Shape b_batch(b.shape().begin(), b.shape().end() - 2);
+  Shape batch = BroadcastShapes(a_batch, b_batch);
+  const int64_t m = a.dim(-2);
+  const int64_t k = a.dim(-1);
+  const int64_t n = b.dim(-1);
+  STWA_CHECK(b.dim(-2) == k, "inner dimensions mismatch: ",
+             ShapeToString(a.shape()), " x ", ShapeToString(b.shape()));
+  const int64_t batch_count = NumElements(batch);
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  Tensor out(out_shape);
+
+  // Per-batch offsets honouring broadcasting over the batch dims.
+  std::vector<int64_t> a_strides =
+      BroadcastStrides(a_batch, batch);
+  std::vector<int64_t> b_strides =
+      BroadcastStrides(b_batch, batch);
+  std::vector<int64_t> batch_strides = Strides(batch);
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t a_mat = m * k;
+  const int64_t b_mat = k * n;
+  const int64_t o_mat = m * n;
+  for (int64_t bi = 0; bi < batch_count; ++bi) {
+    int64_t a_off = 0;
+    int64_t b_off = 0;
+    int64_t rem = bi;
+    for (size_t d = 0; d < batch.size(); ++d) {
+      int64_t coord = rem / batch_strides[d];
+      rem %= batch_strides[d];
+      a_off += coord * a_strides[d];
+      b_off += coord * b_strides[d];
+    }
+    const float* A = pa + a_off * a_mat;
+    const float* B = pb + b_off * b_mat;
+    float* O = po + bi * o_mat;
+    for (int64_t i = 0; i < m; ++i) {
+      float* out_row = O + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = A[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* b_row = B + kk * n;
+        for (int64_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor TransposeLast2(const Tensor& a) {
+  STWA_CHECK(a.rank() >= 2, "TransposeLast2 needs rank >= 2");
+  std::vector<int64_t> axes(a.rank());
+  for (int64_t d = 0; d < a.rank(); ++d) axes[d] = d;
+  std::swap(axes[a.rank() - 1], axes[a.rank() - 2]);
+  return Permute(a, axes);
+}
+
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& axes) {
+  const int64_t rank = a.rank();
+  STWA_CHECK(static_cast<int64_t>(axes.size()) == rank,
+             "Permute axes rank mismatch");
+  std::vector<bool> seen(rank, false);
+  Shape out_shape(rank);
+  for (int64_t d = 0; d < rank; ++d) {
+    STWA_CHECK(axes[d] >= 0 && axes[d] < rank && !seen[axes[d]],
+               "invalid permutation");
+    seen[axes[d]] = true;
+    out_shape[d] = a.shape()[axes[d]];
+  }
+  Tensor out(out_shape);
+  if (a.size() == 0) return out;
+  std::vector<int64_t> in_strides = Strides(a.shape());
+  // stride in the input for each output axis
+  std::vector<int64_t> strides(rank);
+  for (int64_t d = 0; d < rank; ++d) strides[d] = in_strides[axes[d]];
+  const float* pa = a.data();
+  float* po = out.data();
+  std::vector<int64_t> idx(rank, 0);
+  int64_t in_off = 0;
+  const int64_t total = a.size();
+  for (int64_t flat = 0; flat < total; ++flat) {
+    po[flat] = pa[in_off];
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++idx[d];
+      in_off += strides[d];
+      if (idx[d] < out_shape[d]) break;
+      in_off -= strides[d] * out_shape[d];
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) acc += p[i];
+  Tensor out(Shape{});
+  out.data()[0] = static_cast<float>(acc);
+  return out;
+}
+
+Tensor MeanAll(const Tensor& a) {
+  STWA_CHECK(a.size() > 0, "MeanAll of empty tensor");
+  Tensor s = SumAll(a);
+  s.data()[0] /= static_cast<float>(a.size());
+  return s;
+}
+
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
+  axis = NormalizeAxis(axis, a.rank());
+  int64_t outer;
+  int64_t extent;
+  int64_t inner;
+  AxisSplit(a.shape(), axis, &outer, &extent, &inner);
+  Shape out_shape = a.shape();
+  if (keepdims) {
+    out_shape[axis] = 1;
+  } else {
+    out_shape.erase(out_shape.begin() + axis);
+  }
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t e = 0; e < extent; ++e) {
+      const float* src = pa + (o * extent + e) * inner;
+      float* dst = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdims) {
+  axis = NormalizeAxis(axis, a.rank());
+  Tensor s = Sum(a, axis, keepdims);
+  const float inv = 1.0f / static_cast<float>(a.shape()[axis]);
+  float* p = s.data();
+  for (int64_t i = 0; i < s.size(); ++i) p[i] *= inv;
+  return s;
+}
+
+Tensor Max(const Tensor& a, int64_t axis, bool keepdims) {
+  axis = NormalizeAxis(axis, a.rank());
+  int64_t outer;
+  int64_t extent;
+  int64_t inner;
+  AxisSplit(a.shape(), axis, &outer, &extent, &inner);
+  STWA_CHECK(extent > 0, "Max over empty axis");
+  Shape out_shape = a.shape();
+  if (keepdims) {
+    out_shape[axis] = 1;
+  } else {
+    out_shape.erase(out_shape.begin() + axis);
+  }
+  Tensor out(out_shape, -std::numeric_limits<float>::infinity());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t e = 0; e < extent; ++e) {
+      const float* src = pa + (o * extent + e) * inner;
+      float* dst = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] = std::max(dst[i], src[i]);
+    }
+  }
+  return out;
+}
+
+Tensor ArgMaxLast(const Tensor& a) {
+  STWA_CHECK(a.rank() >= 1, "ArgMaxLast needs rank >= 1");
+  const int64_t last = a.dim(-1);
+  STWA_CHECK(last > 0, "ArgMaxLast over empty axis");
+  const int64_t rows = a.size() / last;
+  Shape out_shape(a.shape().begin(), a.shape().end() - 1);
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = pa + r * last;
+    int64_t best = 0;
+    for (int64_t j = 1; j < last; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    po[r] = static_cast<float>(best);
+  }
+  return out;
+}
+
+Tensor ReduceToShape(const Tensor& grad, const Shape& shape) {
+  if (grad.shape() == shape) return grad;
+  // Align target shape to grad rank with leading 1s, sum where target is 1
+  // or missing, then reshape to the target.
+  const int64_t grank = grad.rank();
+  const int64_t trank = static_cast<int64_t>(shape.size());
+  Tensor cur = grad;
+  // Sum away extra leading axes.
+  for (int64_t d = 0; d < grank - trank; ++d) cur = Sum(cur, 0, false);
+  // Sum broadcast (extent-1) axes, keeping dims.
+  for (int64_t d = 0; d < trank; ++d) {
+    if (shape[d] == 1 && cur.shape()[d] != 1) {
+      cur = Sum(cur, d, /*keepdims=*/true);
+    } else {
+      STWA_CHECK(shape[d] == cur.shape()[d], "ReduceToShape mismatch: ",
+                 ShapeToString(grad.shape()), " -> ", ShapeToString(shape));
+    }
+  }
+  return cur.Reshape(shape);
+}
+
+Tensor SoftmaxLast(const Tensor& a) {
+  STWA_CHECK(a.rank() >= 1, "SoftmaxLast needs rank >= 1");
+  const int64_t last = a.dim(-1);
+  STWA_CHECK(last > 0, "SoftmaxLast over empty axis");
+  const int64_t rows = a.size() / last;
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = pa + r * last;
+    float* dst = po + r * last;
+    float mx = src[0];
+    for (int64_t j = 1; j < last; ++j) mx = std::max(mx, src[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < last; ++j) {
+      dst[j] = std::exp(src[j] - mx);
+      sum += dst[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < last; ++j) dst[j] *= inv;
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  STWA_CHECK(!parts.empty(), "Concat of zero tensors");
+  const int64_t rank = parts[0].rank();
+  axis = NormalizeAxis(axis, rank);
+  Shape out_shape = parts[0].shape();
+  int64_t total_axis = 0;
+  for (const Tensor& t : parts) {
+    STWA_CHECK(t.rank() == rank, "Concat rank mismatch");
+    for (int64_t d = 0; d < rank; ++d) {
+      if (d != axis) {
+        STWA_CHECK(t.shape()[d] == out_shape[d],
+                   "Concat shape mismatch on dim ", d);
+      }
+    }
+    total_axis += t.shape()[axis];
+  }
+  out_shape[axis] = total_axis;
+  Tensor out(out_shape);
+  int64_t outer;
+  int64_t extent;
+  int64_t inner;
+  AxisSplit(out_shape, axis, &outer, &extent, &inner);
+  float* po = out.data();
+  int64_t axis_offset = 0;
+  for (const Tensor& t : parts) {
+    const int64_t t_extent = t.shape()[axis];
+    const float* pt = t.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(po + (o * extent + axis_offset) * inner,
+                  pt + o * t_extent * inner,
+                  sizeof(float) * t_extent * inner);
+    }
+    axis_offset += t_extent;
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
+  axis = NormalizeAxis(axis, a.rank());
+  STWA_CHECK(start >= 0 && len >= 0 && start + len <= a.shape()[axis],
+             "Slice range [", start, ", ", start + len,
+             ") out of bounds for extent ", a.shape()[axis]);
+  int64_t outer;
+  int64_t extent;
+  int64_t inner;
+  AxisSplit(a.shape(), axis, &outer, &extent, &inner);
+  Shape out_shape = a.shape();
+  out_shape[axis] = len;
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(po + o * len * inner, pa + (o * extent + start) * inner,
+                sizeof(float) * len * inner);
+  }
+  return out;
+}
+
+Tensor Stack(const std::vector<Tensor>& parts) {
+  STWA_CHECK(!parts.empty(), "Stack of zero tensors");
+  for (const Tensor& t : parts) {
+    STWA_CHECK(t.shape() == parts[0].shape(), "Stack shape mismatch");
+  }
+  Shape out_shape = parts[0].shape();
+  out_shape.insert(out_shape.begin(),
+                   static_cast<int64_t>(parts.size()));
+  Tensor out(out_shape);
+  float* po = out.data();
+  const int64_t each = parts[0].size();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    std::memcpy(po + i * each, parts[i].data(), sizeof(float) * each);
+  }
+  return out;
+}
+
+Tensor IndexSelect0(const Tensor& a, const std::vector<int64_t>& indices) {
+  STWA_CHECK(a.rank() >= 1, "IndexSelect0 needs rank >= 1");
+  const int64_t rows = a.dim(0);
+  const int64_t row_size = rows == 0 ? 0 : a.size() / rows;
+  Shape out_shape = a.shape();
+  out_shape[0] = static_cast<int64_t>(indices.size());
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t r = indices[i];
+    STWA_CHECK(r >= 0 && r < rows, "index ", r, " out of range [0, ", rows,
+               ")");
+    std::memcpy(po + i * row_size, pa + r * row_size,
+                sizeof(float) * row_size);
+  }
+  return out;
+}
+
+void ScatterAddRows(Tensor& dst, const std::vector<int64_t>& indices,
+                    const Tensor& src) {
+  STWA_CHECK(dst.rank() >= 1 && src.rank() >= 1, "rank >= 1 required");
+  const int64_t rows = dst.dim(0);
+  const int64_t row_size = rows == 0 ? 0 : dst.size() / rows;
+  STWA_CHECK(src.dim(0) == static_cast<int64_t>(indices.size()),
+             "ScatterAddRows row count mismatch");
+  STWA_CHECK(src.size() == row_size * src.dim(0),
+             "ScatterAddRows row size mismatch");
+  const float* ps = src.data();
+  float* pd = dst.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t r = indices[i];
+    STWA_CHECK(r >= 0 && r < rows, "index ", r, " out of range");
+    const float* srow = ps + i * row_size;
+    float* drow = pd + r * row_size;
+    for (int64_t j = 0; j < row_size; ++j) drow[j] += srow[j];
+  }
+}
+
+void AddInPlace(Tensor& dst, const Tensor& src) {
+  STWA_CHECK(dst.shape() == src.shape(), "AddInPlace shape mismatch: ",
+             ShapeToString(dst.shape()), " vs ", ShapeToString(src.shape()));
+  float* pd = dst.data();
+  const float* ps = src.data();
+  for (int64_t i = 0; i < dst.size(); ++i) pd[i] += ps[i];
+}
+
+void AxpyInPlace(Tensor& dst, float s, const Tensor& src) {
+  STWA_CHECK(dst.shape() == src.shape(), "AxpyInPlace shape mismatch");
+  float* pd = dst.data();
+  const float* ps = src.data();
+  for (int64_t i = 0; i < dst.size(); ++i) pd[i] += s * ps[i];
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  STWA_CHECK(a.shape() == b.shape(), "MaxAbsDiff shape mismatch");
+  float mx = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    mx = std::max(mx, std::fabs(pa[i] - pb[i]));
+  }
+  return mx;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(pa[i] - pb[i]) > atol + rtol * std::fabs(pb[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ops
+}  // namespace stwa

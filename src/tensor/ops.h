@@ -1,0 +1,145 @@
+// Non-differentiable tensor kernels.
+//
+// These free functions implement the numeric operations on raw Tensors; the
+// autograd layer (src/autograd) builds differentiable wrappers on top of
+// them. All binary elementwise operations support NumPy-style broadcasting
+// (shapes aligned from the right; extent-1 dimensions stretch).
+
+#ifndef STWA_TENSOR_OPS_H_
+#define STWA_TENSOR_OPS_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace ops {
+
+// --- Shape algebra -----------------------------------------------------
+
+/// Returns the broadcast result shape of `a` and `b`; throws if the shapes
+/// are incompatible.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+/// Row-major strides of a shape.
+std::vector<int64_t> Strides(const Shape& shape);
+
+// --- Elementwise binary (broadcasting) ---------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+Tensor Minimum(const Tensor& a, const Tensor& b);
+
+/// Generic broadcasting binary op with a custom combiner.
+Tensor BinaryOp(const Tensor& a, const Tensor& b,
+                const std::function<float(float, float)>& fn);
+
+// --- Elementwise with scalar -------------------------------------------
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+// --- Elementwise unary --------------------------------------------------
+
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+
+/// Generic unary op with a custom map.
+Tensor UnaryOp(const Tensor& a, const std::function<float(float)>& fn);
+
+// --- Linear algebra ------------------------------------------------------
+
+/// 2-D matrix product [m,k] x [k,n] -> [m,n].
+Tensor MatMul2D(const Tensor& a, const Tensor& b);
+
+/// Batched matrix product. Accepts [..., m, k] x [..., k, n] where the
+/// leading batch dimensions are equal, or either operand is rank-2 (then it
+/// is shared across the other's batch).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Swaps the last two dimensions (materialises a new tensor).
+Tensor TransposeLast2(const Tensor& a);
+
+/// General axis permutation; `axes` is a permutation of [0, rank).
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& axes);
+
+// --- Reductions ----------------------------------------------------------
+
+/// Sum of all elements (rank-0 result).
+Tensor SumAll(const Tensor& a);
+
+/// Mean of all elements (rank-0 result).
+Tensor MeanAll(const Tensor& a);
+
+/// Sum over one axis. With keepdims the reduced axis has extent 1,
+/// otherwise it is removed.
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdims = false);
+
+/// Mean over one axis.
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdims = false);
+
+/// Max over one axis.
+Tensor Max(const Tensor& a, int64_t axis, bool keepdims = false);
+
+/// Index of the max along the last axis (float-valued indices).
+Tensor ArgMaxLast(const Tensor& a);
+
+/// Sums `grad` down to `shape` (inverse of broadcasting); used by autograd
+/// backward passes. `shape` must be broadcast-compatible with grad's shape.
+Tensor ReduceToShape(const Tensor& grad, const Shape& shape);
+
+// --- Softmax -------------------------------------------------------------
+
+/// Numerically stable softmax along the last axis.
+Tensor SoftmaxLast(const Tensor& a);
+
+// --- Structure -----------------------------------------------------------
+
+/// Concatenates tensors along `axis`; all other extents must match.
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
+
+/// Copies the half-open range [start, start+len) of `axis`.
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len);
+
+/// Stacks equal-shaped tensors along a new leading axis.
+Tensor Stack(const std::vector<Tensor>& parts);
+
+/// Selects rows (axis 0) by index, e.g. embedding lookup.
+Tensor IndexSelect0(const Tensor& a, const std::vector<int64_t>& indices);
+
+/// Adds `src` rows into `dst` at the given axis-0 indices (scatter-add).
+void ScatterAddRows(Tensor& dst, const std::vector<int64_t>& indices,
+                    const Tensor& src);
+
+// --- In-place accumulation (used by autograd grad buffers) ---------------
+
+/// dst += src (same shape required).
+void AddInPlace(Tensor& dst, const Tensor& src);
+
+/// dst += s * src (same shape required).
+void AxpyInPlace(Tensor& dst, float s, const Tensor& src);
+
+// --- Comparisons / stats --------------------------------------------------
+
+/// Max |a - b| over all elements; shapes must match.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+/// True when all |a-b| <= atol + rtol*|b| elementwise.
+bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-4f,
+              float atol = 1e-5f);
+
+}  // namespace ops
+}  // namespace stwa
+
+#endif  // STWA_TENSOR_OPS_H_

@@ -1,0 +1,189 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace stwa {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    STWA_CHECK(d >= 0, "negative dimension in shape ", ShapeToString(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << shape[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+Tensor::Tensor() : data_(std::make_shared<std::vector<float>>()), size_(0) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)) {
+  size_ = NumElements(shape_);
+  data_ = std::make_shared<std::vector<float>>(size_, 0.0f);
+}
+
+Tensor::Tensor(Shape shape, float fill) : Tensor(std::move(shape)) {
+  Fill(fill);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)) {
+  size_ = NumElements(shape_);
+  STWA_CHECK(static_cast<int64_t>(values.size()) == size_,
+             "value count ", values.size(), " does not match shape ",
+             ShapeToString(shape_));
+  data_ = std::make_shared<std::vector<float>>(std::move(values));
+}
+
+Tensor::Tensor(std::initializer_list<float> values)
+    : Tensor(Shape{static_cast<int64_t>(values.size())},
+             std::vector<float>(values)) {}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  return Tensor(std::move(shape), value);
+}
+
+Tensor Tensor::Randn(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) p[i] = rng.Normal();
+  return t;
+}
+
+Tensor Tensor::Rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) p[i] = rng.Uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t count, float start, float step) {
+  STWA_CHECK(count >= 0, "Arange count must be non-negative");
+  Tensor t(Shape{count});
+  float* p = t.data();
+  for (int64_t i = 0; i < count; ++i) p[i] = start + step * i;
+  return t;
+}
+
+Tensor Tensor::Eye(int64_t n) {
+  Tensor t(Shape{n, n});
+  for (int64_t i = 0; i < n; ++i) t.data()[i * n + i] = 1.0f;
+  return t;
+}
+
+int64_t Tensor::dim(int64_t d) const {
+  int64_t r = rank();
+  if (d < 0) d += r;
+  STWA_CHECK(d >= 0 && d < r, "dim ", d, " out of range for rank ", r);
+  return shape_[d];
+}
+
+float& Tensor::at(int64_t flat_index) {
+  STWA_CHECK(flat_index >= 0 && flat_index < size_, "flat index ",
+             flat_index, " out of range [0, ", size_, ")");
+  return (*data_)[flat_index];
+}
+
+float Tensor::at(int64_t flat_index) const {
+  STWA_CHECK(flat_index >= 0 && flat_index < size_, "flat index ",
+             flat_index, " out of range [0, ", size_, ")");
+  return (*data_)[flat_index];
+}
+
+int64_t Tensor::FlatIndex(std::initializer_list<int64_t> index) const {
+  STWA_CHECK(static_cast<int64_t>(index.size()) == rank(),
+             "index rank ", index.size(), " != tensor rank ", rank());
+  int64_t flat = 0;
+  int64_t d = 0;
+  for (int64_t i : index) {
+    STWA_CHECK(i >= 0 && i < shape_[d], "index ", i,
+               " out of range for dim ", d, " of shape ",
+               ShapeToString(shape_));
+    flat = flat * shape_[d] + i;
+    ++d;
+  }
+  return flat;
+}
+
+float& Tensor::operator()(std::initializer_list<int64_t> index) {
+  return (*data_)[FlatIndex(index)];
+}
+
+float Tensor::operator()(std::initializer_list<int64_t> index) const {
+  return (*data_)[FlatIndex(index)];
+}
+
+float Tensor::item() const {
+  STWA_CHECK(size_ == 1, "item() requires a single-element tensor, shape ",
+             ShapeToString(shape_));
+  return (*data_)[0];
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  STWA_CHECK(NumElements(new_shape) == size_, "cannot reshape ",
+             ShapeToString(shape_), " to ", ShapeToString(new_shape));
+  Tensor out = *this;
+  out.shape_ = std::move(new_shape);
+  return out;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor out;
+  out.shape_ = shape_;
+  out.size_ = size_;
+  out.data_ = std::make_shared<std::vector<float>>(*data_);
+  return out;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_->begin(), data_->end(), value);
+}
+
+void Tensor::CopyDataFrom(const Tensor& src) {
+  STWA_CHECK(src.size() == size_, "CopyDataFrom size mismatch: ",
+             src.size(), " vs ", size_);
+  std::copy(src.data(), src.data() + size_, data());
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream oss;
+  oss << "Tensor" << ShapeToString(shape_) << " ";
+  constexpr int64_t kMaxPrint = 32;
+  oss << "{";
+  for (int64_t i = 0; i < std::min(size_, kMaxPrint); ++i) {
+    if (i > 0) oss << ", ";
+    oss << (*data_)[i];
+  }
+  if (size_ > kMaxPrint) oss << ", ...";
+  oss << "}";
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t) {
+  return os << t.ToString();
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+}  // namespace stwa

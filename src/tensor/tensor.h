@@ -1,0 +1,151 @@
+// Dense row-major float32 tensor.
+//
+// The Tensor is the storage substrate for the whole library: the autograd
+// layer wraps it, the NN modules allocate parameters as Tensors, and the
+// data pipeline materialises batches as Tensors. Design choices:
+//   * contiguous row-major storage, float32 only (matches the paper's
+//     training precision);
+//   * shallow copy semantics via a shared buffer — copies are O(1); use
+//     Clone() for a deep copy. Slicing/permuting materialise new buffers,
+//     which keeps every kernel simple, cache-friendly and testable;
+//   * all shape errors throw stwa::Error via STWA_CHECK.
+
+#ifndef STWA_TENSOR_TENSOR_H_
+#define STWA_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stwa {
+
+class Rng;
+
+/// Tensor shape: list of non-negative dimension extents.
+using Shape = std::vector<int64_t>;
+
+/// Returns the number of elements of a shape (product of extents; 1 for a
+/// rank-0/scalar shape).
+int64_t NumElements(const Shape& shape);
+
+/// Human-readable form, e.g. "[3, 4, 5]".
+std::string ShapeToString(const Shape& shape);
+
+/// Dense row-major float tensor with shared-buffer copy semantics.
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, zero elements until assigned).
+  Tensor();
+
+  /// Allocates a zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Allocates a tensor of the given shape with every element set to
+  /// `fill`.
+  Tensor(Shape shape, float fill);
+
+  /// Builds a tensor from explicit values; `values.size()` must equal the
+  /// shape's element count.
+  Tensor(Shape shape, std::vector<float> values);
+
+  /// Convenience: 1-D tensor from an initializer list.
+  Tensor(std::initializer_list<float> values);
+
+  // --- Factories -------------------------------------------------------
+
+  /// All-zeros tensor.
+  static Tensor Zeros(Shape shape);
+
+  /// All-ones tensor.
+  static Tensor Ones(Shape shape);
+
+  /// Constant-filled tensor.
+  static Tensor Full(Shape shape, float value);
+
+  /// I.i.d. standard normal entries drawn from `rng`.
+  static Tensor Randn(Shape shape, Rng& rng);
+
+  /// I.i.d. uniform entries in [lo, hi) drawn from `rng`.
+  static Tensor Rand(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+  /// 1-D tensor [start, start+1*step, ...] with `count` entries.
+  static Tensor Arange(int64_t count, float start = 0.0f, float step = 1.0f);
+
+  /// Identity matrix of size n x n.
+  static Tensor Eye(int64_t n);
+
+  // --- Introspection ---------------------------------------------------
+
+  /// Tensor shape.
+  const Shape& shape() const { return shape_; }
+
+  /// Extent of dimension `dim` (supports negative indices from the back).
+  int64_t dim(int64_t d) const;
+
+  /// Number of dimensions.
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+
+  /// Total number of elements.
+  int64_t size() const { return size_; }
+
+  /// True if the tensor has zero elements or was default constructed.
+  bool empty() const { return size_ == 0; }
+
+  /// Mutable raw storage pointer.
+  float* data() { return data_->data(); }
+
+  /// Const raw storage pointer.
+  const float* data() const { return data_->data(); }
+
+  // --- Element access --------------------------------------------------
+
+  /// Flat (row-major) element access.
+  float& at(int64_t flat_index);
+  float at(int64_t flat_index) const;
+
+  /// Multi-index access; the index list length must equal the rank.
+  float& operator()(std::initializer_list<int64_t> index);
+  float operator()(std::initializer_list<int64_t> index) const;
+
+  /// Value of a rank-0 or single-element tensor.
+  float item() const;
+
+  // --- Structure -------------------------------------------------------
+
+  /// Returns a tensor sharing this buffer but with a different shape; the
+  /// element counts must match. O(1).
+  Tensor Reshape(Shape new_shape) const;
+
+  /// Deep copy.
+  Tensor Clone() const;
+
+  /// Fills every element with `value` in place.
+  void Fill(float value);
+
+  /// Copies the contents of `src` (same total size) into this tensor's
+  /// buffer, preserving this tensor's shape.
+  void CopyDataFrom(const Tensor& src);
+
+  /// Human-readable dump (small tensors only; large ones are summarised).
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<std::vector<float>> data_;
+  Shape shape_;
+  int64_t size_ = 0;
+
+  int64_t FlatIndex(std::initializer_list<int64_t> index) const;
+};
+
+/// Streams Tensor::ToString().
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+/// True when shapes are identical.
+bool SameShape(const Tensor& a, const Tensor& b);
+
+}  // namespace stwa
+
+#endif  // STWA_TENSOR_TENSOR_H_

@@ -1,0 +1,39 @@
+#include "train/grid_search.h"
+
+#include <iostream>
+#include <limits>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace train {
+
+GridSearchResult GridSearch(Trainer& trainer,
+                            const std::vector<GridCandidate>& candidates,
+                            bool verbose) {
+  STWA_CHECK(!candidates.empty(), "grid search needs candidates");
+  GridSearchResult result;
+  double best_val = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    std::unique_ptr<ForecastModel> model = candidates[i].make();
+    STWA_CHECK(model != nullptr, "candidate '", candidates[i].label,
+               "' produced a null model");
+    TrainResult run = trainer.Fit(*model);
+    result.val_mae.push_back(run.val.mae);
+    if (verbose) {
+      std::cout << "[grid] " << candidates[i].label
+                << ": val MAE=" << run.val.mae
+                << " test MAE=" << run.test.mae << "\n";
+    }
+    if (run.val.mae < best_val) {
+      best_val = run.val.mae;
+      result.best_index = i;
+      result.best_label = candidates[i].label;
+      result.best = run;
+    }
+  }
+  return result;
+}
+
+}  // namespace train
+}  // namespace stwa

@@ -1,0 +1,47 @@
+// Validation-set grid search, as in the paper's protocol ("we tune the
+// hyper-parameters on the validation data by grid search" — §V-A): train
+// one model per candidate configuration, pick the best validation MAE,
+// report its test metrics.
+
+#ifndef STWA_TRAIN_GRID_SEARCH_H_
+#define STWA_TRAIN_GRID_SEARCH_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "train/trainer.h"
+
+namespace stwa {
+namespace train {
+
+/// One candidate of the grid: a display label and a factory producing a
+/// fresh model for that configuration.
+struct GridCandidate {
+  std::string label;
+  std::function<std::unique_ptr<ForecastModel>()> make;
+};
+
+/// Result of a grid search.
+struct GridSearchResult {
+  /// Index of the winning candidate in the input list.
+  size_t best_index = 0;
+  std::string best_label;
+  /// Train result (with test metrics) of the winner.
+  TrainResult best;
+  /// Validation MAE per candidate, in input order.
+  std::vector<double> val_mae;
+};
+
+/// Trains every candidate with `trainer` and returns the one with the
+/// lowest validation MAE. Candidates are trained independently (fresh
+/// models); ties break toward the earlier candidate.
+GridSearchResult GridSearch(Trainer& trainer,
+                            const std::vector<GridCandidate>& candidates,
+                            bool verbose = false);
+
+}  // namespace train
+}  // namespace stwa
+
+#endif  // STWA_TRAIN_GRID_SEARCH_H_

@@ -1,0 +1,67 @@
+#include "train/table.h"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+namespace stwa {
+namespace train {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::Render() const {
+  // Column widths over header + all rows.
+  std::vector<size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& row : rows_) absorb(row);
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      out << (c == 0 ? "" : "  ") << cell
+          << std::string(widths[c] - cell.size(), ' ');
+    }
+    out << "\n";
+  };
+  auto print_sep = [&] {
+    size_t total = 0;
+    for (size_t w : widths) total += w;
+    total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+    out << std::string(total, '-') << "\n";
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    print_sep();
+  }
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_sep();
+    } else {
+      print_row(row);
+    }
+  }
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::cout << Render() << std::flush; }
+
+}  // namespace train
+}  // namespace stwa

@@ -1,0 +1,44 @@
+// Plain-text table printing for the benchmark harness. Every bench binary
+// prints rows in the same layout as the corresponding paper table.
+
+#ifndef STWA_TRAIN_TABLE_H_
+#define STWA_TRAIN_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace stwa {
+namespace train {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table (e.g. "Table IV: Overall Accuracy").
+  explicit TablePrinter(std::string title);
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row (cells are padded to the header width).
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator.
+  void AddSeparator();
+
+  /// Renders the table to a string.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace train
+}  // namespace stwa
+
+#endif  // STWA_TRAIN_TABLE_H_

@@ -1,0 +1,106 @@
+#include "train/trainer.h"
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "optim/early_stopping.h"
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+#include <iostream>
+
+namespace stwa {
+namespace train {
+
+Trainer::Trainer(const data::TrafficDataset& dataset, int64_t history,
+                 int64_t horizon, TrainConfig config)
+    : config_(config), history_(history), horizon_(horizon) {
+  data::SplitBounds split = data::ChronologicalSplit(dataset.num_steps());
+  scaler_.Fit(dataset.values, split.train_end);
+  Tensor normalised = scaler_.Transform(dataset.values);
+  // Both inputs and targets are normalised; Evaluate() inverse-transforms
+  // before computing metrics, so metrics are in original flow units.
+  train_ = std::make_unique<data::WindowSampler>(
+      normalised, normalised, history, horizon, 0, split.train_end,
+      config_.stride);
+  val_ = std::make_unique<data::WindowSampler>(
+      normalised, normalised, history, horizon, split.train_end,
+      split.val_end, config_.eval_stride);
+  test_ = std::make_unique<data::WindowSampler>(
+      normalised, normalised, history, horizon, split.val_end,
+      split.num_steps, config_.eval_stride);
+}
+
+metrics::ForecastMetrics Trainer::Evaluate(ForecastModel& model,
+                                           const data::WindowSampler& sampler) {
+  metrics::MetricAccumulator acc;
+  auto batches = sampler.EpochBatches(config_.batch_size, nullptr);
+  for (const auto& batch_indices : batches) {
+    data::Batch batch = sampler.MakeBatch(batch_indices);
+    ag::Var pred = model.Forward(batch.x, /*training=*/false);
+    STWA_CHECK(pred.value().shape() == batch.y.shape(),
+               "model '", model.name(), "' produced ",
+               ShapeToString(pred.value().shape()), ", expected ",
+               ShapeToString(batch.y.shape()));
+    acc.Add(scaler_.InverseTransform(pred.value()),
+            scaler_.InverseTransform(batch.y));
+  }
+  return acc.Result();
+}
+
+TrainResult Trainer::Fit(ForecastModel& model) {
+  TrainResult result;
+  result.param_count = model.ParameterCount();
+  std::vector<ag::Var> params = model.Parameters();
+  optim::Adam opt(params, config_.lr);
+  optim::EarlyStopping stopper(config_.patience);
+  Rng shuffle_rng(config_.seed);
+
+  Stopwatch total_watch;
+  double epoch_seconds_sum = 0.0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Stopwatch epoch_watch;
+    auto batches = train_->EpochBatches(config_.batch_size, &shuffle_rng);
+    int64_t batch_count = 0;
+    double loss_sum = 0.0;
+    for (const auto& batch_indices : batches) {
+      if (config_.max_batches_per_epoch > 0 &&
+          batch_count >= config_.max_batches_per_epoch) {
+        break;
+      }
+      data::Batch batch = train_->MakeBatch(batch_indices);
+      opt.ZeroGrad();
+      ag::Var pred = model.Forward(batch.x, /*training=*/true);
+      ag::Var loss =
+          ag::HuberLoss(pred, ag::Var(batch.y), config_.huber_delta);
+      ag::Var reg = model.RegularizationLoss();
+      if (reg.defined()) loss = ag::Add(loss, reg);
+      loss.Backward();
+      optim::ClipGradNorm(params, config_.clip_norm);
+      opt.Step();
+      loss_sum += loss.value().item();
+      ++batch_count;
+    }
+    epoch_seconds_sum += epoch_watch.ElapsedSeconds();
+    ++result.epochs_run;
+
+    metrics::ForecastMetrics val = Evaluate(model, *val_);
+    result.val_mae_history.push_back(val.mae);
+    if (config_.verbose) {
+      std::cout << "[" << model.name() << "] epoch " << epoch
+                << " train_loss=" << loss_sum / std::max<int64_t>(1,
+                                                                  batch_count)
+                << " val_mae=" << val.mae << "\n";
+    }
+    stopper.Update(static_cast<float>(val.mae));
+    if (stopper.ShouldStop()) break;
+  }
+  result.seconds_per_epoch =
+      result.epochs_run > 0 ? epoch_seconds_sum / result.epochs_run : 0.0;
+  result.total_seconds = total_watch.ElapsedSeconds();
+  result.val = Evaluate(model, *val_);
+  result.test = Evaluate(model, *test_);
+  return result;
+}
+
+}  // namespace train
+}  // namespace stwa

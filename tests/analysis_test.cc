@@ -1,0 +1,171 @@
+// Tests for the analysis toolkit (PCA, k-means, t-SNE): each method must
+// recover planted cluster structure.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/kmeans.h"
+#include "analysis/pca.h"
+#include "analysis/tsne.h"
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace analysis {
+namespace {
+
+/// Two well-separated Gaussian blobs in d dimensions; rows 0..half-1 are
+/// blob 0.
+Tensor TwoBlobs(int64_t n, int64_t d, float separation, Rng& rng) {
+  Tensor x(Shape{n, d});
+  for (int64_t i = 0; i < n; ++i) {
+    const float centre = i < n / 2 ? 0.0f : separation;
+    for (int64_t j = 0; j < d; ++j) {
+      x({i, j}) = centre + rng.Normal(0.0f, 0.5f);
+    }
+  }
+  return x;
+}
+
+std::vector<int> BlobLabels(int64_t n) {
+  std::vector<int> labels(n);
+  for (int64_t i = 0; i < n; ++i) labels[i] = i < n / 2 ? 0 : 1;
+  return labels;
+}
+
+// --- PCA ------------------------------------------------------------------
+
+TEST(PcaTest, ProjectsOntoMaxVarianceDirection) {
+  // Points along the diagonal y = x with tiny noise: PC1 scores must have
+  // far more variance than PC2 scores.
+  Rng rng(1);
+  Tensor x(Shape{50, 2});
+  for (int64_t i = 0; i < 50; ++i) {
+    const float t = static_cast<float>(i) - 25.0f;
+    x({i, 0}) = t + rng.Normal(0.0f, 0.05f);
+    x({i, 1}) = t + rng.Normal(0.0f, 0.05f);
+  }
+  Tensor proj = Pca(x, 2);
+  ASSERT_EQ(proj.shape(), (Shape{50, 2}));
+  double var1 = 0.0;
+  double var2 = 0.0;
+  for (int64_t i = 0; i < 50; ++i) {
+    var1 += static_cast<double>(proj({i, 0})) * proj({i, 0});
+    var2 += static_cast<double>(proj({i, 1})) * proj({i, 1});
+  }
+  EXPECT_GT(var1, 100.0 * var2);
+}
+
+TEST(PcaTest, SeparatesBlobsInOneComponent) {
+  Rng rng(2);
+  Tensor x = TwoBlobs(40, 8, 10.0f, rng);
+  Tensor proj = Pca(x, 1);
+  // Blob means must be far apart on PC1.
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (int64_t i = 0; i < 20; ++i) mean_a += proj({i, 0});
+  for (int64_t i = 20; i < 40; ++i) mean_b += proj({i, 0});
+  EXPECT_GT(std::fabs(mean_a - mean_b) / 20.0, 5.0);
+}
+
+TEST(PcaTest, BadComponentCountThrows) {
+  Tensor x = Tensor::Zeros({5, 3});
+  EXPECT_THROW(Pca(x, 4), Error);
+  EXPECT_THROW(Pca(x, 0), Error);
+}
+
+// --- KMeans ---------------------------------------------------------------
+
+TEST(KMeansTest, RecoversPlantedBlobs) {
+  Rng rng(3);
+  Tensor x = TwoBlobs(60, 4, 8.0f, rng);
+  KMeansResult result = KMeans(x, 2, rng);
+  const double purity = ClusterPurity(result.assignment, BlobLabels(60));
+  EXPECT_GT(purity, 0.95);
+  EXPECT_GT(result.inertia, 0.0);
+}
+
+TEST(KMeansTest, SingleClusterGetsEveryPoint) {
+  Rng rng(4);
+  Tensor x = TwoBlobs(10, 2, 3.0f, rng);
+  KMeansResult result = KMeans(x, 1, rng);
+  for (int a : result.assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(KMeansTest, KLargerThanNThrows) {
+  Rng rng(5);
+  Tensor x = Tensor::Zeros({3, 2});
+  EXPECT_THROW(KMeans(x, 4, rng), Error);
+}
+
+TEST(PurityTest, PerfectAndWorstCase) {
+  EXPECT_EQ(ClusterPurity({0, 0, 1, 1}, {5, 5, 7, 7}), 1.0);
+  // Clusters that mix labels half-half give purity 0.5.
+  EXPECT_EQ(ClusterPurity({0, 0, 0, 0}, {1, 1, 2, 2}), 0.5);
+}
+
+TEST(SilhouetteTest, SeparatedBlobsScoreHigh) {
+  Rng rng(6);
+  Tensor x = TwoBlobs(30, 3, 10.0f, rng);
+  const double good = Silhouette(x, BlobLabels(30));
+  EXPECT_GT(good, 0.7);
+  // Random assignment scores much worse.
+  std::vector<int> random_assign(30);
+  for (int i = 0; i < 30; ++i) random_assign[i] = i % 2;
+  const double bad = Silhouette(x, random_assign);
+  EXPECT_LT(bad, good - 0.3);
+}
+
+// --- t-SNE -----------------------------------------------------------------
+
+TEST(TsneTest, OutputShape) {
+  Rng rng(7);
+  Tensor x = TwoBlobs(20, 6, 5.0f, rng);
+  TsneOptions opt;
+  opt.perplexity = 5.0;
+  opt.iterations = 150;
+  Tensor y = Tsne(x, opt);
+  EXPECT_EQ(y.shape(), (Shape{20, 2}));
+  for (int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_FALSE(std::isnan(y.at(i)));
+  }
+}
+
+TEST(TsneTest, PreservesPlantedClusters) {
+  Rng rng(8);
+  const int64_t n = 40;
+  Tensor x = TwoBlobs(n, 10, 12.0f, rng);
+  TsneOptions opt;
+  opt.perplexity = 8.0;
+  opt.iterations = 400;
+  opt.seed = 9;
+  Tensor y = Tsne(x, opt);
+  // The embedding must keep the two blobs separable: k-means purity high.
+  Rng km_rng(10);
+  KMeansResult clusters = KMeans(y, 2, km_rng);
+  EXPECT_GT(ClusterPurity(clusters.assignment, BlobLabels(n)), 0.9);
+  EXPECT_GT(Silhouette(y, BlobLabels(n)), 0.3);
+}
+
+TEST(TsneTest, DeterministicFromSeed) {
+  Rng rng(11);
+  Tensor x = TwoBlobs(15, 4, 6.0f, rng);
+  TsneOptions opt;
+  opt.perplexity = 4.0;
+  opt.iterations = 100;
+  Tensor a = Tsne(x, opt);
+  Tensor b = Tsne(x, opt);
+  EXPECT_TRUE(ops::AllClose(a, b, 0.0f, 0.0f));
+}
+
+TEST(TsneTest, PerplexityMustBeBelowN) {
+  Tensor x = Tensor::Zeros({5, 2});
+  TsneOptions opt;
+  opt.perplexity = 10.0;
+  EXPECT_THROW(Tsne(x, opt), Error);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace stwa

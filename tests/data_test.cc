@@ -1,0 +1,353 @@
+// Tests of the data pipeline: generator invariants, splits, scaler,
+// sampler windowing, CSV round trips.
+
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "data/dataset.h"
+#include "data/sampler.h"
+#include "data/scaler.h"
+#include "data/traffic_generator.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace data {
+namespace {
+
+GeneratorOptions SmallOptions() {
+  GeneratorOptions o;
+  o.num_roads = 3;
+  o.sensors_per_road = 4;
+  o.num_days = 14;  // two full weeks: weekday/weekend structure present
+  o.seed = 99;
+  return o;
+}
+
+TEST(GeneratorTest, ShapesAndMetadata) {
+  TrafficDataset d = GenerateTraffic(SmallOptions());
+  EXPECT_EQ(d.num_sensors(), 12);
+  EXPECT_EQ(d.num_steps(), 14 * 288);
+  EXPECT_EQ(d.num_features(), 1);
+  EXPECT_EQ(d.road_of_sensor.size(), 12u);
+  EXPECT_EQ(d.coords.size(), 12u);
+  EXPECT_EQ(d.graph.num_nodes(), 12);
+  EXPECT_EQ(d.road_of_sensor[0], 0);
+  EXPECT_EQ(d.road_of_sensor[11], 2);
+}
+
+TEST(GeneratorTest, FlowsAreNonNegative) {
+  TrafficDataset d = GenerateTraffic(SmallOptions());
+  const float* p = d.values.data();
+  for (int64_t i = 0; i < d.values.size(); ++i) {
+    EXPECT_GE(p[i], 0.0f);
+  }
+}
+
+TEST(GeneratorTest, DeterministicFromSeed) {
+  TrafficDataset a = GenerateTraffic(SmallOptions());
+  TrafficDataset b = GenerateTraffic(SmallOptions());
+  EXPECT_TRUE(ops::AllClose(a.values, b.values, 0.0f, 0.0f));
+  GeneratorOptions other = SmallOptions();
+  other.seed = 100;
+  TrafficDataset c = GenerateTraffic(other);
+  EXPECT_GT(ops::MaxAbsDiff(a.values, c.values), 1.0f);
+}
+
+TEST(GeneratorTest, DailyPeriodicityDominates) {
+  // Correlation between one weekday's profile and the next weekday's
+  // profile should be strongly positive.
+  GeneratorOptions o = SmallOptions();
+  o.noise_std = 4.0f;
+  TrafficDataset d = GenerateTraffic(o);
+  const int64_t spd = d.steps_per_day;
+  // Compare Tuesday (day 1) vs Wednesday (day 2) for sensor 0.
+  double num = 0.0;
+  double da = 0.0;
+  double db = 0.0;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (int64_t s = 0; s < spd; ++s) {
+    mean_a += d.values({0, spd + s, 0});
+    mean_b += d.values({0, 2 * spd + s, 0});
+  }
+  mean_a /= spd;
+  mean_b /= spd;
+  for (int64_t s = 0; s < spd; ++s) {
+    const double a = d.values({0, spd + s, 0}) - mean_a;
+    const double b = d.values({0, 2 * spd + s, 0}) - mean_b;
+    num += a * b;
+    da += a * a;
+    db += b * b;
+  }
+  const double corr = num / std::sqrt(da * db);
+  EXPECT_GT(corr, 0.8) << "consecutive weekdays should correlate strongly";
+}
+
+TEST(GeneratorTest, WeekendRegimeDiffersFromWeekdays) {
+  GeneratorOptions o = SmallOptions();
+  o.noise_std = 2.0f;
+  o.incident_prob = 0.0f;
+  TrafficDataset d = GenerateTraffic(o);
+  const int64_t spd = d.steps_per_day;
+  // Mean absolute profile difference weekday-vs-weekday should be much
+  // smaller than weekday-vs-weekend (day 1 = Tue, day 2 = Wed, day 5 = Sat).
+  double wd_wd = 0.0;
+  double wd_we = 0.0;
+  for (int64_t s = 0; s < spd; ++s) {
+    wd_wd += std::fabs(d.values({0, spd + s, 0}) -
+                       d.values({0, 2 * spd + s, 0}));
+    wd_we += std::fabs(d.values({0, spd + s, 0}) -
+                       d.values({0, 5 * spd + s, 0}));
+  }
+  EXPECT_GT(wd_we, 1.5 * wd_wd);
+}
+
+TEST(GeneratorTest, SameRoadSensorsCorrelateMoreThanCrossRoad) {
+  GeneratorOptions o = SmallOptions();
+  o.seed = 123;
+  TrafficDataset d = GenerateTraffic(o);
+  auto corr = [&](int64_t a, int64_t b) {
+    const int64_t steps = d.num_steps();
+    double ma = 0.0;
+    double mb = 0.0;
+    for (int64_t t = 0; t < steps; ++t) {
+      ma += d.values({a, t, 0});
+      mb += d.values({b, t, 0});
+    }
+    ma /= steps;
+    mb /= steps;
+    double num = 0.0;
+    double da = 0.0;
+    double db = 0.0;
+    for (int64_t t = 0; t < steps; ++t) {
+      const double xa = d.values({a, t, 0}) - ma;
+      const double xb = d.values({b, t, 0}) - mb;
+      num += xa * xb;
+      da += xa * xa;
+      db += xb * xb;
+    }
+    return num / std::sqrt(da * db);
+  };
+  // Sensors 0 and 1 share road 0; sensor 4 is on road 1.
+  double avg_same = 0.0;
+  double avg_cross = 0.0;
+  int same_count = 0;
+  int cross_count = 0;
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = i + 1; j < 4; ++j) {
+      avg_same += corr(i, j);
+      ++same_count;
+    }
+    for (int64_t j = 4; j < 8; ++j) {
+      avg_cross += corr(i, j);
+      ++cross_count;
+    }
+  }
+  avg_same /= same_count;
+  avg_cross /= cross_count;
+  EXPECT_GT(avg_same, avg_cross)
+      << "same-road correlation should exceed cross-road correlation";
+}
+
+TEST(GeneratorTest, DayOfWeekHelpers) {
+  EXPECT_EQ(DayOfWeek(0, 288), 0);
+  EXPECT_EQ(DayOfWeek(287, 288), 0);
+  EXPECT_EQ(DayOfWeek(288, 288), 1);
+  EXPECT_EQ(DayOfWeek(7 * 288, 288), 0);
+  EXPECT_FALSE(IsWeekend(0, 288));
+  EXPECT_TRUE(IsWeekend(5 * 288, 288));
+  EXPECT_TRUE(IsWeekend(6 * 288 + 100, 288));
+  EXPECT_FALSE(IsWeekend(7 * 288, 288));
+}
+
+TEST(GeneratorTest, ProfilesKeepPaperSizeOrdering) {
+  auto n = [](const GeneratorOptions& o) {
+    return o.num_roads * o.sensors_per_road;
+  };
+  // Paper: PEMS07 (883) > PEMS03 (358) > PEMS04 (307) > PEMS08 (170).
+  EXPECT_GT(n(Pems07Profile()), n(Pems03Profile()));
+  EXPECT_GT(n(Pems03Profile()), n(Pems04Profile()));
+  EXPECT_GT(n(Pems04Profile()), n(Pems08Profile()));
+  EXPECT_EQ(n(Pems03Profile(2)), 2 * n(Pems03Profile()));
+}
+
+TEST(GeneratorTest, InvalidOptionsThrow) {
+  GeneratorOptions o = SmallOptions();
+  o.num_roads = 0;
+  EXPECT_THROW(GenerateTraffic(o), Error);
+}
+
+TEST(GeneratorTest, IncidentsDepressFlows) {
+  GeneratorOptions base = SmallOptions();
+  base.incident_prob = 0.0f;
+  base.noise_std = 2.0f;
+  GeneratorOptions heavy = base;
+  heavy.incident_prob = 0.9f;  // nearly one incident per road per day
+  TrafficDataset clean = GenerateTraffic(base);
+  TrafficDataset hit = GenerateTraffic(heavy);
+  // Same seed => identical profiles; incidents only remove flow.
+  double mean_clean = 0.0;
+  double mean_hit = 0.0;
+  for (int64_t i = 0; i < clean.values.size(); ++i) {
+    mean_clean += clean.values.at(i);
+    mean_hit += hit.values.at(i);
+  }
+  EXPECT_LT(mean_hit, mean_clean)
+      << "capacity drops must reduce total flow";
+}
+
+TEST(GeneratorTest, WeekendEffectCanBeDisabled) {
+  GeneratorOptions o = SmallOptions();
+  o.noise_std = 1.0f;
+  o.incident_prob = 0.0f;
+  o.weekend_effect = false;
+  TrafficDataset d = GenerateTraffic(o);
+  const int64_t spd = d.steps_per_day;
+  // Without the weekend regime, Saturday looks like Tuesday.
+  double diff = 0.0;
+  for (int64_t s = 0; s < spd; ++s) {
+    diff += std::fabs(d.values({0, spd + s, 0}) -
+                      d.values({0, 5 * spd + s, 0}));
+  }
+  EXPECT_LT(diff / spd, 10.0) << "profiles should match up to noise";
+}
+
+// --- Split -------------------------------------------------------------
+
+TEST(SplitTest, SixtyTwentyTwenty) {
+  SplitBounds b = ChronologicalSplit(1000);
+  EXPECT_EQ(b.train_end, 600);
+  EXPECT_EQ(b.val_end, 800);
+  EXPECT_EQ(b.num_steps, 1000);
+}
+
+TEST(SplitTest, TinyDatasetThrows) {
+  EXPECT_THROW(ChronologicalSplit(1), Error);
+}
+
+// --- Scaler -------------------------------------------------------------
+
+TEST(ScalerTest, NormalisesTrainSliceToZeroMeanUnitVar) {
+  Rng rng(5);
+  Tensor values = Tensor::Rand({3, 100, 1}, rng, 50.0f, 150.0f);
+  StandardScaler scaler;
+  scaler.Fit(values, 60);
+  Tensor train = ops::Slice(values, 1, 0, 60);
+  Tensor norm = scaler.Transform(train);
+  EXPECT_NEAR(ops::MeanAll(norm).item(), 0.0f, 1e-4f);
+  double var = 0.0;
+  for (int64_t i = 0; i < norm.size(); ++i) {
+    var += static_cast<double>(norm.at(i)) * norm.at(i);
+  }
+  EXPECT_NEAR(var / norm.size(), 1.0, 1e-3);
+}
+
+TEST(ScalerTest, InverseUndoesTransform) {
+  Rng rng(6);
+  Tensor values = Tensor::Rand({2, 50, 1}, rng, 0.0f, 300.0f);
+  StandardScaler scaler;
+  scaler.Fit(values, 30);
+  Tensor round = scaler.InverseTransform(scaler.Transform(values));
+  EXPECT_TRUE(ops::AllClose(round, values, 1e-4f, 1e-2f));
+}
+
+TEST(ScalerTest, UseBeforeFitThrows) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.Transform(Tensor::Ones({2, 2})), Error);
+}
+
+TEST(ScalerTest, FitIgnoresValTestStatistics) {
+  // Put a huge shift in the "future" region; the scaler must not see it.
+  Tensor values = Tensor::Zeros({1, 100, 1});
+  for (int64_t t = 60; t < 100; ++t) values({0, t, 0}) = 1e6f;
+  StandardScaler scaler;
+  scaler.Fit(values, 60);
+  EXPECT_NEAR(scaler.mean(), 0.0f, 1e-3f);
+}
+
+// --- Sampler ------------------------------------------------------------
+
+TEST(SamplerTest, WindowContentsMatchSource) {
+  // values[i, t] = 1000*i + t makes windows easy to verify.
+  const int64_t sensors = 2;
+  const int64_t steps = 40;
+  Tensor values(Shape{sensors, steps, 1});
+  for (int64_t i = 0; i < sensors; ++i) {
+    for (int64_t t = 0; t < steps; ++t) {
+      values({i, t, 0}) = 1000.0f * i + t;
+    }
+  }
+  WindowSampler sampler(values, values, /*history=*/4, /*horizon=*/3,
+                        /*range_begin=*/0, /*range_end=*/steps);
+  Batch batch = sampler.MakeBatch({0, 1});
+  ASSERT_EQ(batch.x.shape(), (Shape{2, 2, 4, 1}));
+  ASSERT_EQ(batch.y.shape(), (Shape{2, 2, 3, 1}));
+  // Anchor 0 is t = 3: inputs are 0..3, targets 4..6.
+  EXPECT_EQ((batch.x({0, 0, 0, 0})), 0.0f);
+  EXPECT_EQ((batch.x({0, 0, 3, 0})), 3.0f);
+  EXPECT_EQ((batch.y({0, 0, 0, 0})), 4.0f);
+  EXPECT_EQ((batch.y({0, 0, 2, 0})), 6.0f);
+  // Sensor 1 of anchor 1 (t = 4).
+  EXPECT_EQ((batch.x({1, 1, 0, 0})), 1001.0f);
+  EXPECT_EQ((batch.y({1, 1, 0, 0})), 1005.0f);
+}
+
+TEST(SamplerTest, AnchorsRespectRangeBoundaries) {
+  Tensor values = Tensor::Zeros({1, 100, 1});
+  WindowSampler sampler(values, values, 12, 12, 20, 60);
+  // First anchor: 20+12-1 = 31; last anchor t satisfies t+12 <= 60 => 48.
+  EXPECT_EQ(sampler.num_samples(), 48 - 31 + 1);
+}
+
+TEST(SamplerTest, StrideSkipsAnchors) {
+  Tensor values = Tensor::Zeros({1, 100, 1});
+  WindowSampler dense(values, values, 6, 6, 0, 100, 1);
+  WindowSampler strided(values, values, 6, 6, 0, 100, 3);
+  EXPECT_NEAR(static_cast<double>(dense.num_samples()) /
+                  strided.num_samples(),
+              3.0, 0.2);
+}
+
+TEST(SamplerTest, NoValidAnchorsThrows) {
+  Tensor values = Tensor::Zeros({1, 10, 1});
+  EXPECT_THROW(WindowSampler(values, values, 8, 8, 0, 10), Error);
+}
+
+TEST(SamplerTest, EpochBatchesCoverAllSamplesOnce) {
+  Tensor values = Tensor::Zeros({1, 60, 1});
+  WindowSampler sampler(values, values, 5, 5, 0, 60);
+  Rng rng(7);
+  auto batches = sampler.EpochBatches(8, &rng);
+  std::vector<int> seen(sampler.num_samples(), 0);
+  for (const auto& b : batches) {
+    EXPECT_LE(static_cast<int64_t>(b.size()), 8);
+    for (int64_t idx : b) seen[idx]++;
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+// --- CSV round trip -------------------------------------------------------
+
+TEST(CsvTest, SaveLoadRoundTrip) {
+  GeneratorOptions o = SmallOptions();
+  o.num_days = 2;
+  TrafficDataset d = GenerateTraffic(o);
+  const std::string path = "/tmp/stwa_test_series.csv";
+  SaveSeriesCsv(d, path);
+  TrafficDataset loaded = LoadSeriesCsv(path);
+  EXPECT_EQ(loaded.num_sensors(), d.num_sensors());
+  EXPECT_EQ(loaded.num_steps(), d.num_steps());
+  EXPECT_TRUE(ops::AllClose(loaded.values, d.values, 1e-4f, 1e-3f));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(LoadSeriesCsv("/tmp/definitely_missing_stwa.csv"), Error);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace stwa

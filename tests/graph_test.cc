@@ -1,0 +1,132 @@
+// Tests for the sensor graph and adjacency normalisations.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "graph/graph.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace graph {
+namespace {
+
+SensorGraph Triangle() {
+  SensorGraph g(3);
+  g.AddUndirectedEdge(0, 1, 1.0f);
+  g.AddUndirectedEdge(1, 2, 2.0f);
+  return g;
+}
+
+TEST(GraphTest, EdgeBookkeeping) {
+  SensorGraph g = Triangle();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.Neighbors(1).size(), 2u);
+  EXPECT_THROW(g.AddEdge(0, 3), Error);
+  EXPECT_THROW(g.Neighbors(5), Error);
+}
+
+TEST(GraphTest, DenseAdjacencyMatchesEdges) {
+  Tensor a = Triangle().DenseAdjacency();
+  EXPECT_EQ((a({0, 1})), 1.0f);
+  EXPECT_EQ((a({1, 0})), 1.0f);
+  EXPECT_EQ((a({1, 2})), 2.0f);
+  EXPECT_EQ((a({0, 2})), 0.0f);
+  EXPECT_EQ((a({0, 0})), 0.0f);
+}
+
+TEST(GraphTest, RandomWalkRowsSumToOne) {
+  Tensor rw = Triangle().RandomWalkNormalized();
+  for (int64_t i = 0; i < 3; ++i) {
+    float row = 0.0f;
+    for (int64_t j = 0; j < 3; ++j) row += rw({i, j});
+    EXPECT_NEAR(row, 1.0f, 1e-5f) << "row " << i;
+  }
+  // Node 1 splits 1:2 between nodes 0 and 2.
+  EXPECT_NEAR((rw({1, 0})), 1.0f / 3.0f, 1e-5f);
+  EXPECT_NEAR((rw({1, 2})), 2.0f / 3.0f, 1e-5f);
+}
+
+TEST(GraphTest, IsolatedNodeRowStaysZero) {
+  SensorGraph g(2);  // no edges
+  Tensor rw = g.RandomWalkNormalized();
+  EXPECT_EQ((rw({0, 0})), 0.0f);
+  EXPECT_EQ((rw({0, 1})), 0.0f);
+}
+
+TEST(GraphTest, SymNormalizedIsSymmetricWithUnitSpectralBound) {
+  Tensor s = Triangle().SymNormalizedWithSelfLoops();
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR((s({i, j})), (s({j, i})), 1e-5f);
+      EXPECT_LE(std::fabs(s({i, j})), 1.0f + 1e-5f);
+    }
+    EXPECT_GT((s({i, i})), 0.0f) << "self loop present";
+  }
+}
+
+TEST(GraphTest, DiffusionSupportsShapesAndStochasticity) {
+  SensorGraph g = Triangle();
+  auto supports = g.DiffusionSupports(2);
+  ASSERT_EQ(supports.size(), 4u);  // fwd^1, bwd^1, fwd^2, bwd^2
+  for (const Tensor& s : supports) {
+    EXPECT_EQ(s.shape(), (Shape{3, 3}));
+    // Rows of powers of a row-stochastic matrix remain row-stochastic.
+    for (int64_t i = 0; i < 3; ++i) {
+      float row = 0.0f;
+      for (int64_t j = 0; j < 3; ++j) row += s({i, j});
+      EXPECT_NEAR(row, 1.0f, 1e-4f);
+    }
+  }
+}
+
+TEST(GraphTest, ScaledLaplacianIsNegatedSymNormalization) {
+  SensorGraph g = Triangle();
+  Tensor sym = g.SymNormalizedWithSelfLoops();
+  Tensor lap = g.ScaledLaplacian();
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR((lap({i, j})), -(sym({i, j})), 1e-6f);
+    }
+  }
+}
+
+TEST(GraphTest, DiffusionSupportsRequirePositiveHops) {
+  EXPECT_THROW(Triangle().DiffusionSupports(0), Error);
+}
+
+TEST(GraphTest, CorridorGraphStructure) {
+  Rng rng(3);
+  std::vector<int> roads;
+  SensorGraph g = BuildCorridorGraph(3, 5, rng, &roads);
+  EXPECT_EQ(g.num_nodes(), 15);
+  ASSERT_EQ(roads.size(), 15u);
+  EXPECT_EQ(roads[0], 0);
+  EXPECT_EQ(roads[7], 1);
+  EXPECT_EQ(roads[14], 2);
+  // Chain edges: node 0 connects to node 1 but not to node 2.
+  Tensor a = g.DenseAdjacency();
+  EXPECT_GT((a({0, 1})), 0.0f);
+  EXPECT_EQ((a({0, 2})), 0.0f);
+  // Road boundaries have no chain edge: node 4 (end of road 0) to node 5.
+  // (There can be a random intersection edge, so only check chain weight
+  // range: intersection weights are < 0.5, chain weights >= 0.8.)
+  EXPECT_LT((a({4, 5})), 0.8f);
+  // Graph is connected via intersections: total edges >= chains + links.
+  EXPECT_GE(g.num_edges(), 2 * (3 * 4 + 2));
+}
+
+TEST(GraphTest, CorridorGraphIsDeterministicPerSeed) {
+  Rng rng1(9);
+  Rng rng2(9);
+  SensorGraph a = BuildCorridorGraph(2, 4, rng1);
+  SensorGraph b = BuildCorridorGraph(2, 4, rng2);
+  EXPECT_TRUE(ops::AllClose(a.DenseAdjacency(), b.DenseAdjacency(), 0.0f,
+                            0.0f));
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace stwa

@@ -1,0 +1,102 @@
+// Tests for MAE/RMSE/MAPE and the streaming accumulator.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "metrics/metrics.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace metrics {
+namespace {
+
+TEST(MetricsTest, PerfectPredictionIsZero) {
+  Tensor t({4}, {10, 20, 30, 40});
+  ForecastMetrics m = Evaluate(t, t);
+  EXPECT_EQ(m.mae, 0.0);
+  EXPECT_EQ(m.rmse, 0.0);
+  EXPECT_EQ(m.mape, 0.0);
+}
+
+TEST(MetricsTest, KnownValues) {
+  Tensor pred({2}, {12.0f, 18.0f});
+  Tensor target({2}, {10.0f, 20.0f});
+  ForecastMetrics m = Evaluate(pred, target);
+  EXPECT_NEAR(m.mae, 2.0, 1e-9);
+  EXPECT_NEAR(m.rmse, 2.0, 1e-9);
+  // MAPE = mean(2/10, 2/20) * 100 = 15%.
+  EXPECT_NEAR(m.mape, 15.0, 1e-6);
+}
+
+TEST(MetricsTest, RmsePenalisesOutliersMoreThanMae) {
+  Tensor pred({4}, {0, 0, 0, 10});
+  Tensor target({4}, {0, 0, 0, 0});
+  ForecastMetrics m = Evaluate(pred, target);
+  EXPECT_NEAR(m.mae, 2.5, 1e-9);
+  EXPECT_NEAR(m.rmse, 5.0, 1e-9);
+}
+
+TEST(MetricsTest, MapeMasksNearZeroTargets) {
+  Tensor pred({3}, {5.0f, 100.0f, 110.0f});
+  Tensor target({3}, {0.0f, 100.0f, 100.0f});
+  ForecastMetrics m = Evaluate(pred, target);
+  // Position 0 excluded: MAPE = mean(0, 10%) = 5%.
+  EXPECT_NEAR(m.mape, 5.0, 1e-6);
+  // MAE still counts the masked position.
+  EXPECT_NEAR(m.mae, (5.0 + 0.0 + 10.0) / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, MaskZerosExcludesFromAllMetrics) {
+  Tensor pred({2}, {5.0f, 101.0f});
+  Tensor target({2}, {0.0f, 100.0f});
+  ForecastMetrics m = Evaluate(pred, target, 0.1f, /*mask_zeros=*/true);
+  EXPECT_NEAR(m.mae, 1.0, 1e-9);
+}
+
+TEST(MetricsTest, ShapeMismatchThrows) {
+  EXPECT_THROW(Evaluate(Tensor::Zeros({2}), Tensor::Zeros({3})), Error);
+}
+
+TEST(MetricsTest, PerHorizonSlicesCorrectly) {
+  // [B=1, N=1, U=2, F=1]: horizon 1 perfect, horizon 2 off by 6.
+  Tensor pred({1, 1, 2, 1}, {10.0f, 26.0f});
+  Tensor target({1, 1, 2, 1}, {10.0f, 20.0f});
+  auto per = EvaluatePerHorizon(pred, target);
+  ASSERT_EQ(per.size(), 2u);
+  EXPECT_NEAR(per[0].mae, 0.0, 1e-9);
+  EXPECT_NEAR(per[1].mae, 6.0, 1e-9);
+  EXPECT_NEAR(per[1].mape, 30.0, 1e-6);
+}
+
+TEST(MetricsTest, AccumulatorMatchesSinglePass) {
+  Rng rng(3);
+  Tensor pred = Tensor::Rand({4, 5}, rng, 50.0f, 150.0f);
+  Tensor target = Tensor::Rand({4, 5}, rng, 50.0f, 150.0f);
+  ForecastMetrics whole = Evaluate(pred, target);
+
+  MetricAccumulator acc;
+  for (int64_t r = 0; r < 4; ++r) {
+    acc.Add(ops::Slice(pred, 0, r, 1), ops::Slice(target, 0, r, 1));
+  }
+  ForecastMetrics streamed = acc.Result();
+  EXPECT_NEAR(streamed.mae, whole.mae, 1e-9);
+  EXPECT_NEAR(streamed.rmse, whole.rmse, 1e-9);
+  EXPECT_NEAR(streamed.mape, whole.mape, 1e-9);
+  EXPECT_EQ(acc.count(), 20);
+}
+
+TEST(MetricsTest, EmptyAccumulatorIsZero) {
+  MetricAccumulator acc;
+  ForecastMetrics m = acc.Result();
+  EXPECT_EQ(m.mae, 0.0);
+  EXPECT_EQ(m.rmse, 0.0);
+  EXPECT_EQ(m.mape, 0.0);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace stwa

@@ -1,0 +1,375 @@
+// Tests for the NN module system: parameter registration, Linear/MLP,
+// GRU/LSTM semantics, attention shapes and masking, layer norm.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "common/check.h"
+#include "autograd/ops.h"
+#include "nn/attention.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "nn/rnn.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace nn {
+namespace {
+
+TEST(ModuleTest, ParameterRegistrationAndCount) {
+  Linear layer(4, 3);
+  EXPECT_EQ(layer.ParameterCount(), 4 * 3 + 3);
+  auto named = layer.NamedParameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[1].first, "bias");
+}
+
+TEST(ModuleTest, DuplicateParameterNameThrows) {
+  struct Bad : Module {
+    Bad() {
+      RegisterParameter("w", Tensor::Zeros({1}));
+      RegisterParameter("w", Tensor::Zeros({1}));
+    }
+  };
+  EXPECT_THROW(Bad bad, Error);
+}
+
+TEST(ModuleTest, ChildParametersAreCollectedWithDottedNames) {
+  struct Parent : Module {
+    Linear child{2, 2};
+    Parent() { RegisterModule("child", &child); }
+  };
+  Parent p;
+  auto named = p.NamedParameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "child.weight");
+}
+
+TEST(ModuleTest, ZeroGradClearsGradients) {
+  Linear layer(2, 2);
+  ag::Var x(Tensor::Ones({1, 2}));
+  ag::SumAll(layer.Forward(x)).Backward();
+  bool any_nonzero = false;
+  for (const ag::Var& p : layer.Parameters()) {
+    for (int64_t i = 0; i < p.grad().size(); ++i) {
+      if (p.grad().at(i) != 0.0f) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+  layer.ZeroGrad();
+  for (const ag::Var& p : layer.Parameters()) {
+    for (int64_t i = 0; i < p.grad().size(); ++i) {
+      EXPECT_EQ(p.grad().at(i), 0.0f);
+    }
+  }
+}
+
+TEST(LinearTest, KnownValues) {
+  Linear layer(2, 2);
+  // Overwrite parameters deterministically: y = x @ [[1,2],[3,4]] + [10,20]
+  layer.Parameters()[0].node()->value.CopyDataFrom(
+      Tensor({2, 2}, {1, 2, 3, 4}));
+  layer.Parameters()[1].node()->value.CopyDataFrom(Tensor({2}, {10, 20}));
+  ag::Var x(Tensor({1, 2}, {1, 1}));
+  Tensor y = layer.Forward(x).value();
+  EXPECT_TRUE(ops::AllClose(y, Tensor({1, 2}, {14, 26})));
+}
+
+TEST(LinearTest, BatchedLeadingDims) {
+  Linear layer(3, 5);
+  ag::Var x(Tensor::Randn({2, 4, 6, 3}, GlobalRng()));
+  Tensor y = layer.Forward(x).value();
+  EXPECT_EQ(y.shape(), (Shape{2, 4, 6, 5}));
+}
+
+TEST(LinearTest, WrongInputWidthThrows) {
+  Linear layer(3, 5);
+  ag::Var x(Tensor::Zeros({2, 4}));
+  EXPECT_THROW(layer.Forward(x), Error);
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(7);
+  Linear layer(3, 2, true, &rng);
+  ag::Var x(Tensor::Randn({4, 3}, rng));
+  auto params = layer.Parameters();
+  auto res = ag::CheckGradients(
+      [&] { return ag::SumAll(ag::Square(layer.Forward(x))); }, params);
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
+TEST(MlpTest, ShapesAndActivation) {
+  Rng rng(8);
+  Mlp mlp({4, 16, 16, 2}, Activation::kRelu, Activation::kNone, &rng);
+  ag::Var x(Tensor::Randn({5, 4}, rng));
+  Tensor y = mlp.Forward(x).value();
+  EXPECT_EQ(y.shape(), (Shape{5, 2}));
+  EXPECT_EQ(mlp.ParameterCount(), 4 * 16 + 16 + 16 * 16 + 16 + 16 * 2 + 2);
+}
+
+TEST(MlpTest, SigmoidOutputIsBounded) {
+  Rng rng(9);
+  Mlp mlp({3, 8, 4}, Activation::kTanh, Activation::kSigmoid, &rng);
+  ag::Var x(Tensor::Randn({10, 3}, rng));
+  Tensor y = mlp.Forward(x).value();
+  for (int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_GT(y.at(i), 0.0f);
+    EXPECT_LT(y.at(i), 1.0f);
+  }
+}
+
+TEST(MlpTest, TooFewDimsThrows) {
+  EXPECT_THROW(Mlp mlp({4}), Error);
+}
+
+// --- GRU ------------------------------------------------------------------
+
+TEST(GruTest, CellMatchesManualGateMath) {
+  Rng rng(10);
+  GruCell cell(2, 3, &rng);
+  Tensor x = Tensor::Randn({1, 2}, rng);
+  Tensor h = Tensor::Randn({1, 3}, rng);
+  Tensor out = cell.Forward(ag::Var(x), ag::Var(h)).value();
+
+  // Manual recomputation with the same weights.
+  auto params = cell.NamedParameters();
+  Tensor w_ih = params[0].second.value();
+  Tensor w_hh = params[1].second.value();
+  Tensor b_ih = params[2].second.value();
+  Tensor b_hh = params[3].second.value();
+  Tensor gi = ops::Add(ops::MatMul(x, w_ih), b_ih);
+  Tensor gh = ops::Add(ops::MatMul(h, w_hh), b_hh);
+  for (int64_t j = 0; j < 3; ++j) {
+    float r = 1.0f / (1.0f + std::exp(-(gi.at(j) + gh.at(j))));
+    float z = 1.0f / (1.0f + std::exp(-(gi.at(3 + j) + gh.at(3 + j))));
+    float n = std::tanh(gi.at(6 + j) + r * gh.at(6 + j));
+    float expected = (1.0f - z) * n + z * h.at(j);
+    EXPECT_NEAR(out.at(j), expected, 1e-5f) << "unit " << j;
+  }
+}
+
+TEST(GruTest, SequenceShapesAndFinalState) {
+  Rng rng(11);
+  Gru gru(3, 5, &rng);
+  ag::Var x(Tensor::Randn({2, 7, 3}, rng));
+  ag::Var final_state;
+  Tensor out = gru.ForwardWithState(x, &final_state).value();
+  EXPECT_EQ(out.shape(), (Shape{2, 7, 5}));
+  // Final state equals the last output step.
+  Tensor last = ops::Slice(out, 1, 6, 1).Reshape({2, 5});
+  EXPECT_TRUE(ops::AllClose(final_state.value(), last, 0.0f, 0.0f));
+}
+
+TEST(GruTest, ZeroInputZeroStateStaysSmall) {
+  Rng rng(12);
+  Gru gru(2, 4, &rng);
+  ag::Var x(Tensor::Zeros({1, 3, 2}));
+  Tensor out = gru.Forward(x).value();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_LT(std::fabs(out.at(i)), 1.0f);
+  }
+}
+
+TEST(GruTest, GradientsFlowThroughTime) {
+  Rng rng(13);
+  GruCell cell(2, 2, &rng);
+  ag::Var x(Tensor::Randn({1, 2}, rng));
+  ag::Var h0(Tensor::Randn({1, 2}, rng));
+  auto params = cell.Parameters();
+  auto res = ag::CheckGradients(
+      [&] {
+        ag::Var h = cell.Forward(x, h0);
+        h = cell.Forward(x, h);
+        return ag::SumAll(ag::Square(h));
+      },
+      params);
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
+TEST(GruTest, StepAcceptsPerSensorGeneratedWeights) {
+  // Per-sensor weights [N, in, 3h] broadcast against x [B, N, 1, in]: the
+  // singleton row dim makes each sensor a 1-row matmul against its own
+  // generated weight matrix. This is the layout the ST-aware GRU uses.
+  Rng rng(14);
+  const int64_t batch = 2;
+  const int64_t sensors = 3;
+  ag::Var x(Tensor::Randn({batch, sensors, 1, 2}, rng));
+  ag::Var h(Tensor::Randn({batch, sensors, 1, 4}, rng));
+  ag::Var w_ih(Tensor::Randn({sensors, 2, 12}, rng));
+  ag::Var w_hh(Tensor::Randn({sensors, 4, 12}, rng));
+  ag::Var b(Tensor::Zeros({12}));
+  ag::Var out = GruCell::Step(x, h, w_ih, w_hh, b, b, 4);
+  ASSERT_EQ(out.value().shape(), (Shape{batch, sensors, 1, 4}));
+
+  // Sensor 1 of batch 0 must match a plain 2-D step with that sensor's
+  // weights.
+  Tensor x1 = ops::Slice(ops::Slice(x.value(), 0, 0, 1), 1, 1, 1)
+                  .Reshape({1, 2});
+  Tensor h1 = ops::Slice(ops::Slice(h.value(), 0, 0, 1), 1, 1, 1)
+                  .Reshape({1, 4});
+  Tensor w_ih1 = ops::Slice(w_ih.value(), 0, 1, 1).Reshape({2, 12});
+  Tensor w_hh1 = ops::Slice(w_hh.value(), 0, 1, 1).Reshape({4, 12});
+  ag::Var ref = GruCell::Step(ag::Var(x1), ag::Var(h1), ag::Var(w_ih1),
+                              ag::Var(w_hh1), b, b, 4);
+  Tensor got = ops::Slice(ops::Slice(out.value(), 0, 0, 1), 1, 1, 1)
+                   .Reshape({1, 4});
+  EXPECT_TRUE(ops::AllClose(got, ref.value(), 1e-4f, 1e-5f));
+}
+
+// --- LSTM ------------------------------------------------------------------
+
+TEST(LstmTest, SequenceShapes) {
+  Rng rng(15);
+  Lstm lstm(3, 6, &rng);
+  ag::Var x(Tensor::Randn({2, 5, 3}, rng));
+  Tensor out = lstm.Forward(x).value();
+  EXPECT_EQ(out.shape(), (Shape{2, 5, 6}));
+}
+
+TEST(LstmTest, CellStateEvolves) {
+  Rng rng(16);
+  LstmCell cell(2, 3, &rng);
+  ag::Var h(Tensor::Zeros({1, 3}));
+  ag::Var c(Tensor::Zeros({1, 3}));
+  ag::Var x(Tensor::Randn({1, 2}, rng));
+  cell.Forward(x, &h, &c);
+  float norm1 = ops::SumAll(ops::Abs(c.value())).item();
+  cell.Forward(x, &h, &c);
+  float norm2 = ops::SumAll(ops::Abs(c.value())).item();
+  EXPECT_GT(norm1, 0.0f);
+  EXPECT_NE(norm1, norm2);
+}
+
+TEST(LstmTest, GradientsFlow) {
+  Rng rng(17);
+  LstmCell cell(2, 2, &rng);
+  ag::Var x(Tensor::Randn({1, 2}, rng));
+  auto params = cell.Parameters();
+  auto res = ag::CheckGradients(
+      [&] {
+        ag::Var h(Tensor::Zeros({1, 2}));
+        ag::Var c(Tensor::Zeros({1, 2}));
+        cell.Forward(x, &h, &c);
+        cell.Forward(x, &h, &c);
+        return ag::SumAll(ag::Square(h));
+      },
+      params);
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
+// --- Attention ----------------------------------------------------------
+
+TEST(AttentionTest, OutputShapeMatchesInput) {
+  Rng rng(18);
+  MultiHeadSelfAttention attn({.d_model = 8, .num_heads = 2}, &rng);
+  ag::Var x(Tensor::Randn({3, 6, 8}, rng));
+  EXPECT_EQ(attn.Forward(x).value().shape(), (Shape{3, 6, 8}));
+}
+
+TEST(AttentionTest, HeadsMustDivideModel) {
+  EXPECT_THROW(MultiHeadSelfAttention attn({.d_model = 8, .num_heads = 3}),
+               Error);
+}
+
+TEST(AttentionTest, CausalMaskBlocksFuture) {
+  Rng rng(19);
+  MultiHeadSelfAttention attn(
+      {.d_model = 4, .num_heads = 1, .causal = true}, &rng);
+  // Changing the future must not change the first output position.
+  Tensor x1 = Tensor::Randn({1, 5, 4}, rng);
+  Tensor x2 = x1.Clone();
+  for (int64_t t = 2; t < 5; ++t) {
+    for (int64_t f = 0; f < 4; ++f) x2({0, t, f}) += 10.0f;
+  }
+  Tensor y1 = attn.Forward(ag::Var(x1)).value();
+  Tensor y2 = attn.Forward(ag::Var(x2)).value();
+  for (int64_t f = 0; f < 4; ++f) {
+    EXPECT_NEAR((y1({0, 0, f})), (y2({0, 0, f})), 1e-4f);
+    EXPECT_NEAR((y1({0, 1, f})), (y2({0, 1, f})), 1e-4f);
+  }
+}
+
+TEST(AttentionTest, SlidingWindowLimitsReceptiveField) {
+  Rng rng(20);
+  MultiHeadSelfAttention attn(
+      {.d_model = 4, .num_heads = 1, .window_radius = 1}, &rng);
+  Tensor x1 = Tensor::Randn({1, 8, 4}, rng);
+  Tensor x2 = x1.Clone();
+  // Perturb position 7; positions 0..5 must be unaffected (radius 1).
+  for (int64_t f = 0; f < 4; ++f) x2({0, 7, f}) += 5.0f;
+  Tensor y1 = attn.Forward(ag::Var(x1)).value();
+  Tensor y2 = attn.Forward(ag::Var(x2)).value();
+  for (int64_t t = 0; t <= 5; ++t) {
+    for (int64_t f = 0; f < 4; ++f) {
+      EXPECT_NEAR((y1({0, t, f})), (y2({0, t, f})), 1e-4f)
+          << "t=" << t << " f=" << f;
+    }
+  }
+  // Position 6 and 7 should change.
+  EXPECT_GT(ops::MaxAbsDiff(ops::Slice(y1, 1, 6, 2), ops::Slice(y2, 1, 6, 2)),
+            1e-4f);
+}
+
+TEST(AttentionTest, GradientsFlowToAllProjections) {
+  Rng rng(21);
+  MultiHeadSelfAttention attn({.d_model = 4, .num_heads = 2}, &rng);
+  ag::Var x(Tensor::Randn({1, 3, 4}, rng));
+  ag::SumAll(ag::Square(attn.Forward(x))).Backward();
+  for (const auto& [name, p] : attn.NamedParameters()) {
+    float norm = ops::SumAll(ops::Abs(p.grad())).item();
+    EXPECT_GT(norm, 0.0f) << name << " received no gradient";
+  }
+}
+
+// --- LayerNorm -----------------------------------------------------------
+
+TEST(LayerNormTest, NormalisesLastAxis) {
+  Rng rng(22);
+  LayerNorm ln(8);
+  ag::Var x(Tensor::Randn({4, 8}, rng));
+  Tensor y = ln.Forward(x).value();
+  for (int64_t r = 0; r < 4; ++r) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (int64_t j = 0; j < 8; ++j) mean += y({r, j});
+    mean /= 8;
+    for (int64_t j = 0; j < 8; ++j) {
+      var += (y({r, j}) - mean) * (y({r, j}) - mean);
+    }
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, GradCheck) {
+  Rng rng(23);
+  LayerNorm ln(4);
+  ag::Var x(Tensor::Randn({2, 4}, rng));
+  auto res = ag::CheckGradients(
+      [&] { return ag::SumAll(ag::Square(ln.Forward(x))); },
+      ln.Parameters());
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
+// Parameterised sweep: attention output shape across head counts.
+class HeadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeadSweep, ShapePreserved) {
+  Rng rng(24);
+  const int heads = GetParam();
+  MultiHeadSelfAttention attn({.d_model = 24, .num_heads = heads}, &rng);
+  ag::Var x(Tensor::Randn({2, 5, 24}, rng));
+  EXPECT_EQ(attn.Forward(x).value().shape(), (Shape{2, 5, 24}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Heads, HeadSweep, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace nn
+}  // namespace stwa

@@ -1,0 +1,137 @@
+// Optimizer behaviour: convergence on convex problems, clipping, early
+// stopping semantics.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "optim/early_stopping.h"
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace optim {
+namespace {
+
+// Minimise ||x - target||^2 with the given optimizer; returns final distance.
+template <typename Opt, typename... Args>
+float MinimiseQuadratic(int steps, Args&&... args) {
+  ag::Var x = ag::Parameter(Tensor({3}, {5.0f, -4.0f, 2.0f}));
+  Tensor target({3}, {1.0f, 2.0f, 3.0f});
+  Opt opt({x}, std::forward<Args>(args)...);
+  for (int i = 0; i < steps; ++i) {
+    opt.ZeroGrad();
+    ag::Var loss = ag::SumAll(ag::Square(ag::Sub(x, ag::Var(target))));
+    loss.Backward();
+    opt.Step();
+  }
+  return ops::MaxAbsDiff(x.value(), target);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  EXPECT_LT(MinimiseQuadratic<Sgd>(200, 0.1f), 1e-3f);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  EXPECT_LT(MinimiseQuadratic<Sgd>(200, 0.05f, 0.9f), 1e-3f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  EXPECT_LT(MinimiseQuadratic<Adam>(800, 0.05f), 1e-2f);
+}
+
+TEST(AdamTest, FitsLinearRegression) {
+  // y = X w* + b*; recover w*, b* with Adam on MSE.
+  Rng rng(1);
+  Tensor x_data = Tensor::Randn({64, 3}, rng);
+  Tensor w_star({3, 1}, {1.5f, -2.0f, 0.5f});
+  Tensor y_data = ops::MatMul(x_data, w_star);
+  y_data = ops::AddScalar(y_data, 0.7f);
+
+  nn::Linear model(3, 1, true, &rng);
+  Adam opt(model.Parameters(), 0.05f);
+  ag::Var x(x_data);
+  ag::Var y(y_data);
+  float loss_value = 0.0f;
+  for (int epoch = 0; epoch < 300; ++epoch) {
+    opt.ZeroGrad();
+    ag::Var loss = ag::MseLoss(model.Forward(x), y);
+    loss.Backward();
+    opt.Step();
+    loss_value = loss.value().item();
+  }
+  EXPECT_LT(loss_value, 1e-3f);
+  EXPECT_TRUE(ops::AllClose(model.Parameters()[0].value(), w_star, 0.05f,
+                            0.05f));
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  ag::Var x = ag::Parameter(Tensor({1}, {10.0f}));
+  Adam opt({x}, 0.1f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/1.0f);
+  for (int i = 0; i < 200; ++i) {
+    opt.ZeroGrad();
+    // No data term: pure decay should pull the weight toward 0.
+    ag::Var loss = ag::MulScalar(ag::SumAll(x), 0.0f);
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(std::fabs(x.value().at(0)), 1.0f);
+}
+
+TEST(ClipGradNormTest, RescalesLargeGradients) {
+  ag::Var x = ag::Parameter(Tensor({4}, {1, 1, 1, 1}));
+  ag::MulScalar(ag::SumAll(ag::Square(x)), 50.0f).Backward();
+  float pre_norm = ClipGradNorm({x}, 1.0f);
+  EXPECT_GT(pre_norm, 1.0f);
+  double total = 0.0;
+  for (int64_t i = 0; i < 4; ++i) {
+    total += static_cast<double>(x.grad().at(i)) * x.grad().at(i);
+  }
+  EXPECT_NEAR(std::sqrt(total), 1.0, 1e-4);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  ag::Var x = ag::Parameter(Tensor({2}, {0.01f, 0.01f}));
+  ag::SumAll(ag::Square(x)).Backward();
+  Tensor before = x.grad().Clone();
+  ClipGradNorm({x}, 10.0f);
+  EXPECT_TRUE(ops::AllClose(x.grad(), before, 0.0f, 0.0f));
+}
+
+TEST(EarlyStoppingTest, StopsAfterPatienceExhausted) {
+  EarlyStopping es(3);
+  EXPECT_TRUE(es.Update(1.0f));
+  EXPECT_FALSE(es.ShouldStop());
+  EXPECT_FALSE(es.Update(1.1f));
+  EXPECT_FALSE(es.Update(1.2f));
+  EXPECT_FALSE(es.ShouldStop());
+  EXPECT_FALSE(es.Update(1.3f));
+  EXPECT_TRUE(es.ShouldStop());
+  EXPECT_EQ(es.best_epoch(), 0);
+  EXPECT_EQ(es.best(), 1.0f);
+}
+
+TEST(EarlyStoppingTest, ImprovementResetsPatience) {
+  EarlyStopping es(2);
+  es.Update(1.0f);
+  es.Update(1.5f);
+  EXPECT_TRUE(es.Update(0.5f));
+  EXPECT_FALSE(es.ShouldStop());
+  es.Update(0.6f);
+  es.Update(0.7f);
+  EXPECT_TRUE(es.ShouldStop());
+  EXPECT_EQ(es.best(), 0.5f);
+}
+
+TEST(EarlyStoppingTest, MinDeltaIgnoresTinyImprovements) {
+  EarlyStopping es(1, /*min_delta=*/0.1f);
+  es.Update(1.0f);
+  EXPECT_FALSE(es.Update(0.95f)) << "within min_delta: not an improvement";
+  EXPECT_TRUE(es.ShouldStop());
+}
+
+}  // namespace
+}  // namespace optim
+}  // namespace stwa

@@ -1,0 +1,118 @@
+// Checkpoint round-trip tests for nn::SaveParameters / LoadParameters.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "common/check.h"
+#include "data/traffic_generator.h"
+#include "nn/mlp.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace nn {
+namespace {
+
+std::string TempPath(const std::string& name) { return "/tmp/" + name; }
+
+TEST(SerializeTest, RoundTripRestoresExactValues) {
+  Rng rng(1);
+  Mlp a({4, 8, 2}, Activation::kRelu, Activation::kNone, &rng);
+  const std::string path = TempPath("stwa_ckpt_mlp.bin");
+  SaveParameters(a, path);
+
+  Rng rng2(99);  // different init
+  Mlp b({4, 8, 2}, Activation::kRelu, Activation::kNone, &rng2);
+  // Confirm they differ before loading.
+  EXPECT_GT(ops::MaxAbsDiff(a.Parameters()[0].value(),
+                            b.Parameters()[0].value()),
+            1e-4f);
+  LoadParameters(b, path);
+  auto pa = a.NamedParameters();
+  auto pb = b.NamedParameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(ops::AllClose(pa[i].second.value(), pb[i].second.value(),
+                              0.0f, 0.0f))
+        << pa[i].first;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RestoredModelPredictsIdentically) {
+  const data::TrafficDataset dataset = [] {
+    data::GeneratorOptions o;
+    o.num_roads = 2;
+    o.sensors_per_road = 2;
+    o.num_days = 2;
+    o.steps_per_day = 48;
+    return data::GenerateTraffic(o);
+  }();
+  baselines::ModelSettings s;
+  s.history = 12;
+  s.horizon = 3;
+  s.d_model = 8;
+  s.latent_dim = 4;
+  s.predictor_hidden = 16;
+  auto a = baselines::MakeModel("ST-WA", dataset, s);
+  const std::string path = TempPath("stwa_ckpt_model.bin");
+  SaveParameters(*a, path);
+
+  baselines::ModelSettings s2 = s;
+  s2.seed = 123;  // different init seed
+  auto b = baselines::MakeModel("ST-WA", dataset, s2);
+  LoadParameters(*b, path);
+
+  Rng rng(5);
+  Tensor x = Tensor::Randn({1, dataset.num_sensors(), 12, 1}, rng);
+  Tensor ya = a->Forward(x, /*training=*/false).value();
+  Tensor yb = b->Forward(x, /*training=*/false).value();
+  EXPECT_TRUE(ops::AllClose(ya, yb, 0.0f, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchThrows) {
+  Rng rng(2);
+  Mlp a({4, 8, 2}, Activation::kRelu, Activation::kNone, &rng);
+  const std::string path = TempPath("stwa_ckpt_shape.bin");
+  SaveParameters(a, path);
+  Mlp wider({4, 16, 2}, Activation::kRelu, Activation::kNone, &rng);
+  EXPECT_THROW(LoadParameters(wider, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ParameterCountMismatchThrows) {
+  Rng rng(3);
+  Mlp a({4, 8, 2}, Activation::kRelu, Activation::kNone, &rng);
+  const std::string path = TempPath("stwa_ckpt_count.bin");
+  SaveParameters(a, path);
+  Mlp deeper({4, 8, 8, 2}, Activation::kRelu, Activation::kNone, &rng);
+  EXPECT_THROW(LoadParameters(deeper, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  Rng rng(4);
+  Mlp a({2, 2}, Activation::kNone, Activation::kNone, &rng);
+  EXPECT_THROW(LoadParameters(a, "/tmp/definitely_missing_ckpt.bin"),
+               Error);
+}
+
+TEST(SerializeTest, GarbageFileThrows) {
+  const std::string path = TempPath("stwa_ckpt_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint";
+  }
+  Rng rng(5);
+  Mlp a({2, 2}, Activation::kNone, Activation::kNone, &rng);
+  EXPECT_THROW(LoadParameters(a, path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace stwa

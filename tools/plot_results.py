@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Plots the CSV artefacts exported by the bench binaries.
+
+Usage (after running the benches from the build directory):
+    python3 tools/plot_results.py build/bench_out
+
+Produces, next to each CSV:
+    fig1_sensors.png     — the Figure 1 week of traffic for four sensors
+    fig9a_phi_tsne.png   — t-SNE of generated parameters, coloured by regime
+    fig9b_z_tsne.png     — t-SNE of spatial latents, coloured by road
+    fig10_runtime.png    — s/epoch vs H per model
+
+Requires matplotlib (not needed for any other part of the repository).
+"""
+
+import csv
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        reader = csv.DictReader(f)
+        rows = list(reader)
+    return rows
+
+
+def plot_fig1(out_dir, plt):
+    path = os.path.join(out_dir, "fig1_sensors.csv")
+    if not os.path.exists(path):
+        return
+    rows = load(path)
+    steps = [int(r["step"]) for r in rows]
+    plt.figure(figsize=(10, 4))
+    for name in ["sensor1", "sensor2", "sensor3", "sensor4"]:
+        plt.plot(steps, [float(r[name]) for r in rows], label=name,
+                 linewidth=0.8)
+    plt.xlabel("5-minute step")
+    plt.ylabel("flow")
+    plt.title("Figure 1: one week, four sensors (two roads)")
+    plt.legend()
+    plt.tight_layout()
+    plt.savefig(os.path.join(out_dir, "fig1_sensors.png"), dpi=150)
+    plt.close()
+
+
+def plot_scatter(out_dir, plt, csv_name, label_col, title, png_name):
+    path = os.path.join(out_dir, csv_name)
+    if not os.path.exists(path):
+        return
+    rows = load(path)
+    labels = sorted({r[label_col] for r in rows})
+    plt.figure(figsize=(5, 5))
+    for lab in labels:
+        xs = [float(r["x"]) for r in rows if r[label_col] == lab]
+        ys = [float(r["y"]) for r in rows if r[label_col] == lab]
+        plt.scatter(xs, ys, s=18, label=f"{label_col}={lab}")
+    plt.title(title)
+    plt.legend()
+    plt.tight_layout()
+    plt.savefig(os.path.join(out_dir, png_name), dpi=150)
+    plt.close()
+
+
+def plot_fig10(out_dir, plt):
+    path = os.path.join(out_dir, "fig10_runtime.csv")
+    if not os.path.exists(path):
+        return
+    rows = load(path)
+    models = sorted({r["model"] for r in rows})
+    plt.figure(figsize=(6, 4))
+    for m in models:
+        pts = sorted((int(r["h"]), float(r["seconds_per_epoch"]))
+                     for r in rows if r["model"] == m)
+        plt.plot([p[0] for p in pts], [p[1] for p in pts], marker="o",
+                 label=m)
+    plt.xlabel("history H")
+    plt.ylabel("s / epoch")
+    plt.title("Figure 10: training runtime vs H")
+    plt.legend()
+    plt.tight_layout()
+    plt.savefig(os.path.join(out_dir, "fig10_runtime.png"), dpi=150)
+    plt.close()
+
+
+def main():
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "bench_out"
+    if not os.path.isdir(out_dir):
+        sys.exit(f"no such directory: {out_dir} "
+                 "(run the bench binaries first)")
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+    plot_fig1(out_dir, plt)
+    plot_scatter(out_dir, plt, "fig9a_phi_tsne.csv", "regime",
+                 "Figure 9a: t-SNE of generated parameters",
+                 "fig9a_phi_tsne.png")
+    plot_scatter(out_dir, plt, "fig9b_z_tsne.csv", "road",
+                 "Figure 9b: t-SNE of spatial latents",
+                 "fig9b_z_tsne.png")
+    plot_fig10(out_dir, plt)
+    print(f"wrote plots into {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()
