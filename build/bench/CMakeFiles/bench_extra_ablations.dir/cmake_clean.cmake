@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_ablations.dir/bench_extra_ablations.cc.o"
+  "CMakeFiles/bench_extra_ablations.dir/bench_extra_ablations.cc.o.d"
+  "bench_extra_ablations"
+  "bench_extra_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

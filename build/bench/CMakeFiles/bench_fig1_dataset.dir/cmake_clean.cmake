@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_dataset.dir/bench_fig1_dataset.cc.o"
+  "CMakeFiles/bench_fig1_dataset.dir/bench_fig1_dataset.cc.o.d"
+  "bench_fig1_dataset"
+  "bench_fig1_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_complexity.dir/bench_fig6_complexity.cc.o"
+  "CMakeFiles/bench_fig6_complexity.dir/bench_fig6_complexity.cc.o.d"
+  "bench_fig6_complexity"
+  "bench_fig6_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

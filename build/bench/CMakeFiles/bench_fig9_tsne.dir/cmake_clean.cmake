@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_tsne.dir/bench_fig9_tsne.cc.o"
+  "CMakeFiles/bench_fig9_tsne.dir/bench_fig9_tsne.cc.o.d"
+  "bench_fig9_tsne"
+  "bench_fig9_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_regularizer.dir/bench_table10_regularizer.cc.o"
+  "CMakeFiles/bench_table10_regularizer.dir/bench_table10_regularizer.cc.o.d"
+  "bench_table10_regularizer"
+  "bench_table10_regularizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_regularizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

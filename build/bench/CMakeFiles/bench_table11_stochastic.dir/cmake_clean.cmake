@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_stochastic.dir/bench_table11_stochastic.cc.o"
+  "CMakeFiles/bench_table11_stochastic.dir/bench_table11_stochastic.cc.o.d"
+  "bench_table11_stochastic"
+  "bench_table11_stochastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_stochastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

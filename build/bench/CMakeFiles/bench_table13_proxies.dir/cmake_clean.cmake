@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_proxies.dir/bench_table13_proxies.cc.o"
+  "CMakeFiles/bench_table13_proxies.dir/bench_table13_proxies.cc.o.d"
+  "bench_table13_proxies"
+  "bench_table13_proxies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_proxies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

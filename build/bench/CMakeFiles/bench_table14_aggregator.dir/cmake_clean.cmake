@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table14_aggregator.dir/bench_table14_aggregator.cc.o"
+  "CMakeFiles/bench_table14_aggregator.dir/bench_table14_aggregator.cc.o.d"
+  "bench_table14_aggregator"
+  "bench_table14_aggregator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

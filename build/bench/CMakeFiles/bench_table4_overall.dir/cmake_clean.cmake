@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_overall.dir/bench_table4_overall.cc.o"
+  "CMakeFiles/bench_table4_overall.dir/bench_table4_overall.cc.o.d"
+  "bench_table4_overall"
+  "bench_table4_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

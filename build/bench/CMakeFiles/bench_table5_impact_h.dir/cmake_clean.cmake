@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_impact_h.dir/bench_table5_impact_h.cc.o"
+  "CMakeFiles/bench_table5_impact_h.dir/bench_table5_impact_h.cc.o.d"
+  "bench_table5_impact_h"
+  "bench_table5_impact_h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_impact_h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

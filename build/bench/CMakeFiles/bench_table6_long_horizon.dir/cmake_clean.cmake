@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_long_horizon.dir/bench_table6_long_horizon.cc.o"
+  "CMakeFiles/bench_table6_long_horizon.dir/bench_table6_long_horizon.cc.o.d"
+  "bench_table6_long_horizon"
+  "bench_table6_long_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_long_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

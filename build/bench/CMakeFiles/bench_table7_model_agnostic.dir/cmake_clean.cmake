@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_model_agnostic.dir/bench_table7_model_agnostic.cc.o"
+  "CMakeFiles/bench_table7_model_agnostic.dir/bench_table7_model_agnostic.cc.o.d"
+  "bench_table7_model_agnostic"
+  "bench_table7_model_agnostic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_model_agnostic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

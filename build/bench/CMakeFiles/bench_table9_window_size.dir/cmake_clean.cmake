@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_window_size.dir/bench_table9_window_size.cc.o"
+  "CMakeFiles/bench_table9_window_size.dir/bench_table9_window_size.cc.o.d"
+  "bench_table9_window_size"
+  "bench_table9_window_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_window_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

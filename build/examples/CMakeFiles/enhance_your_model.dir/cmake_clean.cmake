@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhance_your_model.dir/enhance_your_model.cpp.o"
+  "CMakeFiles/enhance_your_model.dir/enhance_your_model.cpp.o.d"
+  "enhance_your_model"
+  "enhance_your_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhance_your_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incident_analysis.dir/incident_analysis.cpp.o"
+  "CMakeFiles/incident_analysis.dir/incident_analysis.cpp.o.d"
+  "incident_analysis"
+  "incident_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incident_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

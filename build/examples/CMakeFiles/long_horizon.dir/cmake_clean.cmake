@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_horizon.dir/long_horizon.cpp.o"
+  "CMakeFiles/long_horizon.dir/long_horizon.cpp.o.d"
+  "long_horizon"
+  "long_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

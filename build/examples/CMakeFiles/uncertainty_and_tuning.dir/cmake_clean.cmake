@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertainty_and_tuning.dir/uncertainty_and_tuning.cpp.o"
+  "CMakeFiles/uncertainty_and_tuning.dir/uncertainty_and_tuning.cpp.o.d"
+  "uncertainty_and_tuning"
+  "uncertainty_and_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertainty_and_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/kmeans.cc" "src/CMakeFiles/stwa.dir/analysis/kmeans.cc.o" "gcc" "src/CMakeFiles/stwa.dir/analysis/kmeans.cc.o.d"
+  "/root/repo/src/analysis/pca.cc" "src/CMakeFiles/stwa.dir/analysis/pca.cc.o" "gcc" "src/CMakeFiles/stwa.dir/analysis/pca.cc.o.d"
+  "/root/repo/src/analysis/tsne.cc" "src/CMakeFiles/stwa.dir/analysis/tsne.cc.o" "gcc" "src/CMakeFiles/stwa.dir/analysis/tsne.cc.o.d"
+  "/root/repo/src/autograd/gradcheck.cc" "src/CMakeFiles/stwa.dir/autograd/gradcheck.cc.o" "gcc" "src/CMakeFiles/stwa.dir/autograd/gradcheck.cc.o.d"
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/stwa.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/stwa.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/autograd/var.cc" "src/CMakeFiles/stwa.dir/autograd/var.cc.o" "gcc" "src/CMakeFiles/stwa.dir/autograd/var.cc.o.d"
+  "/root/repo/src/baselines/agcrn.cc" "src/CMakeFiles/stwa.dir/baselines/agcrn.cc.o" "gcc" "src/CMakeFiles/stwa.dir/baselines/agcrn.cc.o.d"
+  "/root/repo/src/baselines/astgnn.cc" "src/CMakeFiles/stwa.dir/baselines/astgnn.cc.o" "gcc" "src/CMakeFiles/stwa.dir/baselines/astgnn.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/CMakeFiles/stwa.dir/baselines/common.cc.o" "gcc" "src/CMakeFiles/stwa.dir/baselines/common.cc.o.d"
+  "/root/repo/src/baselines/dcrnn.cc" "src/CMakeFiles/stwa.dir/baselines/dcrnn.cc.o" "gcc" "src/CMakeFiles/stwa.dir/baselines/dcrnn.cc.o.d"
+  "/root/repo/src/baselines/enhancenet.cc" "src/CMakeFiles/stwa.dir/baselines/enhancenet.cc.o" "gcc" "src/CMakeFiles/stwa.dir/baselines/enhancenet.cc.o.d"
+  "/root/repo/src/baselines/gwn.cc" "src/CMakeFiles/stwa.dir/baselines/gwn.cc.o" "gcc" "src/CMakeFiles/stwa.dir/baselines/gwn.cc.o.d"
+  "/root/repo/src/baselines/longformer.cc" "src/CMakeFiles/stwa.dir/baselines/longformer.cc.o" "gcc" "src/CMakeFiles/stwa.dir/baselines/longformer.cc.o.d"
+  "/root/repo/src/baselines/meta_lstm.cc" "src/CMakeFiles/stwa.dir/baselines/meta_lstm.cc.o" "gcc" "src/CMakeFiles/stwa.dir/baselines/meta_lstm.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/CMakeFiles/stwa.dir/baselines/registry.cc.o" "gcc" "src/CMakeFiles/stwa.dir/baselines/registry.cc.o.d"
+  "/root/repo/src/baselines/stfgnn.cc" "src/CMakeFiles/stwa.dir/baselines/stfgnn.cc.o" "gcc" "src/CMakeFiles/stwa.dir/baselines/stfgnn.cc.o.d"
+  "/root/repo/src/baselines/stg2seq.cc" "src/CMakeFiles/stwa.dir/baselines/stg2seq.cc.o" "gcc" "src/CMakeFiles/stwa.dir/baselines/stg2seq.cc.o.d"
+  "/root/repo/src/baselines/stgcn.cc" "src/CMakeFiles/stwa.dir/baselines/stgcn.cc.o" "gcc" "src/CMakeFiles/stwa.dir/baselines/stgcn.cc.o.d"
+  "/root/repo/src/baselines/stsgcn.cc" "src/CMakeFiles/stwa.dir/baselines/stsgcn.cc.o" "gcc" "src/CMakeFiles/stwa.dir/baselines/stsgcn.cc.o.d"
+  "/root/repo/src/baselines/var.cc" "src/CMakeFiles/stwa.dir/baselines/var.cc.o" "gcc" "src/CMakeFiles/stwa.dir/baselines/var.cc.o.d"
+  "/root/repo/src/common/check.cc" "src/CMakeFiles/stwa.dir/common/check.cc.o" "gcc" "src/CMakeFiles/stwa.dir/common/check.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/stwa.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/stwa.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/stwa.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/stwa.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/stwa.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/stwa.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/enhanced_models.cc" "src/CMakeFiles/stwa.dir/core/enhanced_models.cc.o" "gcc" "src/CMakeFiles/stwa.dir/core/enhanced_models.cc.o.d"
+  "/root/repo/src/core/latent.cc" "src/CMakeFiles/stwa.dir/core/latent.cc.o" "gcc" "src/CMakeFiles/stwa.dir/core/latent.cc.o.d"
+  "/root/repo/src/core/loss.cc" "src/CMakeFiles/stwa.dir/core/loss.cc.o" "gcc" "src/CMakeFiles/stwa.dir/core/loss.cc.o.d"
+  "/root/repo/src/core/mc_forecast.cc" "src/CMakeFiles/stwa.dir/core/mc_forecast.cc.o" "gcc" "src/CMakeFiles/stwa.dir/core/mc_forecast.cc.o.d"
+  "/root/repo/src/core/memory_model.cc" "src/CMakeFiles/stwa.dir/core/memory_model.cc.o" "gcc" "src/CMakeFiles/stwa.dir/core/memory_model.cc.o.d"
+  "/root/repo/src/core/param_decoder.cc" "src/CMakeFiles/stwa.dir/core/param_decoder.cc.o" "gcc" "src/CMakeFiles/stwa.dir/core/param_decoder.cc.o.d"
+  "/root/repo/src/core/proxy_aggregator.cc" "src/CMakeFiles/stwa.dir/core/proxy_aggregator.cc.o" "gcc" "src/CMakeFiles/stwa.dir/core/proxy_aggregator.cc.o.d"
+  "/root/repo/src/core/sensor_attention.cc" "src/CMakeFiles/stwa.dir/core/sensor_attention.cc.o" "gcc" "src/CMakeFiles/stwa.dir/core/sensor_attention.cc.o.d"
+  "/root/repo/src/core/stwa_model.cc" "src/CMakeFiles/stwa.dir/core/stwa_model.cc.o" "gcc" "src/CMakeFiles/stwa.dir/core/stwa_model.cc.o.d"
+  "/root/repo/src/core/window_attention.cc" "src/CMakeFiles/stwa.dir/core/window_attention.cc.o" "gcc" "src/CMakeFiles/stwa.dir/core/window_attention.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/stwa.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/stwa.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/sampler.cc" "src/CMakeFiles/stwa.dir/data/sampler.cc.o" "gcc" "src/CMakeFiles/stwa.dir/data/sampler.cc.o.d"
+  "/root/repo/src/data/scaler.cc" "src/CMakeFiles/stwa.dir/data/scaler.cc.o" "gcc" "src/CMakeFiles/stwa.dir/data/scaler.cc.o.d"
+  "/root/repo/src/data/traffic_generator.cc" "src/CMakeFiles/stwa.dir/data/traffic_generator.cc.o" "gcc" "src/CMakeFiles/stwa.dir/data/traffic_generator.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/stwa.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/stwa.dir/graph/graph.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/stwa.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/stwa.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/stwa.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/stwa.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/stwa.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/stwa.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/CMakeFiles/stwa.dir/nn/layer_norm.cc.o" "gcc" "src/CMakeFiles/stwa.dir/nn/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/stwa.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/stwa.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/stwa.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/stwa.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/stwa.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/stwa.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/CMakeFiles/stwa.dir/nn/rnn.cc.o" "gcc" "src/CMakeFiles/stwa.dir/nn/rnn.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/stwa.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/stwa.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/optim/early_stopping.cc" "src/CMakeFiles/stwa.dir/optim/early_stopping.cc.o" "gcc" "src/CMakeFiles/stwa.dir/optim/early_stopping.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/CMakeFiles/stwa.dir/optim/optimizer.cc.o" "gcc" "src/CMakeFiles/stwa.dir/optim/optimizer.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/stwa.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/stwa.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/stwa.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/stwa.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/train/grid_search.cc" "src/CMakeFiles/stwa.dir/train/grid_search.cc.o" "gcc" "src/CMakeFiles/stwa.dir/train/grid_search.cc.o.d"
+  "/root/repo/src/train/table.cc" "src/CMakeFiles/stwa.dir/train/table.cc.o" "gcc" "src/CMakeFiles/stwa.dir/train/table.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/stwa.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/stwa.dir/train/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_test.dir/train_test.cc.o"
+  "CMakeFiles/train_test.dir/train_test.cc.o.d"
+  "train_test"
+  "train_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
