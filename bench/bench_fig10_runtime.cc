@@ -15,6 +15,7 @@ namespace bench {
 namespace {
 
 void Run() {
+  ReportRuntime();
   BenchScale scale = GetScale();
   // Runtime measurement wants identical work per configuration: fixed
   // number of batches, few epochs.

@@ -40,6 +40,7 @@ double Correlation(const Tensor& v, int64_t a, int64_t b, int64_t steps) {
 }
 
 void Run() {
+  ReportRuntime();
   data::GeneratorOptions o;
   o.name = "fig1";
   o.num_roads = 2;

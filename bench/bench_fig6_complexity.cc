@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/enhanced_models.h"
 #include "core/stwa_model.h"
 #include "tensor/tensor.h"
@@ -65,4 +66,11 @@ BENCHMARK(BM_WindowAttention)
 }  // namespace
 }  // namespace stwa
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  stwa::bench::ReportRuntime();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

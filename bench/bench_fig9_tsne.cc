@@ -60,6 +60,7 @@ double CrossToSameDistanceRatio(const Tensor& x,
 }
 
 void Run() {
+  ReportRuntime();
   BenchScale scale = GetScale();
   data::TrafficDataset dataset = MakeDataset(PaperDataset::kPems04, scale);
   baselines::ModelSettings settings = MakeSettings(scale, 12, 12);

@@ -1,0 +1,137 @@
+// Kernel microbenchmark: times the runtime-backed hot kernels (matmul,
+// softmax, elementwise maps) across thread counts and writes
+// bench_out/BENCH_kernels.json. This seeds the perf trajectory: later
+// kernel/runtime PRs re-run it and diff the numbers.
+//
+// Thread counts swept: 1, 2, 4 and the runtime default (deduplicated).
+// Each measurement is the best of several repetitions, so transient noise
+// does not mask kernel-level changes.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "runtime/parallel.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace bench {
+namespace {
+
+struct Measurement {
+  std::string kernel;
+  int64_t size = 0;
+  int threads = 0;
+  double seconds = 0.0;
+  double gflops = 0.0;  // 0 when the kernel has no natural flop count
+};
+
+/// Best-of-`reps` wall time of fn(), with one untimed warmup.
+template <typename Fn>
+double TimeBest(int reps, Fn&& fn) {
+  fn();
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    best = std::min(best, watch.ElapsedSeconds());
+  }
+  return best;
+}
+
+std::vector<int> ThreadCounts() {
+  std::vector<int> counts = {1, 2, 4, runtime::DefaultNumThreads()};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+void Run() {
+  ReportRuntime();
+  Rng rng(77);
+  std::vector<Measurement> results;
+
+  const std::vector<int64_t> matmul_sizes = {64, 128, 256, 512, 1024};
+  for (int threads : ThreadCounts()) {
+    runtime::SetNumThreads(threads);
+
+    for (int64_t s : matmul_sizes) {
+      Tensor a = Tensor::Randn({s, s}, rng);
+      Tensor b = Tensor::Randn({s, s}, rng);
+      const int reps = s >= 512 ? 3 : 8;
+      const double secs =
+          TimeBest(reps, [&] { return ops::MatMul2D(a, b); });
+      const double flops = 2.0 * s * s * s;
+      results.push_back({"matmul", s, threads, secs, flops / secs / 1e9});
+      std::cout << "matmul " << s << "x" << s << " threads=" << threads
+                << " " << secs * 1e3 << " ms (" << flops / secs / 1e9
+                << " GFLOP/s)\n";
+    }
+
+    {
+      // 4096 rows of 512: the shape window attention produces.
+      Tensor x = Tensor::Randn({4096, 512}, rng);
+      const double secs = TimeBest(8, [&] { return ops::SoftmaxLast(x); });
+      results.push_back({"softmax", 4096 * 512, threads, secs, 0.0});
+      std::cout << "softmax 4096x512 threads=" << threads << " "
+                << secs * 1e3 << " ms\n";
+    }
+
+    {
+      const int64_t n = 1 << 22;  // 4M floats
+      Tensor x = Tensor::Randn({n}, rng);
+      Tensor y = Tensor::Randn({n}, rng);
+      double secs = TimeBest(8, [&] { return ops::Add(x, y); });
+      results.push_back({"add", n, threads, secs, 0.0});
+      std::cout << "add " << n << " threads=" << threads << " "
+                << secs * 1e3 << " ms\n";
+      secs = TimeBest(8, [&] { return ops::Tanh(x); });
+      results.push_back({"tanh", n, threads, secs, 0.0});
+      std::cout << "tanh " << n << " threads=" << threads << " "
+                << secs * 1e3 << " ms\n";
+    }
+  }
+  runtime::SetNumThreads(0);
+
+  // Headline number for the PR gate: 512x512 matmul speedup over 1 thread.
+  double base512 = 0.0;
+  for (const Measurement& m : results) {
+    if (m.kernel == "matmul" && m.size == 512 && m.threads == 1) {
+      base512 = m.seconds;
+    }
+  }
+  for (const Measurement& m : results) {
+    if (m.kernel == "matmul" && m.size == 512 && m.threads != 1 &&
+        base512 > 0.0) {
+      std::cout << "matmul 512 speedup at " << m.threads
+                << " threads: " << base512 / m.seconds << "x\n";
+    }
+  }
+
+  const std::string path = BenchOutPath("BENCH_kernels.json");
+  std::ofstream out(path);
+  out << "[\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    out << "  {\"kernel\": \"" << m.kernel << "\", \"size\": " << m.size
+        << ", \"threads\": " << m.threads << ", \"seconds\": " << m.seconds
+        << ", \"gflops\": " << m.gflops << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stwa
+
+int main() {
+  stwa::bench::Run();
+  return 0;
+}

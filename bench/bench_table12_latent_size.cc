@@ -11,6 +11,7 @@ namespace bench {
 namespace {
 
 void Run() {
+  ReportRuntime();
   BenchScale scale = GetScale();
   data::TrafficDataset dataset = MakeDataset(PaperDataset::kPems04, scale);
   train::TrainConfig config = MakeTrainConfig(scale);

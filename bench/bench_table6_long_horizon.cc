@@ -25,6 +25,7 @@ double EstimateGb(const std::string& model, core::MemoryWorkload w) {
 }
 
 void Run() {
+  ReportRuntime();
   BenchScale scale = GetScale();
   train::TrainConfig config = MakeTrainConfig(scale);
   // H = U = 72 batches are ~6x the H=12 cost; keep the table affordable.

@@ -13,6 +13,7 @@ namespace bench {
 namespace {
 
 void Run() {
+  ReportRuntime();
   BenchScale scale = GetScale();
   baselines::ModelSettings settings = MakeSettings(scale, 12, 12);
   train::TrainConfig config = MakeTrainConfig(scale);

@@ -23,6 +23,7 @@ std::string ConfigName(const std::vector<int64_t>& sizes) {
 }
 
 void Run() {
+  ReportRuntime();
   BenchScale scale = GetScale();
   data::TrafficDataset dataset = MakeDataset(PaperDataset::kPems04, scale);
   train::TrainConfig config = MakeTrainConfig(scale);

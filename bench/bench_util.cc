@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "runtime/parallel.h"
 
 namespace stwa {
 namespace bench {
@@ -28,6 +29,7 @@ BenchScale GetScale() {
     std::cerr << "unknown STWA_BENCH_SCALE='" << mode
               << "', using fast\n";
   }
+  s.num_threads = runtime::DefaultNumThreads();
   return s;
 }
 
@@ -128,6 +130,7 @@ train::TrainConfig MakeTrainConfig(const BenchScale& scale) {
   c.eval_stride = scale.eval_stride;
   c.patience = 15;
   c.max_batches_per_epoch = scale.max_batches_per_epoch;
+  c.num_threads = scale.num_threads;
   return c;
 }
 
@@ -144,6 +147,14 @@ train::TrainResult RunModel(const std::string& model_name,
 std::vector<std::string> MetricCells(const metrics::ForecastMetrics& m) {
   return {FormatFloat(m.mae, 2), FormatFloat(m.mape, 2),
           FormatFloat(m.rmse, 2)};
+}
+
+void ReportRuntime() {
+  const std::string env = GetEnvOr("STWA_NUM_THREADS", "");
+  std::cout << "[runtime] threads=" << runtime::NumThreads()
+            << (env.empty() ? " (hardware default)"
+                            : " (STWA_NUM_THREADS=" + env + ")")
+            << "\n";
 }
 
 std::string BenchOutPath(const std::string& filename) {

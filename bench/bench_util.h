@@ -34,6 +34,9 @@ struct BenchScale {
   int64_t d_model = 16;
   int64_t predictor_hidden = 64;
   int64_t max_batches_per_epoch = 0;
+  /// Worker threads for the execution runtime; resolved from
+  /// STWA_NUM_THREADS / hardware_concurrency (runtime::DefaultNumThreads).
+  int num_threads = 1;
 };
 
 /// Reads STWA_BENCH_SCALE and returns the corresponding scale.
@@ -68,6 +71,10 @@ train::TrainResult RunModel(const std::string& model_name,
 
 /// Formats a metric triple as three table cells.
 std::vector<std::string> MetricCells(const metrics::ForecastMetrics& m);
+
+/// Prints the execution-runtime configuration (thread count and its
+/// source) so every bench records what it ran with.
+void ReportRuntime();
 
 /// Ensures ./bench_out exists and returns the path of `filename` in it.
 std::string BenchOutPath(const std::string& filename);

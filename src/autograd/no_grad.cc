@@ -1,0 +1,20 @@
+#include "autograd/no_grad.h"
+
+namespace stwa {
+namespace ag {
+namespace {
+
+thread_local bool t_grad_enabled = true;
+
+}  // namespace
+
+NoGradMode::NoGradMode() : prev_enabled_(t_grad_enabled) {
+  t_grad_enabled = false;
+}
+
+NoGradMode::~NoGradMode() { t_grad_enabled = prev_enabled_; }
+
+bool GradEnabled() { return t_grad_enabled; }
+
+}  // namespace ag
+}  // namespace stwa

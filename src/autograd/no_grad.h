@@ -1,0 +1,41 @@
+// Scoped gradient-recording switch.
+//
+// While a NoGradMode object is alive on a thread, differentiable operators
+// (autograd/ops.h) build no tape nodes: every op result is a detached
+// constant, so evaluation/inference skips the allocation and bookkeeping
+// of backward closures entirely. Leaf construction (Parameter / Var with
+// requires_grad) is unaffected — only op recording is suppressed, so
+// training resumes normally once the scope ends.
+//
+// Calling Backward() on a value produced under NoGradMode throws
+// stwa::Error ("does not require grad") rather than silently doing
+// nothing.
+
+#ifndef STWA_AUTOGRAD_NO_GRAD_H_
+#define STWA_AUTOGRAD_NO_GRAD_H_
+
+namespace stwa {
+namespace ag {
+
+/// RAII scope that disables tape construction on the current thread.
+/// Scopes nest; recording resumes when the outermost scope ends.
+class NoGradMode {
+ public:
+  NoGradMode();
+  ~NoGradMode();
+
+  NoGradMode(const NoGradMode&) = delete;
+  NoGradMode& operator=(const NoGradMode&) = delete;
+
+ private:
+  bool prev_enabled_;
+};
+
+/// True when op recording is active (no NoGradMode scope is alive on this
+/// thread).
+bool GradEnabled();
+
+}  // namespace ag
+}  // namespace stwa
+
+#endif  // STWA_AUTOGRAD_NO_GRAD_H_

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "autograd/no_grad.h"
 #include "common/check.h"
 #include "tensor/ops.h"
 
@@ -11,17 +12,20 @@ namespace stwa {
 namespace ag {
 namespace {
 
-/// Builds an op node. If no parent requires grad, the node is a detached
-/// constant (no parents / backward), pruning the tape.
+/// Builds an op node. If no parent requires grad — or recording is off
+/// (NoGradMode) — the node is a detached constant (no parents / backward),
+/// pruning the tape.
 Var MakeOp(Tensor value, std::vector<NodePtr> parents,
            std::function<void(Node&)> backward) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
   bool any = false;
-  for (const NodePtr& p : parents) {
-    if (p != nullptr && p->requires_grad) {
-      any = true;
-      break;
+  if (GradEnabled()) {
+    for (const NodePtr& p : parents) {
+      if (p != nullptr && p->requires_grad) {
+        any = true;
+        break;
+      }
     }
   }
   if (any) {

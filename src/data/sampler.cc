@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "runtime/parallel.h"
 
 namespace stwa {
 namespace data {
@@ -48,23 +49,34 @@ Batch WindowSampler::MakeBatch(
   float* xp = out.x.data();
   float* yp = out.y.data();
   for (int64_t b = 0; b < batch; ++b) {
-    const int64_t idx = anchor_indices[b];
-    STWA_CHECK(idx >= 0 && idx < num_samples(), "anchor index ", idx,
-               " out of range");
-    const int64_t t = anchors_[idx];
-    for (int64_t i = 0; i < sensors; ++i) {
-      // values[i, t-H+1 : t+1, :] -> x[b, i, :, :]
-      std::memcpy(
-          xp + ((b * sensors + i) * history_) * features,
-          vp + (i * steps + (t - history_ + 1)) * features,
-          sizeof(float) * history_ * features);
-      // targets[i, t+1 : t+U+1, :] -> y[b, i, :, :]
-      std::memcpy(
-          yp + ((b * sensors + i) * horizon_) * features,
-          tp + (i * steps + (t + 1)) * features,
-          sizeof(float) * horizon_ * features);
-    }
+    STWA_CHECK(anchor_indices[b] >= 0 && anchor_indices[b] < num_samples(),
+               "anchor index ", anchor_indices[b], " out of range");
   }
+  // Each sample writes a disjoint [b, ...] slab of x/y, so the copies
+  // parallelise freely.
+  const int64_t copy_cost =
+      sensors * (history_ + horizon_) * features + 1;
+  const int64_t* anchors_p = anchors_.data();
+  const int64_t* picks_p = anchor_indices.data();
+  const int64_t history = history_;
+  const int64_t horizon = horizon_;
+  runtime::ParallelFor(
+      0, batch, std::max<int64_t>(1, 16384 / copy_cost),
+      [=](int64_t b0, int64_t b1) {
+        for (int64_t b = b0; b < b1; ++b) {
+          const int64_t t = anchors_p[picks_p[b]];
+          for (int64_t i = 0; i < sensors; ++i) {
+            // values[i, t-H+1 : t+1, :] -> x[b, i, :, :]
+            std::memcpy(xp + ((b * sensors + i) * history) * features,
+                        vp + (i * steps + (t - history + 1)) * features,
+                        sizeof(float) * history * features);
+            // targets[i, t+1 : t+U+1, :] -> y[b, i, :, :]
+            std::memcpy(yp + ((b * sensors + i) * horizon) * features,
+                        tp + (i * steps + (t + 1)) * features,
+                        sizeof(float) * horizon * features);
+          }
+        }
+      });
   return out;
 }
 

@@ -5,13 +5,20 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "runtime/parallel.h"
 
 namespace stwa {
 namespace ops {
 namespace {
 
-// Odometer-style iteration over an output shape with per-input strides that
-// are zero on broadcast dimensions. Calls fn(out_flat, a_flat, b_flat).
+// Minimum number of elementwise-op-equivalents a ParallelFor chunk should
+// amortise thread handoff over. Grain sizes below are derived from it.
+constexpr int64_t kMinChunkWork = 16384;
+
+// Odometer-style iteration over an output shape with per-input strides
+// that are zero on broadcast dimensions, split across the worker pool.
+// Calls fn(out_flat, a_flat, b_flat); each flat output index is visited by
+// exactly one chunk, so results match the serial loop bit-for-bit.
 template <typename Fn>
 void ForEachBroadcast(const Shape& out_shape,
                       const std::vector<int64_t>& a_strides,
@@ -23,22 +30,41 @@ void ForEachBroadcast(const Shape& out_shape,
     fn(0, 0, 0);
     return;
   }
-  std::vector<int64_t> idx(rank, 0);
-  int64_t a_off = 0;
-  int64_t b_off = 0;
-  for (int64_t flat = 0; flat < total; ++flat) {
-    fn(flat, a_off, b_off);
-    // Increment the odometer from the last axis.
+  // Raw pointers/scalars are captured by value: through a by-reference
+  // closure every inner-loop access would reload vector data pointers after
+  // each output store (the compiler cannot prove the store doesn't alias
+  // the closure), which costs ~60% on odometer-style loops.
+  const int64_t* shape_p = out_shape.data();
+  const int64_t* as_p = a_strides.data();
+  const int64_t* bs_p = b_strides.data();
+  runtime::ParallelFor(0, total, kMinChunkWork,
+                       [shape_p, as_p, bs_p, rank, &fn](int64_t begin,
+                                                        int64_t end) {
+    // Seed the odometer at `begin`, then walk the chunk.
+    std::vector<int64_t> idx(rank, 0);
+    int64_t a_off = 0;
+    int64_t b_off = 0;
+    int64_t rem = begin;
     for (int64_t d = rank - 1; d >= 0; --d) {
-      ++idx[d];
-      a_off += a_strides[d];
-      b_off += b_strides[d];
-      if (idx[d] < out_shape[d]) break;
-      a_off -= a_strides[d] * out_shape[d];
-      b_off -= b_strides[d] * out_shape[d];
-      idx[d] = 0;
+      idx[d] = rem % shape_p[d];
+      rem /= shape_p[d];
+      a_off += idx[d] * as_p[d];
+      b_off += idx[d] * bs_p[d];
     }
-  }
+    for (int64_t flat = begin; flat < end; ++flat) {
+      fn(flat, a_off, b_off);
+      // Increment the odometer from the last axis.
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        ++idx[d];
+        a_off += as_p[d];
+        b_off += bs_p[d];
+        if (idx[d] < shape_p[d]) break;
+        a_off -= as_p[d] * shape_p[d];
+        b_off -= bs_p[d] * shape_p[d];
+        idx[d] = 0;
+      }
+    }
+  });
 }
 
 // Strides of `shape` aligned to `out_rank` dims, with 0 stride where the
@@ -69,8 +95,12 @@ Tensor BinaryImpl(const Tensor& a, const Tensor& b, Fn&& fn) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    const int64_t n = a.size();
-    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    runtime::ParallelFor(0, a.size(), kMinChunkWork,
+                         [po, pa, pb, &fn](int64_t begin, int64_t end) {
+                           for (int64_t i = begin; i < end; ++i) {
+                             po[i] = fn(pa[i], pb[i]);
+                           }
+                         });
     return out;
   }
   Shape out_shape = BroadcastShapes(a.shape(), b.shape());
@@ -81,7 +111,7 @@ Tensor BinaryImpl(const Tensor& a, const Tensor& b, Fn&& fn) {
   const float* pb = b.data();
   float* po = out.data();
   ForEachBroadcast(out_shape, as, bs,
-                   [&](int64_t o, int64_t ia, int64_t ib) {
+                   [po, pa, pb, &fn](int64_t o, int64_t ia, int64_t ib) {
                      po[o] = fn(pa[ia], pb[ib]);
                    });
   return out;
@@ -92,8 +122,12 @@ Tensor UnaryImpl(const Tensor& a, Fn&& fn) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  runtime::ParallelFor(0, a.size(), kMinChunkWork,
+                       [po, pa, &fn](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           po[i] = fn(pa[i]);
+                         }
+                       });
   return out;
 }
 
@@ -114,6 +148,52 @@ void AxisSplit(const Shape& shape, int64_t axis, int64_t* outer,
   for (int64_t d = axis + 1; d < static_cast<int64_t>(shape.size()); ++d) {
     *inner *= shape[d];
   }
+}
+
+// Matmul row kernel: accumulates A[i0:i1, :] * B into O[i0:i1, :]. Large k
+// is blocked so a panel of B stays hot in cache while it is reused across
+// the rows of the chunk; small k skips the blocking pass so each out row is
+// written exactly once. Within one output element the k accumulation order
+// stays ascending either way, identical to the naive i-k-j loop, so
+// blocking does not change the result. The inner j loop is contiguous on
+// both B and O, which auto-vectorises well.
+void MatMulRowRange(const float* __restrict__ A, const float* __restrict__ B,
+                    float* __restrict__ O, int64_t i0, int64_t i1, int64_t k,
+                    int64_t n) {
+  constexpr int64_t kBlockK = 512;
+  if (k <= kBlockK) {
+    // Single k panel: plain i-k-j sweep, one write pass over each out row.
+    for (int64_t i = i0; i < i1; ++i) {
+      float* __restrict__ out_row = O + i * n;
+      const float* __restrict__ a_row = A + i * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = a_row[kk];
+        if (aik == 0.0f) continue;
+        const float* __restrict__ b_row = B + kk * n;
+        for (int64_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+      }
+    }
+    return;
+  }
+  for (int64_t kb = 0; kb < k; kb += kBlockK) {
+    const int64_t ke = std::min(k, kb + kBlockK);
+    for (int64_t i = i0; i < i1; ++i) {
+      float* __restrict__ out_row = O + i * n;
+      const float* __restrict__ a_row = A + i * k;
+      for (int64_t kk = kb; kk < ke; ++kk) {
+        const float aik = a_row[kk];
+        if (aik == 0.0f) continue;
+        const float* __restrict__ b_row = B + kk * n;
+        for (int64_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+      }
+    }
+  }
+}
+
+// Row grain so one chunk holds at least ~kMinChunkWork multiply-adds.
+int64_t MatMulRowGrain(int64_t k, int64_t n) {
+  const int64_t flops_per_row = std::max<int64_t>(1, k * n);
+  return std::max<int64_t>(1, kMinChunkWork / flops_per_row);
 }
 
 }  // namespace
@@ -220,17 +300,10 @@ Tensor MatMul2D(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // i-k-j loop order: the inner j loop is contiguous on both b and out,
-  // which auto-vectorises well.
-  for (int64_t i = 0; i < m; ++i) {
-    float* out_row = po + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* b_row = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
-    }
-  }
+  runtime::ParallelFor(0, m, MatMulRowGrain(k, n),
+                       [pa, pb, po, k, n](int64_t i0, int64_t i1) {
+                         MatMulRowRange(pa, pb, po, i0, i1, k, n);
+                       });
   return out;
 }
 
@@ -266,29 +339,34 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t a_mat = m * k;
   const int64_t b_mat = k * n;
   const int64_t o_mat = m * n;
-  for (int64_t bi = 0; bi < batch_count; ++bi) {
-    int64_t a_off = 0;
-    int64_t b_off = 0;
-    int64_t rem = bi;
-    for (size_t d = 0; d < batch.size(); ++d) {
-      int64_t coord = rem / batch_strides[d];
-      rem %= batch_strides[d];
-      a_off += coord * a_strides[d];
-      b_off += coord * b_strides[d];
-    }
-    const float* A = pa + a_off * a_mat;
-    const float* B = pb + b_off * b_mat;
-    float* O = po + bi * o_mat;
-    for (int64_t i = 0; i < m; ++i) {
-      float* out_row = O + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float aik = A[i * k + kk];
-        if (aik == 0.0f) continue;
-        const float* b_row = B + kk * n;
-        for (int64_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
-      }
-    }
-  }
+  const int64_t* batch_p = batch_strides.data();
+  const int64_t* as_p = a_strides.data();
+  const int64_t* bs_p = b_strides.data();
+  const int64_t batch_rank = static_cast<int64_t>(batch.size());
+  // Parallel over the flattened (batch, row) space so small-m batches and
+  // single large matrices both load every worker. Pointers and scalars are
+  // captured by value to keep them in registers across output stores.
+  runtime::ParallelFor(
+      0, batch_count * m, MatMulRowGrain(k, n),
+      [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1;) {
+          const int64_t bi = r / m;
+          const int64_t i0 = r % m;
+          const int64_t i1 = std::min(m, i0 + (r1 - r));
+          int64_t a_off = 0;
+          int64_t b_off = 0;
+          int64_t rem = bi;
+          for (int64_t d = 0; d < batch_rank; ++d) {
+            int64_t coord = rem / batch_p[d];
+            rem %= batch_p[d];
+            a_off += coord * as_p[d];
+            b_off += coord * bs_p[d];
+          }
+          MatMulRowRange(pa + a_off * a_mat, pb + b_off * b_mat,
+                         po + bi * o_mat, i0, i1, k, n);
+          r += i1 - i0;
+        }
+      });
   return out;
 }
 
@@ -320,19 +398,29 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& axes) {
   for (int64_t d = 0; d < rank; ++d) strides[d] = in_strides[axes[d]];
   const float* pa = a.data();
   float* po = out.data();
-  std::vector<int64_t> idx(rank, 0);
-  int64_t in_off = 0;
-  const int64_t total = a.size();
-  for (int64_t flat = 0; flat < total; ++flat) {
-    po[flat] = pa[in_off];
-    for (int64_t d = rank - 1; d >= 0; --d) {
-      ++idx[d];
-      in_off += strides[d];
-      if (idx[d] < out_shape[d]) break;
-      in_off -= strides[d] * out_shape[d];
-      idx[d] = 0;
-    }
-  }
+  const int64_t* shape_p = out_shape.data();
+  const int64_t* strides_p = strides.data();
+  runtime::ParallelFor(
+      0, a.size(), kMinChunkWork, [=](int64_t begin, int64_t end) {
+        std::vector<int64_t> idx(rank, 0);
+        int64_t in_off = 0;
+        int64_t rem = begin;
+        for (int64_t d = rank - 1; d >= 0; --d) {
+          idx[d] = rem % shape_p[d];
+          rem /= shape_p[d];
+          in_off += idx[d] * strides_p[d];
+        }
+        for (int64_t flat = begin; flat < end; ++flat) {
+          po[flat] = pa[in_off];
+          for (int64_t d = rank - 1; d >= 0; --d) {
+            ++idx[d];
+            in_off += strides_p[d];
+            if (idx[d] < shape_p[d]) break;
+            in_off -= strides_p[d] * shape_p[d];
+            idx[d] = 0;
+          }
+        }
+      });
   return out;
 }
 
@@ -367,13 +455,19 @@ Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
   Tensor out(out_shape);
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t e = 0; e < extent; ++e) {
-      const float* src = pa + (o * extent + e) * inner;
-      float* dst = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
-    }
-  }
+  // Parallel over `outer` slices: each output element is reduced by one
+  // chunk in ascending e order, matching the serial loop exactly.
+  runtime::ParallelFor(
+      0, outer, std::max<int64_t>(1, kMinChunkWork / (extent * inner + 1)),
+      [=](int64_t o0, int64_t o1) {
+        for (int64_t o = o0; o < o1; ++o) {
+          for (int64_t e = 0; e < extent; ++e) {
+            const float* src = pa + (o * extent + e) * inner;
+            float* dst = po + o * inner;
+            for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+          }
+        }
+      });
   return out;
 }
 
@@ -402,13 +496,19 @@ Tensor Max(const Tensor& a, int64_t axis, bool keepdims) {
   Tensor out(out_shape, -std::numeric_limits<float>::infinity());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t e = 0; e < extent; ++e) {
-      const float* src = pa + (o * extent + e) * inner;
-      float* dst = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] = std::max(dst[i], src[i]);
-    }
-  }
+  runtime::ParallelFor(
+      0, outer, std::max<int64_t>(1, kMinChunkWork / (extent * inner + 1)),
+      [=](int64_t o0, int64_t o1) {
+        for (int64_t o = o0; o < o1; ++o) {
+          for (int64_t e = 0; e < extent; ++e) {
+            const float* src = pa + (o * extent + e) * inner;
+            float* dst = po + o * inner;
+            for (int64_t i = 0; i < inner; ++i) {
+              dst[i] = std::max(dst[i], src[i]);
+            }
+          }
+        }
+      });
   return out;
 }
 
@@ -461,19 +561,23 @@ Tensor SoftmaxLast(const Tensor& a) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* src = pa + r * last;
-    float* dst = po + r * last;
-    float mx = src[0];
-    for (int64_t j = 1; j < last; ++j) mx = std::max(mx, src[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < last; ++j) {
-      dst[j] = std::exp(src[j] - mx);
-      sum += dst[j];
-    }
-    const float inv = 1.0f / sum;
-    for (int64_t j = 0; j < last; ++j) dst[j] *= inv;
-  }
+  runtime::ParallelFor(
+      0, rows, std::max<int64_t>(1, kMinChunkWork / (4 * last)),
+      [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* src = pa + r * last;
+          float* dst = po + r * last;
+          float mx = src[0];
+          for (int64_t j = 1; j < last; ++j) mx = std::max(mx, src[j]);
+          float sum = 0.0f;
+          for (int64_t j = 0; j < last; ++j) {
+            dst[j] = std::exp(src[j] - mx);
+            sum += dst[j];
+          }
+          const float inv = 1.0f / sum;
+          for (int64_t j = 0; j < last; ++j) dst[j] *= inv;
+        }
+      });
   return out;
 }
 
@@ -596,14 +700,24 @@ void AddInPlace(Tensor& dst, const Tensor& src) {
              ShapeToString(dst.shape()), " vs ", ShapeToString(src.shape()));
   float* pd = dst.data();
   const float* ps = src.data();
-  for (int64_t i = 0; i < dst.size(); ++i) pd[i] += ps[i];
+  runtime::ParallelFor(0, dst.size(), kMinChunkWork,
+                       [pd, ps](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           pd[i] += ps[i];
+                         }
+                       });
 }
 
 void AxpyInPlace(Tensor& dst, float s, const Tensor& src) {
   STWA_CHECK(dst.shape() == src.shape(), "AxpyInPlace shape mismatch");
   float* pd = dst.data();
   const float* ps = src.data();
-  for (int64_t i = 0; i < dst.size(); ++i) pd[i] += s * ps[i];
+  runtime::ParallelFor(0, dst.size(), kMinChunkWork,
+                       [pd, ps, s](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           pd[i] += s * ps[i];
+                         }
+                       });
 }
 
 float MaxAbsDiff(const Tensor& a, const Tensor& b) {

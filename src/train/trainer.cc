@@ -1,9 +1,11 @@
 #include "train/trainer.h"
 
+#include "autograd/no_grad.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "optim/early_stopping.h"
 #include "optim/optimizer.h"
+#include "runtime/parallel.h"
 #include "tensor/ops.h"
 
 #include <iostream>
@@ -14,6 +16,9 @@ namespace train {
 Trainer::Trainer(const data::TrafficDataset& dataset, int64_t history,
                  int64_t horizon, TrainConfig config)
     : config_(config), history_(history), horizon_(horizon) {
+  if (config_.num_threads > 0) {
+    runtime::SetNumThreads(config_.num_threads);
+  }
   data::SplitBounds split = data::ChronologicalSplit(dataset.num_steps());
   scaler_.Fit(dataset.values, split.train_end);
   Tensor normalised = scaler_.Transform(dataset.values);
@@ -32,6 +37,8 @@ Trainer::Trainer(const data::TrafficDataset& dataset, int64_t history,
 
 metrics::ForecastMetrics Trainer::Evaluate(ForecastModel& model,
                                            const data::WindowSampler& sampler) {
+  // Inference only: skip tape-node construction for the whole pass.
+  ag::NoGradMode no_grad;
   metrics::MetricAccumulator acc;
   auto batches = sampler.EpochBatches(config_.batch_size, nullptr);
   for (const auto& batch_indices : batches) {

@@ -52,6 +52,9 @@ struct TrainConfig {
   int64_t eval_stride = 1;
   uint64_t seed = 1;
   bool verbose = false;
+  /// Worker threads for the execution runtime (0 = keep the current
+  /// runtime default, i.e. STWA_NUM_THREADS / hardware_concurrency).
+  int num_threads = 0;
   /// Cap on train batches per epoch (0 = no cap); keeps bench runtimes
   /// bounded on the largest synthetic networks.
   int64_t max_batches_per_epoch = 0;
