@@ -3,9 +3,21 @@
 // bench_out/BENCH_kernels.json. This seeds the perf trajectory: later
 // kernel/runtime PRs re-run it and diff the numbers.
 //
+// Beyond wall time, every measurement records the buffer-pool counters for
+// one kernel invocation: `heap_allocs` (pool misses, i.e. real heap
+// allocations) and `peak_bytes` (peak outstanding pooled bytes). Two extra
+// sections probe the allocation work itself:
+//   * dispatch: ops::UnaryOp (type-erased std::function) vs ops::UnaryMap
+//     (inlined functor) on the same data — the de-virtualisation delta;
+//   * train_step: heap allocations per training step on the quickstart
+//     ST-WA config, pool on vs off (STWA_DISABLE_POOL A/B in one process).
+//
 // Thread counts swept: 1, 2, 4 and the runtime default (deduplicated).
 // Each measurement is the best of several repetitions, so transient noise
 // does not mask kernel-level changes.
+//
+// STWA_BENCH_SMOKE=1 shrinks sizes/reps/thread counts to a seconds-long CI
+// smoke run that still exercises every section and emits the same JSON.
 
 #include <algorithm>
 #include <fstream>
@@ -13,11 +25,16 @@
 #include <string>
 #include <vector>
 
+#include "baselines/registry.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "data/traffic_generator.h"
 #include "runtime/parallel.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
+#include "train/trainer.h"
 
 namespace stwa {
 namespace bench {
@@ -28,7 +45,9 @@ struct Measurement {
   int64_t size = 0;
   int threads = 0;
   double seconds = 0.0;
-  double gflops = 0.0;  // 0 when the kernel has no natural flop count
+  double gflops = 0.0;      // 0 when the kernel has no natural flop count
+  uint64_t heap_allocs = 0;  // pool misses during one invocation
+  uint64_t peak_bytes = 0;   // peak outstanding pooled bytes
 };
 
 /// Best-of-`reps` wall time of fn(), with one untimed warmup.
@@ -44,59 +63,188 @@ double TimeBest(int reps, Fn&& fn) {
   return best;
 }
 
+/// Runs fn() once under freshly reset pool counters and stores the
+/// miss/peak columns into `m`.
+template <typename Fn>
+void CountAllocs(Measurement* m, Fn&& fn) {
+  pool::ResetStats();
+  fn();
+  const pool::PoolStats s = pool::Stats();
+  m->heap_allocs = s.misses;
+  m->peak_bytes = s.peak_outstanding_bytes;
+}
+
+bool SmokeMode() { return GetEnvOr("STWA_BENCH_SMOKE", "") == "1"; }
+
 std::vector<int> ThreadCounts() {
   std::vector<int> counts = {1, 2, 4, runtime::DefaultNumThreads()};
+  if (SmokeMode()) counts = {1, runtime::DefaultNumThreads()};
   std::sort(counts.begin(), counts.end());
   counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
   return counts;
+}
+
+/// ops::UnaryOp (std::function) vs ops::UnaryMap (inlined functor) on the
+/// same buffer: the cost of type-erased elementwise dispatch.
+void BenchDispatch(Rng& rng, std::vector<Measurement>* results) {
+  const int64_t n = SmokeMode() ? (1 << 18) : (1 << 22);
+  const int reps = SmokeMode() ? 3 : 8;
+  Tensor x = Tensor::Randn({n}, rng);
+  const std::function<float(float)> erased = [](float v) {
+    return v * v + 1.0f;
+  };
+  const auto inlined = [](float v) { return v * v + 1.0f; };
+
+  Measurement fn_m{"dispatch_function", n, runtime::NumThreads(), 0.0, 0.0};
+  fn_m.seconds = TimeBest(reps, [&] { return ops::UnaryOp(x, erased); });
+  CountAllocs(&fn_m, [&] { return ops::UnaryOp(x, erased); });
+  results->push_back(fn_m);
+
+  Measurement tmpl_m{"dispatch_template", n, runtime::NumThreads(), 0.0,
+                     0.0};
+  tmpl_m.seconds = TimeBest(reps, [&] { return ops::UnaryMap(x, inlined); });
+  CountAllocs(&tmpl_m, [&] { return ops::UnaryMap(x, inlined); });
+  results->push_back(tmpl_m);
+
+  std::cout << "dispatch n=" << n
+            << " std::function=" << fn_m.seconds * 1e3
+            << " ms, template=" << tmpl_m.seconds * 1e3 << " ms ("
+            << fn_m.seconds / tmpl_m.seconds << "x)\n";
+}
+
+/// Heap allocations per training step on the quickstart ST-WA config,
+/// pool on vs off. Emits one `train_step` measurement per mode whose
+/// `seconds` is wall time per step and `heap_allocs` is per-step.
+void BenchTrainStep(std::vector<Measurement>* results) {
+  data::GeneratorOptions gen;
+  gen.name = "quickstart";
+  gen.num_roads = 4;
+  gen.sensors_per_road = 4;
+  gen.num_days = SmokeMode() ? 4 : 10;
+  gen.steps_per_day = 144;
+  gen.seed = 2024;
+  data::TrafficDataset dataset = data::GenerateTraffic(gen);
+
+  baselines::ModelSettings settings;
+  settings.history = 12;
+  settings.horizon = 12;
+  settings.d_model = 16;
+  settings.window_sizes = {3, 2, 2};
+  settings.latent_dim = 8;
+  settings.predictor_hidden = 64;
+
+  train::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 8;
+  config.stride = 2;
+  config.eval_stride = 3;
+  config.max_batches_per_epoch = SmokeMode() ? 8 : 0;
+
+  const bool pool_was_enabled = pool::Enabled();
+  for (const bool pool_on : {true, false}) {
+    pool::SetEnabled(pool_on);
+    auto model = baselines::MakeModel("ST-WA", dataset, settings);
+    train::Trainer trainer(dataset, settings.history, settings.horizon,
+                           config);
+    int64_t steps =
+        (trainer.train_sampler().num_samples() + config.batch_size - 1) /
+        config.batch_size;
+    if (config.max_batches_per_epoch > 0) {
+      steps = std::min(steps, config.max_batches_per_epoch);
+    }
+    pool::ResetStats();
+    Stopwatch watch;
+    train::TrainResult r = trainer.Fit(*model);
+    const double secs = watch.ElapsedSeconds();
+    const pool::PoolStats s = pool::Stats();
+    const int64_t total_steps = steps * std::max(1, r.epochs_run);
+    Measurement m{pool_on ? "train_step_pool_on" : "train_step_pool_off",
+                  total_steps,
+                  runtime::NumThreads(),
+                  secs / total_steps,
+                  0.0,
+                  s.misses / static_cast<uint64_t>(total_steps),
+                  s.peak_outstanding_bytes};
+    results->push_back(m);
+    std::cout << m.kernel << " steps=" << total_steps << " "
+              << m.seconds * 1e3 << " ms/step, " << m.heap_allocs
+              << " heap allocs/step, peak " << m.peak_bytes << " B\n";
+  }
+  pool::SetEnabled(pool_was_enabled);
 }
 
 void Run() {
   ReportRuntime();
   Rng rng(77);
   std::vector<Measurement> results;
+  const bool smoke = SmokeMode();
+  if (smoke) std::cout << "[bench] smoke mode (STWA_BENCH_SMOKE=1)\n";
 
-  const std::vector<int64_t> matmul_sizes = {64, 128, 256, 512, 1024};
+  std::vector<int64_t> matmul_sizes = {64, 128, 256, 512, 1024};
+  if (smoke) matmul_sizes = {64, 128, 256};
   for (int threads : ThreadCounts()) {
     runtime::SetNumThreads(threads);
 
     for (int64_t s : matmul_sizes) {
       Tensor a = Tensor::Randn({s, s}, rng);
       Tensor b = Tensor::Randn({s, s}, rng);
-      const int reps = s >= 512 ? 3 : 8;
-      const double secs =
-          TimeBest(reps, [&] { return ops::MatMul2D(a, b); });
+      const int reps = smoke ? 2 : (s >= 512 ? 3 : 8);
+      Measurement m{"matmul", s, threads, 0.0, 0.0};
+      m.seconds = TimeBest(reps, [&] { return ops::MatMul2D(a, b); });
+      CountAllocs(&m, [&] { return ops::MatMul2D(a, b); });
       const double flops = 2.0 * s * s * s;
-      results.push_back({"matmul", s, threads, secs, flops / secs / 1e9});
+      m.gflops = flops / m.seconds / 1e9;
+      results.push_back(m);
       std::cout << "matmul " << s << "x" << s << " threads=" << threads
-                << " " << secs * 1e3 << " ms (" << flops / secs / 1e9
+                << " " << m.seconds * 1e3 << " ms (" << m.gflops
                 << " GFLOP/s)\n";
     }
 
     {
-      // 4096 rows of 512: the shape window attention produces.
-      Tensor x = Tensor::Randn({4096, 512}, rng);
-      const double secs = TimeBest(8, [&] { return ops::SoftmaxLast(x); });
-      results.push_back({"softmax", 4096 * 512, threads, secs, 0.0});
-      std::cout << "softmax 4096x512 threads=" << threads << " "
-                << secs * 1e3 << " ms\n";
+      // Rows of 512: the shape window attention produces.
+      const int64_t rows = smoke ? 256 : 4096;
+      Tensor x = Tensor::Randn({rows, 512}, rng);
+      Measurement m{"softmax", rows * 512, threads, 0.0, 0.0};
+      m.seconds =
+          TimeBest(smoke ? 3 : 8, [&] { return ops::SoftmaxLast(x); });
+      CountAllocs(&m, [&] { return ops::SoftmaxLast(x); });
+      results.push_back(m);
+      std::cout << "softmax " << rows << "x512 threads=" << threads << " "
+                << m.seconds * 1e3 << " ms\n";
     }
 
     {
-      const int64_t n = 1 << 22;  // 4M floats
+      const int64_t n = smoke ? (1 << 18) : (1 << 22);  // 4M floats full
       Tensor x = Tensor::Randn({n}, rng);
       Tensor y = Tensor::Randn({n}, rng);
-      double secs = TimeBest(8, [&] { return ops::Add(x, y); });
-      results.push_back({"add", n, threads, secs, 0.0});
+      Measurement add_m{"add", n, threads, 0.0, 0.0};
+      add_m.seconds = TimeBest(smoke ? 3 : 8, [&] { return ops::Add(x, y); });
+      CountAllocs(&add_m, [&] { return ops::Add(x, y); });
+      results.push_back(add_m);
       std::cout << "add " << n << " threads=" << threads << " "
-                << secs * 1e3 << " ms\n";
-      secs = TimeBest(8, [&] { return ops::Tanh(x); });
-      results.push_back({"tanh", n, threads, secs, 0.0});
+                << add_m.seconds * 1e3 << " ms\n";
+      Measurement tanh_m{"tanh", n, threads, 0.0, 0.0};
+      tanh_m.seconds = TimeBest(smoke ? 3 : 8, [&] { return ops::Tanh(x); });
+      CountAllocs(&tanh_m, [&] { return ops::Tanh(x); });
+      results.push_back(tanh_m);
       std::cout << "tanh " << n << " threads=" << threads << " "
-                << secs * 1e3 << " ms\n";
+                << tanh_m.seconds * 1e3 << " ms\n";
+      // In-place vs out-of-place: the allocation-free fused path.
+      Measurement axpy_m{"axpy_inplace", n, threads, 0.0, 0.0};
+      Tensor dst = Tensor::Randn({n}, rng);
+      axpy_m.seconds = TimeBest(smoke ? 3 : 8,
+                                [&] { ops::AxpyInPlace(dst, 0.5f, y); });
+      CountAllocs(&axpy_m, [&] { ops::AxpyInPlace(dst, 0.5f, y); });
+      results.push_back(axpy_m);
+      std::cout << "axpy_inplace " << n << " threads=" << threads << " "
+                << axpy_m.seconds * 1e3 << " ms\n";
     }
+
+    BenchDispatch(rng, &results);
   }
   runtime::SetNumThreads(0);
+
+  BenchTrainStep(&results);
 
   // Headline number for the PR gate: 512x512 matmul speedup over 1 thread.
   double base512 = 0.0;
@@ -112,6 +260,20 @@ void Run() {
                 << " threads: " << base512 / m.seconds << "x\n";
     }
   }
+  // And the allocation headline: pool-off vs pool-on allocs per step.
+  uint64_t allocs_on = 0, allocs_off = 0;
+  for (const Measurement& m : results) {
+    if (m.kernel == "train_step_pool_on") allocs_on = m.heap_allocs;
+    if (m.kernel == "train_step_pool_off") allocs_off = m.heap_allocs;
+  }
+  if (allocs_off > 0) {
+    std::cout << "train-step heap allocs: pool off " << allocs_off
+              << "/step, pool on " << allocs_on << "/step ("
+              << (allocs_on > 0
+                      ? static_cast<double>(allocs_off) / allocs_on
+                      : static_cast<double>(allocs_off))
+              << "x fewer)\n";
+  }
 
   const std::string path = BenchOutPath("BENCH_kernels.json");
   std::ofstream out(path);
@@ -120,7 +282,9 @@ void Run() {
     const Measurement& m = results[i];
     out << "  {\"kernel\": \"" << m.kernel << "\", \"size\": " << m.size
         << ", \"threads\": " << m.threads << ", \"seconds\": " << m.seconds
-        << ", \"gflops\": " << m.gflops << "}"
+        << ", \"gflops\": " << m.gflops
+        << ", \"heap_allocs\": " << m.heap_allocs
+        << ", \"peak_bytes\": " << m.peak_bytes << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "]\n";

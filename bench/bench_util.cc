@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/string_util.h"
 #include "runtime/parallel.h"
+#include "tensor/buffer_pool.h"
 
 namespace stwa {
 namespace bench {
@@ -151,9 +152,13 @@ std::vector<std::string> MetricCells(const metrics::ForecastMetrics& m) {
 
 void ReportRuntime() {
   const std::string env = GetEnvOr("STWA_NUM_THREADS", "");
+  const std::string pool_env = GetEnvOr("STWA_DISABLE_POOL", "");
   std::cout << "[runtime] threads=" << runtime::NumThreads()
             << (env.empty() ? " (hardware default)"
                             : " (STWA_NUM_THREADS=" + env + ")")
+            << " pool=" << (pool::Enabled() ? "on" : "off")
+            << (pool_env.empty() ? ""
+                                 : " (STWA_DISABLE_POOL=" + pool_env + ")")
             << "\n";
 }
 

@@ -72,8 +72,8 @@ train::TrainResult RunModel(const std::string& model_name,
 /// Formats a metric triple as three table cells.
 std::vector<std::string> MetricCells(const metrics::ForecastMetrics& m);
 
-/// Prints the execution-runtime configuration (thread count and its
-/// source) so every bench records what it ran with.
+/// Prints the execution-runtime configuration (thread count, buffer-pool
+/// state and their sources) so every bench records what it ran with.
 void ReportRuntime();
 
 /// Ensures ./bench_out exists and returns the path of `filename` in it.

@@ -22,7 +22,12 @@ GradCheckResult CheckGradients(const std::function<Var()>& fn,
   loss.Backward();
   std::vector<Tensor> analytic;
   analytic.reserve(params.size());
-  for (const Var& p : params) analytic.push_back(p.grad().Clone());
+  for (const Var& p : params) {
+    // A parameter the graph never touched has an empty grad (the no-alloc
+    // read sentinel); treat it as analytic zeros of the value's shape.
+    analytic.push_back(p.grad().empty() ? Tensor(p.node()->value.shape())
+                                        : p.grad().Clone());
+  }
 
   // Numeric pass (central differences). We mutate the parameter's storage
   // in place; fn() rebuilds the graph from the current values.

@@ -37,13 +37,33 @@ Var MakeOp(Tensor value, std::vector<NodePtr> parents,
 }
 
 /// Accumulates `g` into `p`'s gradient, reducing over broadcast axes.
-void Accum(const NodePtr& p, const Tensor& g) {
+/// Exclusive temporaries are adopted by the grad buffer instead of being
+/// added into a freshly zeroed allocation (Node::AccumulateGrad).
+void Accum(const NodePtr& p, Tensor g) {
   if (p == nullptr || !p->requires_grad) return;
-  p->EnsureGrad();
   if (g.shape() == p->value.shape()) {
-    ops::AddInPlace(p->grad, g);
+    p->AccumulateGrad(std::move(g));
   } else {
-    ops::AddInPlace(p->grad, ops::ReduceToShape(g, p->value.shape()));
+    p->AccumulateGrad(ops::ReduceToShape(g, p->value.shape()));
+  }
+}
+
+/// Accumulates a * b (elementwise) into `p`'s gradient. When the shapes
+/// line up, the product is fused into the accumulation (AddMulInPlace) —
+/// no intermediate product tensor; otherwise falls back to Mul + Accum
+/// with broadcast reduction.
+void AccumProduct(const NodePtr& p, const Tensor& a, const Tensor& b) {
+  if (p == nullptr || !p->requires_grad) return;
+  const Shape& shape = p->value.shape();
+  if (a.shape() == shape && b.shape() == shape) {
+    if (p->grad.empty() && !p->value.empty()) {
+      p->AccumulateGrad(
+          ops::BinaryMap(a, b, [](float x, float y) { return x * y; }));
+    } else {
+      ops::AddMulInPlace(p->grad, a, b);
+    }
+  } else {
+    Accum(p, ops::Mul(a, b));
   }
 }
 
@@ -68,8 +88,8 @@ Var Sub(const Var& a, const Var& b) {
 Var Mul(const Var& a, const Var& b) {
   return MakeOp(ops::Mul(a.value(), b.value()), {a.node(), b.node()},
                 [](Node& n) {
-                  Accum(n.parents[0], ops::Mul(n.grad, n.parents[1]->value));
-                  Accum(n.parents[1], ops::Mul(n.grad, n.parents[0]->value));
+                  AccumProduct(n.parents[0], n.grad, n.parents[1]->value);
+                  AccumProduct(n.parents[1], n.grad, n.parents[0]->value);
                 });
 }
 
@@ -101,7 +121,7 @@ Var Neg(const Var& a) { return MulScalar(a, -1.0f); }
 Var Exp(const Var& a) {
   Tensor y = ops::Exp(a.value());
   return MakeOp(y, {a.node()}, [y](Node& n) {
-    Accum(n.parents[0], ops::Mul(n.grad, y));
+    AccumProduct(n.parents[0], n.grad, y);
   });
 }
 
@@ -114,49 +134,56 @@ Var Log(const Var& a) {
 Var Sqrt(const Var& a) {
   Tensor y = ops::Sqrt(a.value());
   return MakeOp(y, {a.node()}, [y](Node& n) {
-    // d sqrt(x)/dx = 0.5 / sqrt(x)
-    Accum(n.parents[0],
-          ops::Div(ops::MulScalar(n.grad, 0.5f), y));
+    // d sqrt(x)/dx = 0.5 / sqrt(x); fused single-pass map.
+    Accum(n.parents[0], ops::BinaryMap(n.grad, y, [](float g, float v) {
+      return 0.5f * g / v;
+    }));
   });
 }
 
 Var Square(const Var& a) {
   return MakeOp(ops::Square(a.value()), {a.node()}, [](Node& n) {
     Accum(n.parents[0],
-          ops::Mul(n.grad, ops::MulScalar(n.parents[0]->value, 2.0f)));
+          ops::BinaryMap(n.grad, n.parents[0]->value, [](float g, float x) {
+            return g * 2.0f * x;
+          }));
   });
 }
 
 Var Abs(const Var& a) {
   return MakeOp(ops::Abs(a.value()), {a.node()}, [](Node& n) {
-    Tensor sign = ops::UnaryOp(n.parents[0]->value, [](float x) {
-      return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
-    });
-    Accum(n.parents[0], ops::Mul(n.grad, sign));
+    Accum(n.parents[0],
+          ops::BinaryMap(n.grad, n.parents[0]->value, [](float g, float x) {
+            return x > 0.0f ? g : (x < 0.0f ? -g : 0.0f);
+          }));
   });
 }
 
 Var Tanh(const Var& a) {
   Tensor y = ops::Tanh(a.value());
   return MakeOp(y, {a.node()}, [y](Node& n) {
-    Tensor one_minus = ops::UnaryOp(y, [](float v) { return 1.0f - v * v; });
-    Accum(n.parents[0], ops::Mul(n.grad, one_minus));
+    // Fused g * (1 - y^2): one pooled temporary instead of two.
+    Accum(n.parents[0], ops::BinaryMap(n.grad, y, [](float g, float v) {
+      return g * (1.0f - v * v);
+    }));
   });
 }
 
 Var Sigmoid(const Var& a) {
   Tensor y = ops::Sigmoid(a.value());
   return MakeOp(y, {a.node()}, [y](Node& n) {
-    Tensor dy = ops::UnaryOp(y, [](float v) { return v * (1.0f - v); });
-    Accum(n.parents[0], ops::Mul(n.grad, dy));
+    Accum(n.parents[0], ops::BinaryMap(n.grad, y, [](float g, float v) {
+      return g * v * (1.0f - v);
+    }));
   });
 }
 
 Var Relu(const Var& a) {
   return MakeOp(ops::Relu(a.value()), {a.node()}, [](Node& n) {
-    Tensor mask = ops::UnaryOp(n.parents[0]->value,
-                               [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
-    Accum(n.parents[0], ops::Mul(n.grad, mask));
+    Accum(n.parents[0],
+          ops::BinaryMap(n.grad, n.parents[0]->value, [](float g, float x) {
+            return x > 0.0f ? g : 0.0f;
+          }));
   });
 }
 
@@ -165,12 +192,11 @@ Var MatMul(const Var& a, const Var& b) {
                 [](Node& n) {
                   const Tensor& av = n.parents[0]->value;
                   const Tensor& bv = n.parents[1]->value;
-                  // dA = g @ B^T, reduced over broadcast batch dims.
-                  Tensor da = ops::MatMul(n.grad, ops::TransposeLast2(bv));
-                  Accum(n.parents[0], da);
-                  // dB = A^T @ g, reduced over broadcast batch dims.
-                  Tensor db = ops::MatMul(ops::TransposeLast2(av), n.grad);
-                  Accum(n.parents[1], db);
+                  // dA = g @ B^T and dB = A^T @ g via the fused
+                  // transposed-operand kernels (no transpose temporaries),
+                  // reduced over broadcast batch dims by Accum.
+                  Accum(n.parents[0], ops::MatMulNT(n.grad, bv));
+                  Accum(n.parents[1], ops::MatMulTN(av, n.grad));
                 });
 }
 
@@ -302,11 +328,11 @@ Var Sum(const Var& a, int64_t axis, bool keepdims) {
   keep_shape[axis] = 1;
   return MakeOp(ops::Sum(a.value(), axis, keepdims), {a.node()},
                 [keep_shape](Node& n) {
-                  // Broadcast the (possibly squeezed) grad back up.
-                  Tensor g = n.grad.Reshape(keep_shape);
-                  Tensor expanded =
-                      ops::Add(g, Tensor(n.parents[0]->value.shape()));
-                  Accum(n.parents[0], expanded);
+                  // Broadcast the (possibly squeezed) grad back up —
+                  // a pure copy expansion, no zero tensor or add pass.
+                  Accum(n.parents[0],
+                        ops::BroadcastTo(n.grad.Reshape(keep_shape),
+                                         n.parents[0]->value.shape()));
                 });
 }
 
@@ -320,17 +346,16 @@ Var Mean(const Var& a, int64_t axis, bool keepdims) {
 Var SoftmaxLast(const Var& a) {
   Tensor y = ops::SoftmaxLast(a.value());
   return MakeOp(y, {a.node()}, [y](Node& n) {
-    // dx = y * (g - sum(g * y, last, keepdims))
-    Tensor gy = ops::Mul(n.grad, y);
-    Tensor s = ops::Sum(gy, -1, /*keepdims=*/true);
-    Accum(n.parents[0], ops::Mul(y, ops::Sub(n.grad, s)));
+    // Fused dx = y * (g - sum(g * y, last)): one pooled output, no
+    // intermediate product/sum/difference tensors.
+    Accum(n.parents[0], ops::SoftmaxLastBackward(y, n.grad));
   });
 }
 
 Var Dropout(const Var& a, float p, bool training, Rng& rng) {
   if (!training || p <= 0.0f) return a;
   STWA_CHECK(p < 1.0f, "Dropout probability must be < 1, got ", p);
-  Tensor mask(a.value().shape());
+  Tensor mask = Tensor::Uninit(a.value().shape());
   const float scale = 1.0f / (1.0f - p);
   float* m = mask.data();
   for (int64_t i = 0; i < mask.size(); ++i) {
@@ -352,18 +377,22 @@ Var HuberLoss(const Var& pred, const Var& target, float delta) {
   Var diff = Sub(pred, target);
   // Piecewise value and gradient computed directly for numerical clarity.
   Tensor d = diff.value();
-  Tensor loss_value = ops::UnaryOp(d, [delta](float e) {
+  Tensor loss_value = ops::UnaryMap(d, [delta](float e) {
     const float a = std::fabs(e);
     return a <= delta ? 0.5f * e * e : delta * (a - 0.5f * delta);
   });
   const float inv = 1.0f / static_cast<float>(d.size());
   Var elem = MakeOp(loss_value, {diff.node()}, [delta](Node& n) {
-    // dH/de = e (|e|<=delta), else delta*sign(e)
-    Tensor de = ops::UnaryOp(n.parents[0]->value, [delta](float e) {
-      if (std::fabs(e) <= delta) return e;
-      return e > 0.0f ? delta : -delta;
-    });
-    Accum(n.parents[0], ops::Mul(n.grad, de));
+    // dH/de = e (|e|<=delta), else delta*sign(e); fused with the incoming
+    // gradient into a single pooled temporary.
+    Accum(n.parents[0],
+          ops::BinaryMap(n.grad, n.parents[0]->value,
+                         [delta](float g, float e) {
+                           const float de = std::fabs(e) <= delta
+                                                ? e
+                                                : (e > 0.0f ? delta : -delta);
+                           return g * de;
+                         }));
   });
   return MulScalar(SumAll(elem), inv);
 }

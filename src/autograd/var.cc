@@ -1,8 +1,10 @@
 #include "autograd/var.h"
 
 #include <unordered_set>
+#include <utility>
 
 #include "common/check.h"
+#include "tensor/ops.h"
 
 namespace stwa {
 namespace ag {
@@ -13,6 +15,22 @@ void Node::EnsureGrad() {
   } else if (grad.shape() != value.shape()) {
     grad = Tensor(value.shape());
   }
+}
+
+void Node::AccumulateGrad(Tensor g) {
+  STWA_CHECK(g.shape() == value.shape(), "AccumulateGrad shape mismatch: ",
+             ShapeToString(g.shape()), " vs ", ShapeToString(value.shape()));
+  if (grad.empty() && !value.empty()) {
+    if (g.use_count() == 1) {
+      // Exclusive temporary: adopt the buffer instead of zero-fill + add.
+      grad = std::move(g);
+      return;
+    }
+    grad = Tensor(value.shape());
+  } else if (grad.shape() != value.shape()) {
+    grad = Tensor(value.shape());
+  }
+  ops::AddInPlace(grad, g);
 }
 
 Var::Var(Tensor value, bool requires_grad) {
@@ -28,7 +46,8 @@ const Tensor& Var::value() const {
 
 const Tensor& Var::grad() const {
   STWA_CHECK(defined(), "grad() on undefined Var");
-  node_->EnsureGrad();
+  // Read path: never allocate. An unaccumulated grad stays the empty
+  // sentinel; consumers (optimizers, clipping) treat it as all-zeros.
   return node_->grad;
 }
 
@@ -38,8 +57,9 @@ bool Var::requires_grad() const {
 
 void Var::ZeroGrad() {
   STWA_CHECK(defined(), "ZeroGrad() on undefined Var");
-  node_->EnsureGrad();
-  node_->grad.Fill(0.0f);
+  // Keep an existing allocation and clear it; don't create one just to
+  // hold zeros — an empty grad already reads as zero everywhere.
+  if (!node_->grad.empty()) node_->grad.Fill(0.0f);
 }
 
 namespace {

@@ -43,7 +43,14 @@ class Node {
   std::function<void(Node&)> backward;
 
   /// Allocates (zeroed) grad storage matching `value` if not present.
+  /// Only accumulation sites call this; read paths never allocate.
   void EnsureGrad();
+
+  /// Adds `g` (already reduced to value's shape) into this node's grad.
+  /// When the grad buffer does not exist yet and `g` owns its buffer
+  /// exclusively, the buffer is adopted outright — no zero-fill, no add,
+  /// no allocation. Bit-identical to EnsureGrad + AddInPlace (0 + x == x).
+  void AccumulateGrad(Tensor g);
 };
 
 /// Value-semantic handle to a tape node. Copies alias the same node.
@@ -64,13 +71,16 @@ class Var {
   /// Forward value. Requires defined().
   const Tensor& value() const;
 
-  /// Accumulated gradient (allocates zeros on first access).
+  /// Accumulated gradient. Pure read: if nothing has been accumulated yet
+  /// the shared empty sentinel (size-0 tensor) is returned — a read never
+  /// allocates grad storage. Callers treat an empty grad as all-zeros.
   const Tensor& grad() const;
 
   /// True when gradients flow to this node.
   bool requires_grad() const;
 
-  /// Zeroes the gradient buffer (keeps allocation).
+  /// Zeroes the gradient buffer if one exists (keeps the allocation);
+  /// no-op — not an allocation — when no gradient was ever accumulated.
   void ZeroGrad();
 
   /// Runs reverse-mode accumulation from this scalar node. Requires a

@@ -36,18 +36,32 @@ WindowSampler::WindowSampler(Tensor values, Tensor targets, int64_t history,
 
 Batch WindowSampler::MakeBatch(
     const std::vector<int64_t>& anchor_indices) const {
+  Batch out;
+  MakeBatchInto(anchor_indices, &out);
+  return out;
+}
+
+void WindowSampler::MakeBatchInto(const std::vector<int64_t>& anchor_indices,
+                                  Batch* out) const {
   STWA_CHECK(!anchor_indices.empty(), "empty batch");
   const int64_t batch = static_cast<int64_t>(anchor_indices.size());
   const int64_t sensors = values_.dim(0);
   const int64_t steps = values_.dim(1);
   const int64_t features = values_.dim(2);
-  Batch out;
-  out.x = Tensor(Shape{batch, sensors, history_, features});
-  out.y = Tensor(Shape{batch, sensors, horizon_, features});
+  // Reuse staging buffers when they are exclusively ours; every element is
+  // overwritten below, so Uninit allocation is safe on the refresh path.
+  const Shape x_shape{batch, sensors, history_, features};
+  const Shape y_shape{batch, sensors, horizon_, features};
+  if (out->x.shape() != x_shape || out->x.use_count() != 1) {
+    out->x = Tensor::Uninit(x_shape);
+  }
+  if (out->y.shape() != y_shape || out->y.use_count() != 1) {
+    out->y = Tensor::Uninit(y_shape);
+  }
   const float* vp = values_.data();
   const float* tp = targets_.data();
-  float* xp = out.x.data();
-  float* yp = out.y.data();
+  float* xp = out->x.data();
+  float* yp = out->y.data();
   for (int64_t b = 0; b < batch; ++b) {
     STWA_CHECK(anchor_indices[b] >= 0 && anchor_indices[b] < num_samples(),
                "anchor index ", anchor_indices[b], " out of range");
@@ -77,7 +91,6 @@ Batch WindowSampler::MakeBatch(
           }
         }
       });
-  return out;
 }
 
 std::vector<std::vector<int64_t>> WindowSampler::EpochBatches(

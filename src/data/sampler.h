@@ -45,6 +45,14 @@ class WindowSampler {
   /// list, not timestamps).
   Batch MakeBatch(const std::vector<int64_t>& anchor_indices) const;
 
+  /// Like MakeBatch but recycles `out`'s staging buffers across calls:
+  /// x/y are only re-allocated when the required shape changed or the
+  /// previous buffers are still shared (e.g. a live autograd tape holds
+  /// them — use_count() > 1). Callers keep one Batch alive across a loop
+  /// to make batch assembly allocation-free in steady state.
+  void MakeBatchInto(const std::vector<int64_t>& anchor_indices,
+                     Batch* out) const;
+
   /// Convenience: consecutive batches covering all samples in order.
   std::vector<std::vector<int64_t>> EpochBatches(int64_t batch_size,
                                                  Rng* shuffle_rng) const;

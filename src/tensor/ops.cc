@@ -11,60 +11,64 @@ namespace stwa {
 namespace ops {
 namespace {
 
-// Minimum number of elementwise-op-equivalents a ParallelFor chunk should
-// amortise thread handoff over. Grain sizes below are derived from it.
-constexpr int64_t kMinChunkWork = 16384;
+// Grain sizes below derive from the shared per-chunk work floor.
+using detail::kMinChunkWork;
 
 // Odometer-style iteration over an output shape with per-input strides
 // that are zero on broadcast dimensions, split across the worker pool.
-// Calls fn(out_flat, a_flat, b_flat); each flat output index is visited by
-// exactly one chunk, so results match the serial loop bit-for-bit.
+// The output is visited one innermost row at a time: fn(out_flat, a_off,
+// b_off, len, a_stride, b_stride) handles a whole run, the odometer
+// advances once per run instead of once per element, and the caller's
+// inner loop sees fixed strides (0 or the innermost stride) so broadcast
+// bias-adds vectorise. Element visit order is row-major and every flat
+// output index belongs to exactly one chunk, so results match the serial
+// loop bit-for-bit at any thread count.
 template <typename Fn>
-void ForEachBroadcast(const Shape& out_shape,
-                      const std::vector<int64_t>& a_strides,
-                      const std::vector<int64_t>& b_strides, Fn&& fn) {
+void ForEachBroadcastRuns(const Shape& out_shape,
+                          const std::vector<int64_t>& a_strides,
+                          const std::vector<int64_t>& b_strides, Fn&& fn) {
   const int64_t rank = static_cast<int64_t>(out_shape.size());
   const int64_t total = NumElements(out_shape);
   if (total == 0) return;
   if (rank == 0) {
-    fn(0, 0, 0);
+    fn(0, 0, 0, 1, 0, 0);
     return;
   }
-  // Raw pointers/scalars are captured by value: through a by-reference
-  // closure every inner-loop access would reload vector data pointers after
-  // each output store (the compiler cannot prove the store doesn't alias
-  // the closure), which costs ~60% on odometer-style loops.
+  const int64_t inner = out_shape[rank - 1];
+  const int64_t sa = a_strides[rank - 1];
+  const int64_t sb = b_strides[rank - 1];
+  const int64_t outer = rank - 1;
+  const int64_t num_runs = total / std::max<int64_t>(1, inner);
   const int64_t* shape_p = out_shape.data();
   const int64_t* as_p = a_strides.data();
   const int64_t* bs_p = b_strides.data();
-  runtime::ParallelFor(0, total, kMinChunkWork,
-                       [shape_p, as_p, bs_p, rank, &fn](int64_t begin,
-                                                        int64_t end) {
-    // Seed the odometer at `begin`, then walk the chunk.
-    std::vector<int64_t> idx(rank, 0);
-    int64_t a_off = 0;
-    int64_t b_off = 0;
-    int64_t rem = begin;
-    for (int64_t d = rank - 1; d >= 0; --d) {
-      idx[d] = rem % shape_p[d];
-      rem /= shape_p[d];
-      a_off += idx[d] * as_p[d];
-      b_off += idx[d] * bs_p[d];
-    }
-    for (int64_t flat = begin; flat < end; ++flat) {
-      fn(flat, a_off, b_off);
-      // Increment the odometer from the last axis.
-      for (int64_t d = rank - 1; d >= 0; --d) {
-        ++idx[d];
-        a_off += as_p[d];
-        b_off += bs_p[d];
-        if (idx[d] < shape_p[d]) break;
-        a_off -= as_p[d] * shape_p[d];
-        b_off -= bs_p[d] * shape_p[d];
-        idx[d] = 0;
-      }
-    }
-  });
+  runtime::ParallelFor(
+      0, num_runs, std::max<int64_t>(1, kMinChunkWork / inner),
+      [shape_p, as_p, bs_p, outer, inner, sa, sb, &fn](int64_t r0,
+                                                       int64_t r1) {
+        std::vector<int64_t> idx(outer, 0);
+        int64_t a_off = 0;
+        int64_t b_off = 0;
+        int64_t rem = r0;
+        for (int64_t d = outer - 1; d >= 0; --d) {
+          idx[d] = rem % shape_p[d];
+          rem /= shape_p[d];
+          a_off += idx[d] * as_p[d];
+          b_off += idx[d] * bs_p[d];
+        }
+        for (int64_t r = r0; r < r1; ++r) {
+          fn(r * inner, a_off, b_off, inner, sa, sb);
+          for (int64_t d = outer - 1; d >= 0; --d) {
+            ++idx[d];
+            a_off += as_p[d];
+            b_off += bs_p[d];
+            if (idx[d] < shape_p[d]) break;
+            a_off -= as_p[d] * shape_p[d];
+            b_off -= bs_p[d] * shape_p[d];
+            idx[d] = 0;
+          }
+        }
+      });
 }
 
 // Strides of `shape` aligned to `out_rank` dims, with 0 stride where the
@@ -91,7 +95,7 @@ std::vector<int64_t> BroadcastStrides(const Shape& shape,
 template <typename Fn>
 Tensor BinaryImpl(const Tensor& a, const Tensor& b, Fn&& fn) {
   if (a.shape() == b.shape()) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::Uninit(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
@@ -104,22 +108,41 @@ Tensor BinaryImpl(const Tensor& a, const Tensor& b, Fn&& fn) {
     return out;
   }
   Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninit(out_shape);
   auto as = BroadcastStrides(a.shape(), out_shape);
   auto bs = BroadcastStrides(b.shape(), out_shape);
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  ForEachBroadcast(out_shape, as, bs,
-                   [po, pa, pb, &fn](int64_t o, int64_t ia, int64_t ib) {
-                     po[o] = fn(pa[ia], pb[ib]);
-                   });
+  ForEachBroadcastRuns(
+      out_shape, as, bs,
+      [po, pa, pb, &fn](int64_t o, int64_t a0, int64_t b0, int64_t len,
+                        int64_t sa, int64_t sb) {
+        // Specialise the common stride patterns so the inner loop
+        // vectorises: bias-add style (one side constant) and elementwise
+        // rows (both advancing).
+        if (sa == 1 && sb == 0) {
+          const float bv = pb[b0];
+          for (int64_t j = 0; j < len; ++j) po[o + j] = fn(pa[a0 + j], bv);
+        } else if (sa == 0 && sb == 1) {
+          const float av = pa[a0];
+          for (int64_t j = 0; j < len; ++j) po[o + j] = fn(av, pb[b0 + j]);
+        } else if (sa == 1 && sb == 1) {
+          for (int64_t j = 0; j < len; ++j) {
+            po[o + j] = fn(pa[a0 + j], pb[b0 + j]);
+          }
+        } else {
+          for (int64_t j = 0; j < len; ++j) {
+            po[o + j] = fn(pa[a0 + j * sa], pb[b0 + j * sb]);
+          }
+        }
+      });
   return out;
 }
 
 template <typename Fn>
 Tensor UnaryImpl(const Tensor& a, Fn&& fn) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninit(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   runtime::ParallelFor(0, a.size(), kMinChunkWork,
@@ -194,6 +217,109 @@ void MatMulRowRange(const float* __restrict__ A, const float* __restrict__ B,
 int64_t MatMulRowGrain(int64_t k, int64_t n) {
   const int64_t flops_per_row = std::max<int64_t>(1, k * n);
   return std::max<int64_t>(1, kMinChunkWork / flops_per_row);
+}
+
+// Row kernels for the transposed-operand products. Both write each output
+// element exactly once (safe on Uninit storage) and accumulate k in
+// ascending order, so results are chunking-independent.
+
+// O[i, j] = dot(A[i, :], B[j, :]); A is [m, k], B is [n, k]. Both reads
+// are contiguous along k — the transpose never materialises. The dot uses
+// 8 independent partial sums (a single accumulator is a serial FP
+// dependency chain the compiler may not vectorise under strict IEEE
+// semantics) combined in a fixed order, so the result is still
+// independent of threading and chunking.
+void MatMulNTRowRange(const float* __restrict__ A, const float* __restrict__ B,
+                      float* __restrict__ O, int64_t i0, int64_t i1,
+                      int64_t k, int64_t n) {
+  constexpr int64_t kLanes = 8;
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* __restrict__ a_row = A + i * k;
+    float* __restrict__ out_row = O + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* __restrict__ b_row = B + j * k;
+      float acc[kLanes] = {0.0f};
+      int64_t kk = 0;
+      for (; kk + kLanes <= k; kk += kLanes) {
+        for (int64_t l = 0; l < kLanes; ++l) {
+          acc[l] += a_row[kk + l] * b_row[kk + l];
+        }
+      }
+      float s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+                ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+      for (; kk < k; ++kk) s += a_row[kk] * b_row[kk];
+      out_row[j] = s;
+    }
+  }
+}
+
+// O[i, j] = sum_kk A[kk, i] * B[kk, j]; A is [k, m], B is [k, n]. Same
+// i-k-j sweep as MatMulRowRange, with A read down a column.
+void MatMulTNRowRange(const float* __restrict__ A, const float* __restrict__ B,
+                      float* __restrict__ O, int64_t i0, int64_t i1,
+                      int64_t k, int64_t m, int64_t n) {
+  for (int64_t i = i0; i < i1; ++i) {
+    float* __restrict__ out_row = O + i * n;
+    std::fill(out_row, out_row + n, 0.0f);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aki = A[kk * m + i];
+      if (aki == 0.0f) continue;
+      const float* __restrict__ b_row = B + kk * n;
+      for (int64_t j = 0; j < n; ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+}
+
+// Shared batched driver for the transposed-operand products: broadcasts
+// the batch dims like MatMul and hands each (batch, row-range) pair to
+// `row_fn(a_panel, b_panel, o_panel, i0, i1)`.
+template <typename RowFn>
+Tensor BatchedTransposedProduct(const Tensor& a, const Tensor& b, int64_t m,
+                                int64_t n, int64_t k, RowFn&& row_fn) {
+  Shape a_batch(a.shape().begin(), a.shape().end() - 2);
+  Shape b_batch(b.shape().begin(), b.shape().end() - 2);
+  Shape batch = BroadcastShapes(a_batch, b_batch);
+  const int64_t batch_count = NumElements(batch);
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  Tensor out = Tensor::Uninit(out_shape);  // row kernels write every element
+  if (out.size() == 0) return out;
+  std::vector<int64_t> a_strides = BroadcastStrides(a_batch, batch);
+  std::vector<int64_t> b_strides = BroadcastStrides(b_batch, batch);
+  std::vector<int64_t> batch_strides = Strides(batch);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t a_mat = a.dim(-2) * a.dim(-1);
+  const int64_t b_mat = b.dim(-2) * b.dim(-1);
+  const int64_t o_mat = m * n;
+  const int64_t* batch_p = batch_strides.data();
+  const int64_t* as_p = a_strides.data();
+  const int64_t* bs_p = b_strides.data();
+  const int64_t batch_rank = static_cast<int64_t>(batch.size());
+  runtime::ParallelFor(
+      0, batch_count * m, MatMulRowGrain(k, n),
+      [=, &row_fn](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1;) {
+          const int64_t bi = r / m;
+          const int64_t i0 = r % m;
+          const int64_t i1 = std::min(m, i0 + (r1 - r));
+          int64_t a_off = 0;
+          int64_t b_off = 0;
+          int64_t rem = bi;
+          for (int64_t d = 0; d < batch_rank; ++d) {
+            int64_t coord = rem / batch_p[d];
+            rem %= batch_p[d];
+            a_off += coord * as_p[d];
+            b_off += coord * bs_p[d];
+          }
+          row_fn(pa + a_off * a_mat, pb + b_off * b_mat, po + bi * o_mat,
+                 i0, i1);
+          r += i1 - i0;
+        }
+      });
+  return out;
 }
 
 }  // namespace
@@ -370,6 +496,37 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  STWA_CHECK(a.rank() >= 2 && b.rank() >= 2,
+             "MatMulNT needs rank >= 2 inputs");
+  const int64_t m = a.dim(-2);
+  const int64_t k = a.dim(-1);
+  const int64_t n = b.dim(-2);
+  STWA_CHECK(b.dim(-1) == k, "inner dimensions mismatch: ",
+             ShapeToString(a.shape()), " x ", ShapeToString(b.shape()),
+             "^T");
+  return BatchedTransposedProduct(
+      a, b, m, n, k,
+      [k, n](const float* pa, const float* pb, float* po, int64_t i0,
+             int64_t i1) { MatMulNTRowRange(pa, pb, po, i0, i1, k, n); });
+}
+
+Tensor MatMulTN(const Tensor& a, const Tensor& b) {
+  STWA_CHECK(a.rank() >= 2 && b.rank() >= 2,
+             "MatMulTN needs rank >= 2 inputs");
+  const int64_t k = a.dim(-2);
+  const int64_t m = a.dim(-1);
+  const int64_t n = b.dim(-1);
+  STWA_CHECK(b.dim(-2) == k, "inner dimensions mismatch: ",
+             ShapeToString(a.shape()), "^T x ", ShapeToString(b.shape()));
+  return BatchedTransposedProduct(
+      a, b, m, n, k,
+      [k, m, n](const float* pa, const float* pb, float* po, int64_t i0,
+                int64_t i1) {
+        MatMulTNRowRange(pa, pb, po, i0, i1, k, m, n);
+      });
+}
+
 Tensor TransposeLast2(const Tensor& a) {
   STWA_CHECK(a.rank() >= 2, "TransposeLast2 needs rank >= 2");
   std::vector<int64_t> axes(a.rank());
@@ -390,7 +547,7 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& axes) {
     seen[axes[d]] = true;
     out_shape[d] = a.shape()[axes[d]];
   }
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninit(out_shape);
   if (a.size() == 0) return out;
   std::vector<int64_t> in_strides = Strides(a.shape());
   // stride in the input for each output axis
@@ -398,21 +555,51 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& axes) {
   for (int64_t d = 0; d < rank; ++d) strides[d] = in_strides[axes[d]];
   const float* pa = a.data();
   float* po = out.data();
+
+  // Collapse the trailing output axes that are contiguous in the input
+  // into a single run: one memcpy per run replaces the per-element
+  // odometer (the dominant cost for the [0,2,1,3]-style permutes window
+  // attention performs on every head).
+  int64_t run = 1;
+  int64_t outer = rank;
+  while (outer > 0 && strides[outer - 1] == run) {
+    run *= out_shape[outer - 1];
+    --outer;
+  }
+  if (outer == 0) {  // input already laid out in output order
+    std::copy(pa, pa + a.size(), po);
+    return out;
+  }
+  // Without a contiguous tail, runs still cover the last axis with a
+  // fixed stride — a strided gather loop, but no odometer per element.
+  const int64_t inner = run > 1 ? run : out_shape[rank - 1];
+  const int64_t inner_stride = run > 1 ? 1 : strides[rank - 1];
+  if (run == 1) outer = rank - 1;
+  const int64_t num_runs = a.size() / inner;
   const int64_t* shape_p = out_shape.data();
   const int64_t* strides_p = strides.data();
   runtime::ParallelFor(
-      0, a.size(), kMinChunkWork, [=](int64_t begin, int64_t end) {
-        std::vector<int64_t> idx(rank, 0);
+      0, num_runs, std::max<int64_t>(1, kMinChunkWork / inner),
+      [=](int64_t r0, int64_t r1) {
+        std::vector<int64_t> idx(outer, 0);
         int64_t in_off = 0;
-        int64_t rem = begin;
-        for (int64_t d = rank - 1; d >= 0; --d) {
+        int64_t rem = r0;
+        for (int64_t d = outer - 1; d >= 0; --d) {
           idx[d] = rem % shape_p[d];
           rem /= shape_p[d];
           in_off += idx[d] * strides_p[d];
         }
-        for (int64_t flat = begin; flat < end; ++flat) {
-          po[flat] = pa[in_off];
-          for (int64_t d = rank - 1; d >= 0; --d) {
+        for (int64_t r = r0; r < r1; ++r) {
+          float* dst = po + r * inner;
+          const float* src = pa + in_off;
+          if (inner_stride == 1) {
+            std::memcpy(dst, src, sizeof(float) * inner);
+          } else {
+            for (int64_t j = 0; j < inner; ++j) {
+              dst[j] = src[j * inner_stride];
+            }
+          }
+          for (int64_t d = outer - 1; d >= 0; --d) {
             ++idx[d];
             in_off += strides_p[d];
             if (idx[d] < shape_p[d]) break;
@@ -518,7 +705,7 @@ Tensor ArgMaxLast(const Tensor& a) {
   STWA_CHECK(last > 0, "ArgMaxLast over empty axis");
   const int64_t rows = a.size() / last;
   Shape out_shape(a.shape().begin(), a.shape().end() - 1);
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninit(out_shape);
   const float* pa = a.data();
   float* po = out.data();
   for (int64_t r = 0; r < rows; ++r) {
@@ -553,12 +740,38 @@ Tensor ReduceToShape(const Tensor& grad, const Shape& shape) {
   return cur.Reshape(shape);
 }
 
+Tensor BroadcastTo(const Tensor& a, const Shape& shape) {
+  if (a.shape() == shape) return a;
+  STWA_CHECK(BroadcastShapes(a.shape(), shape) == shape,
+             "cannot broadcast ", ShapeToString(a.shape()), " to ",
+             ShapeToString(shape));
+  Tensor out = Tensor::Uninit(shape);
+  if (out.size() == 0) return out;
+  std::vector<int64_t> a_strides = BroadcastStrides(a.shape(), shape);
+  const std::vector<int64_t> zero(shape.size(), 0);
+  const float* pa = a.data();
+  float* po = out.data();
+  ForEachBroadcastRuns(
+      shape, a_strides, zero,
+      [po, pa](int64_t o, int64_t a0, int64_t, int64_t len, int64_t sa,
+               int64_t) {
+        if (sa == 1) {
+          std::memcpy(po + o, pa + a0, sizeof(float) * len);
+        } else if (sa == 0) {
+          std::fill(po + o, po + o + len, pa[a0]);
+        } else {
+          for (int64_t j = 0; j < len; ++j) po[o + j] = pa[a0 + j * sa];
+        }
+      });
+  return out;
+}
+
 Tensor SoftmaxLast(const Tensor& a) {
   STWA_CHECK(a.rank() >= 1, "SoftmaxLast needs rank >= 1");
   const int64_t last = a.dim(-1);
   STWA_CHECK(last > 0, "SoftmaxLast over empty axis");
   const int64_t rows = a.size() / last;
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninit(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   runtime::ParallelFor(
@@ -581,6 +794,34 @@ Tensor SoftmaxLast(const Tensor& a) {
   return out;
 }
 
+Tensor SoftmaxLastBackward(const Tensor& y, const Tensor& g) {
+  STWA_CHECK(y.shape() == g.shape(), "SoftmaxLastBackward shape mismatch: ",
+             ShapeToString(y.shape()), " vs ", ShapeToString(g.shape()));
+  STWA_CHECK(y.rank() >= 1, "SoftmaxLastBackward needs rank >= 1");
+  const int64_t last = y.dim(-1);
+  STWA_CHECK(last > 0, "SoftmaxLastBackward over empty axis");
+  const int64_t rows = y.size() / last;
+  Tensor out = Tensor::Uninit(y.shape());
+  const float* py = y.data();
+  const float* pg = g.data();
+  float* po = out.data();
+  // Row-serial accumulation in ascending j order: bit-identical to the
+  // unfused Mul/Sum/Sub/Mul composition it replaces, at any thread count.
+  runtime::ParallelFor(
+      0, rows, std::max<int64_t>(1, kMinChunkWork / (4 * last)),
+      [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* yr = py + r * last;
+          const float* gr = pg + r * last;
+          float* dst = po + r * last;
+          float s = 0.0f;
+          for (int64_t j = 0; j < last; ++j) s += gr[j] * yr[j];
+          for (int64_t j = 0; j < last; ++j) dst[j] = yr[j] * (gr[j] - s);
+        }
+      });
+  return out;
+}
+
 Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
   STWA_CHECK(!parts.empty(), "Concat of zero tensors");
   const int64_t rank = parts[0].rank();
@@ -598,7 +839,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
     total_axis += t.shape()[axis];
   }
   out_shape[axis] = total_axis;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninit(out_shape);
   int64_t outer;
   int64_t extent;
   int64_t inner;
@@ -629,7 +870,7 @@ Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
   AxisSplit(a.shape(), axis, &outer, &extent, &inner);
   Shape out_shape = a.shape();
   out_shape[axis] = len;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninit(out_shape);
   const float* pa = a.data();
   float* po = out.data();
   for (int64_t o = 0; o < outer; ++o) {
@@ -647,7 +888,7 @@ Tensor Stack(const std::vector<Tensor>& parts) {
   Shape out_shape = parts[0].shape();
   out_shape.insert(out_shape.begin(),
                    static_cast<int64_t>(parts.size()));
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninit(out_shape);
   float* po = out.data();
   const int64_t each = parts[0].size();
   for (size_t i = 0; i < parts.size(); ++i) {
@@ -662,7 +903,7 @@ Tensor IndexSelect0(const Tensor& a, const std::vector<int64_t>& indices) {
   const int64_t row_size = rows == 0 ? 0 : a.size() / rows;
   Shape out_shape = a.shape();
   out_shape[0] = static_cast<int64_t>(indices.size());
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninit(out_shape);
   const float* pa = a.data();
   float* po = out.data();
   for (size_t i = 0; i < indices.size(); ++i) {
@@ -716,6 +957,45 @@ void AxpyInPlace(Tensor& dst, float s, const Tensor& src) {
                        [pd, ps, s](int64_t begin, int64_t end) {
                          for (int64_t i = begin; i < end; ++i) {
                            pd[i] += s * ps[i];
+                         }
+                       });
+}
+
+void MulInPlace(Tensor& dst, const Tensor& src) {
+  STWA_CHECK(dst.shape() == src.shape(), "MulInPlace shape mismatch: ",
+             ShapeToString(dst.shape()), " vs ", ShapeToString(src.shape()));
+  float* pd = dst.data();
+  const float* ps = src.data();
+  runtime::ParallelFor(0, dst.size(), kMinChunkWork,
+                       [pd, ps](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           pd[i] *= ps[i];
+                         }
+                       });
+}
+
+void MulScalarInPlace(Tensor& dst, float s) {
+  float* pd = dst.data();
+  runtime::ParallelFor(0, dst.size(), kMinChunkWork,
+                       [pd, s](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           pd[i] *= s;
+                         }
+                       });
+}
+
+void AddMulInPlace(Tensor& dst, const Tensor& a, const Tensor& b) {
+  STWA_CHECK(dst.shape() == a.shape() && dst.shape() == b.shape(),
+             "AddMulInPlace shape mismatch: ", ShapeToString(dst.shape()),
+             " vs ", ShapeToString(a.shape()), " vs ",
+             ShapeToString(b.shape()));
+  float* pd = dst.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  runtime::ParallelFor(0, dst.size(), kMinChunkWork,
+                       [pd, pa, pb](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           pd[i] += pa[i] * pb[i];
                          }
                        });
 }

@@ -11,10 +11,76 @@
 #include <functional>
 #include <vector>
 
+#include "common/check.h"
+#include "runtime/parallel.h"
 #include "tensor/tensor.h"
 
 namespace stwa {
 namespace ops {
+
+namespace detail {
+/// Minimum number of elementwise-op-equivalents a ParallelFor chunk should
+/// amortise thread handoff over (shared by the header map templates and
+/// the kernels in ops.cc).
+constexpr int64_t kMinChunkWork = 16384;
+}  // namespace detail
+
+// --- Templated elementwise maps ----------------------------------------
+//
+// These compile the functor directly into the loop — no std::function
+// type erasure, no per-element indirect call. The named elementwise ops
+// below (Exp, Tanh, Add, ...) and the autograd backward closures are built
+// on them; the std::function-based UnaryOp/BinaryOp remain only as the
+// type-erased escape hatch (and as the "old path" dispatch baseline in
+// bench_kernels).
+
+/// out[i] = fn(a[i]). The output buffer is uninitialised (pooled) — every
+/// element is written exactly once.
+template <typename Fn>
+Tensor UnaryMap(const Tensor& a, Fn fn) {
+  Tensor out = Tensor::Uninit(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  runtime::ParallelFor(0, a.size(), detail::kMinChunkWork,
+                       [po, pa, &fn](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           po[i] = fn(pa[i]);
+                         }
+                       });
+  return out;
+}
+
+/// out[i] = fn(a[i], b[i]); same-shape operands only (broadcasting goes
+/// through BinaryOp / the named ops).
+template <typename Fn>
+Tensor BinaryMap(const Tensor& a, const Tensor& b, Fn fn) {
+  STWA_CHECK(a.shape() == b.shape(), "BinaryMap shape mismatch: ",
+             ShapeToString(a.shape()), " vs ", ShapeToString(b.shape()));
+  Tensor out = Tensor::Uninit(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  runtime::ParallelFor(0, a.size(), detail::kMinChunkWork,
+                       [po, pa, pb, &fn](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           po[i] = fn(pa[i], pb[i]);
+                         }
+                       });
+  return out;
+}
+
+/// a[i] = fn(a[i]) in place. The caller must own the buffer exclusively
+/// (use_count() == 1) or be updating an explicitly owned grad buffer.
+template <typename Fn>
+void UnaryMapInPlace(Tensor& a, Fn fn) {
+  float* pa = a.data();
+  runtime::ParallelFor(0, a.size(), detail::kMinChunkWork,
+                       [pa, &fn](int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           pa[i] = fn(pa[i]);
+                         }
+                       });
+}
 
 // --- Shape algebra -----------------------------------------------------
 
@@ -68,6 +134,19 @@ Tensor MatMul2D(const Tensor& a, const Tensor& b);
 /// is shared across the other's batch).
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
+/// Batched a @ b^T without materialising the transpose:
+/// [..., m, k] x [..., n, k] -> [..., m, n]. Batch dims broadcast like
+/// MatMul. Both operands are read contiguously along k (dot-product form);
+/// the k accumulation order is ascending, as in MatMul.
+Tensor MatMulNT(const Tensor& a, const Tensor& b);
+
+/// Batched a^T @ b without materialising the transpose:
+/// [..., k, m] x [..., k, n] -> [..., m, n]. Batch dims broadcast like
+/// MatMul; the k accumulation order is ascending. Together with MatMulNT
+/// this fuses the two matmul-backward products (dA = g @ B^T, dB = A^T @ g)
+/// into single allocation-free-transpose kernels.
+Tensor MatMulTN(const Tensor& a, const Tensor& b);
+
 /// Swaps the last two dimensions (materialises a new tensor).
 Tensor TransposeLast2(const Tensor& a);
 
@@ -99,10 +178,21 @@ Tensor ArgMaxLast(const Tensor& a);
 /// backward passes. `shape` must be broadcast-compatible with grad's shape.
 Tensor ReduceToShape(const Tensor& grad, const Shape& shape);
 
+/// Materialises `a` broadcast up to `shape` (no arithmetic; the inverse
+/// direction of ReduceToShape). Used by Sum's backward pass.
+Tensor BroadcastTo(const Tensor& a, const Shape& shape);
+
 // --- Softmax -------------------------------------------------------------
 
-/// Numerically stable softmax along the last axis.
+/// Numerically stable softmax along the last axis. Fused: the exp and the
+/// normalising sum live in the output buffer / a scalar — no intermediate
+/// exp/sum tensors are materialised.
 Tensor SoftmaxLast(const Tensor& a);
+
+/// Fused softmax backward: dx = y * (g - sum(g * y, last)) in one pass per
+/// row, with no intermediate product/sum tensors. `y` is the softmax
+/// output, `g` the incoming gradient (same shape).
+Tensor SoftmaxLastBackward(const Tensor& y, const Tensor& g);
 
 // --- Structure -----------------------------------------------------------
 
@@ -122,13 +212,28 @@ Tensor IndexSelect0(const Tensor& a, const std::vector<int64_t>& indices);
 void ScatterAddRows(Tensor& dst, const std::vector<int64_t>& indices,
                     const Tensor& src);
 
-// --- In-place accumulation (used by autograd grad buffers) ---------------
+// --- In-place / fused accumulation ---------------------------------------
+//
+// Safety rule (DESIGN.md "Memory management"): in-place kernels may only
+// target tensors whose buffer is exclusively owned (use_count() == 1) or
+// explicitly owned accumulation buffers (autograd grads, optimizer state).
 
 /// dst += src (same shape required).
 void AddInPlace(Tensor& dst, const Tensor& src);
 
+/// dst *= src (same shape required).
+void MulInPlace(Tensor& dst, const Tensor& src);
+
 /// dst += s * src (same shape required).
 void AxpyInPlace(Tensor& dst, float s, const Tensor& src);
+
+/// dst *= s.
+void MulScalarInPlace(Tensor& dst, float s);
+
+/// dst += a * b elementwise (all three the same shape); fuses the
+/// product-then-accumulate pattern of multiplicative backward passes
+/// without materialising the product.
+void AddMulInPlace(Tensor& dst, const Tensor& a, const Tensor& b);
 
 // --- Comparisons / stats --------------------------------------------------
 

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "tensor/buffer_pool.h"
 
 namespace stwa {
 
@@ -29,15 +30,19 @@ std::string ShapeToString(const Shape& shape) {
   return oss.str();
 }
 
-Tensor::Tensor() : data_(std::make_shared<std::vector<float>>()), size_(0) {}
+Tensor::Tensor() : size_(0) {}
 
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)) {
   size_ = NumElements(shape_);
-  data_ = std::make_shared<std::vector<float>>(size_, 0.0f);
+  data_ = pool::Acquire(size_);
+  Fill(0.0f);
 }
 
-Tensor::Tensor(Shape shape, float fill) : Tensor(std::move(shape)) {
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)) {
+  size_ = NumElements(shape_);
+  data_ = pool::Acquire(size_);
   Fill(fill);
 }
 
@@ -48,6 +53,14 @@ Tensor::Tensor(Shape shape, std::vector<float> values)
              "value count ", values.size(), " does not match shape ",
              ShapeToString(shape_));
   data_ = std::make_shared<std::vector<float>>(std::move(values));
+}
+
+Tensor Tensor::Uninit(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.size_ = NumElements(t.shape_);
+  t.data_ = pool::Acquire(t.size_);
+  return t;
 }
 
 Tensor::Tensor(std::initializer_list<float> values)
@@ -63,14 +76,14 @@ Tensor Tensor::Full(Shape shape, float value) {
 }
 
 Tensor Tensor::Randn(Shape shape, Rng& rng) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninit(std::move(shape));
   float* p = t.data();
   for (int64_t i = 0; i < t.size(); ++i) p[i] = rng.Normal();
   return t;
 }
 
 Tensor Tensor::Rand(Shape shape, Rng& rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninit(std::move(shape));
   float* p = t.data();
   for (int64_t i = 0; i < t.size(); ++i) p[i] = rng.Uniform(lo, hi);
   return t;
@@ -78,7 +91,7 @@ Tensor Tensor::Rand(Shape shape, Rng& rng, float lo, float hi) {
 
 Tensor Tensor::Arange(int64_t count, float start, float step) {
   STWA_CHECK(count >= 0, "Arange count must be non-negative");
-  Tensor t(Shape{count});
+  Tensor t = Uninit(Shape{count});
   float* p = t.data();
   for (int64_t i = 0; i < count; ++i) p[i] = start + step * i;
   return t;
@@ -100,13 +113,13 @@ int64_t Tensor::dim(int64_t d) const {
 float& Tensor::at(int64_t flat_index) {
   STWA_CHECK(flat_index >= 0 && flat_index < size_, "flat index ",
              flat_index, " out of range [0, ", size_, ")");
-  return (*data_)[flat_index];
+  return data()[flat_index];
 }
 
 float Tensor::at(int64_t flat_index) const {
   STWA_CHECK(flat_index >= 0 && flat_index < size_, "flat index ",
              flat_index, " out of range [0, ", size_, ")");
-  return (*data_)[flat_index];
+  return data()[flat_index];
 }
 
 int64_t Tensor::FlatIndex(std::initializer_list<int64_t> index) const {
@@ -125,17 +138,17 @@ int64_t Tensor::FlatIndex(std::initializer_list<int64_t> index) const {
 }
 
 float& Tensor::operator()(std::initializer_list<int64_t> index) {
-  return (*data_)[FlatIndex(index)];
+  return data()[FlatIndex(index)];
 }
 
 float Tensor::operator()(std::initializer_list<int64_t> index) const {
-  return (*data_)[FlatIndex(index)];
+  return data()[FlatIndex(index)];
 }
 
 float Tensor::item() const {
   STWA_CHECK(size_ == 1, "item() requires a single-element tensor, shape ",
              ShapeToString(shape_));
-  return (*data_)[0];
+  return data()[0];
 }
 
 Tensor Tensor::Reshape(Shape new_shape) const {
@@ -147,15 +160,18 @@ Tensor Tensor::Reshape(Shape new_shape) const {
 }
 
 Tensor Tensor::Clone() const {
+  // Not via Uninit(shape_): a default-constructed tensor has a rank-0
+  // shape with size 0, which NumElements would promote to a scalar.
   Tensor out;
   out.shape_ = shape_;
   out.size_ = size_;
-  out.data_ = std::make_shared<std::vector<float>>(*data_);
+  out.data_ = pool::Acquire(size_);
+  if (size_ > 0) std::copy(data(), data() + size_, out.data());
   return out;
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_->begin(), data_->end(), value);
+  if (size_ > 0) std::fill(data(), data() + size_, value);
 }
 
 void Tensor::CopyDataFrom(const Tensor& src) {
@@ -171,7 +187,7 @@ std::string Tensor::ToString() const {
   oss << "{";
   for (int64_t i = 0; i < std::min(size_, kMaxPrint); ++i) {
     if (i > 0) oss << ", ";
-    oss << (*data_)[i];
+    oss << data()[i];
   }
   if (size_ > kMaxPrint) oss << ", ...";
   oss << "}";

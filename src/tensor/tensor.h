@@ -8,6 +8,9 @@
 //   * shallow copy semantics via a shared buffer — copies are O(1); use
 //     Clone() for a deep copy. Slicing/permuting materialise new buffers,
 //     which keeps every kernel simple, cache-friendly and testable;
+//   * buffers come from the recycling pool (tensor/buffer_pool.h); the
+//     backing vector's size() may exceed the tensor's size(), so all code
+//     must address through data()/size(), never the vector's bounds;
 //   * all shape errors throw stwa::Error via STWA_CHECK.
 
 #ifndef STWA_TENSOR_TENSOR_H_
@@ -77,6 +80,11 @@ class Tensor {
   /// Identity matrix of size n x n.
   static Tensor Eye(int64_t n);
 
+  /// Allocates a tensor WITHOUT initialising its contents (a recycled pool
+  /// buffer carries stale bytes). Only for kernels that provably write
+  /// every element before any read — see DESIGN.md "Memory management".
+  static Tensor Uninit(Shape shape);
+
   // --- Introspection ---------------------------------------------------
 
   /// Tensor shape.
@@ -94,11 +102,16 @@ class Tensor {
   /// True if the tensor has zero elements or was default constructed.
   bool empty() const { return size_ == 0; }
 
-  /// Mutable raw storage pointer.
-  float* data() { return data_->data(); }
+  /// Mutable raw storage pointer (nullptr for an empty tensor).
+  float* data() { return data_ ? data_->data() : nullptr; }
 
-  /// Const raw storage pointer.
-  const float* data() const { return data_->data(); }
+  /// Const raw storage pointer (nullptr for an empty tensor).
+  const float* data() const { return data_ ? data_->data() : nullptr; }
+
+  /// Number of Tensor handles sharing this buffer (0 for an unallocated
+  /// default-constructed tensor). In-place kernels are only safe on
+  /// tensors with use_count() == 1 or on explicitly owned grad buffers.
+  int64_t use_count() const { return data_ ? data_.use_count() : 0; }
 
   // --- Element access --------------------------------------------------
 

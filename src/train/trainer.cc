@@ -41,8 +41,11 @@ metrics::ForecastMetrics Trainer::Evaluate(ForecastModel& model,
   ag::NoGradMode no_grad;
   metrics::MetricAccumulator acc;
   auto batches = sampler.EpochBatches(config_.batch_size, nullptr);
+  // Staging buffers recycled across batches (MakeBatchInto reuses them
+  // whenever the forward pass released its reference).
+  data::Batch batch;
   for (const auto& batch_indices : batches) {
-    data::Batch batch = sampler.MakeBatch(batch_indices);
+    sampler.MakeBatchInto(batch_indices, &batch);
     ag::Var pred = model.Forward(batch.x, /*training=*/false);
     STWA_CHECK(pred.value().shape() == batch.y.shape(),
                "model '", model.name(), "' produced ",
@@ -69,12 +72,13 @@ TrainResult Trainer::Fit(ForecastModel& model) {
     auto batches = train_->EpochBatches(config_.batch_size, &shuffle_rng);
     int64_t batch_count = 0;
     double loss_sum = 0.0;
+    data::Batch batch;
     for (const auto& batch_indices : batches) {
       if (config_.max_batches_per_epoch > 0 &&
           batch_count >= config_.max_batches_per_epoch) {
         break;
       }
-      data::Batch batch = train_->MakeBatch(batch_indices);
+      train_->MakeBatchInto(batch_indices, &batch);
       opt.ZeroGrad();
       ag::Var pred = model.Forward(batch.x, /*training=*/true);
       ag::Var loss =

@@ -253,6 +253,47 @@ TEST(TensorOps, BatchedMatMulEqualBatches) {
   EXPECT_TRUE(AllClose(c2, ops::MatMul2D(a2, b2)));
 }
 
+TEST(TensorOps, MatMulNTMatchesTransposeThenMatMul) {
+  Rng rng(11);
+  Tensor a = Tensor::Randn({4, 3, 5}, rng);
+  Tensor b = Tensor::Randn({4, 7, 5}, rng);
+  Tensor fused = ops::MatMulNT(a, b);
+  Tensor ref = ops::MatMul(a, ops::TransposeLast2(b));
+  ASSERT_EQ(fused.shape(), (Shape{4, 3, 7}));
+  EXPECT_TRUE(AllClose(fused, ref));
+  // Odd inner extent exercises the scalar tail of the blocked dot.
+  Tensor a2 = Tensor::Randn({3, 13}, rng);
+  Tensor b2 = Tensor::Randn({6, 13}, rng);
+  EXPECT_TRUE(AllClose(ops::MatMulNT(a2, b2),
+                       ops::MatMul2D(a2, ops::TransposeLast2(b2))));
+}
+
+TEST(TensorOps, MatMulTNMatchesTransposeThenMatMul) {
+  Rng rng(12);
+  Tensor a = Tensor::Randn({4, 5, 3}, rng);
+  Tensor b = Tensor::Randn({4, 5, 7}, rng);
+  Tensor fused = ops::MatMulTN(a, b);
+  Tensor ref = ops::MatMul(ops::TransposeLast2(a), b);
+  ASSERT_EQ(fused.shape(), (Shape{4, 3, 7}));
+  EXPECT_TRUE(AllClose(fused, ref));
+}
+
+TEST(TensorOps, MatMulNTSharedRank2Operand) {
+  Rng rng(13);
+  Tensor g = Tensor::Randn({3, 2, 5}, rng);
+  Tensor w = Tensor::Randn({4, 5}, rng);  // shared across the batch
+  Tensor fused = ops::MatMulNT(g, w);
+  ASSERT_EQ(fused.shape(), (Shape{3, 2, 4}));
+  EXPECT_TRUE(AllClose(fused, ops::MatMul(g, ops::TransposeLast2(w))));
+}
+
+TEST(TensorOps, MatMulNTInnerMismatchThrows) {
+  EXPECT_THROW(ops::MatMulNT(Tensor::Zeros({2, 3}), Tensor::Zeros({4, 5})),
+               Error);
+  EXPECT_THROW(ops::MatMulTN(Tensor::Zeros({3, 2}), Tensor::Zeros({5, 4})),
+               Error);
+}
+
 TEST(TensorOps, BatchedMatMulSharedRhs) {
   Rng rng(2);
   Tensor a = Tensor::Randn({3, 2, 4}, rng);
