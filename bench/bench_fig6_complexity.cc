@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "autograd/no_grad.h"
 #include "bench_util.h"
 #include "core/enhanced_models.h"
 #include "core/stwa_model.h"
@@ -29,6 +30,7 @@ void BM_CanonicalAttention(benchmark::State& state) {
   Rng rng(1);
   core::AttForecaster model(c, &rng);
   Tensor x = Tensor::Randn({kBatch, kSensors, h, 1}, rng);
+  ag::NoGradMode no_grad;  // inference complexity, not training
   for (auto _ : state) {
     benchmark::DoNotOptimize(model.Forward(x, /*training=*/false));
   }
@@ -54,6 +56,7 @@ void BM_WindowAttention(benchmark::State& state) {
   Rng rng(2);
   core::StwaModel model(c, &rng);
   Tensor x = Tensor::Randn({kBatch, kSensors, h, 1}, rng);
+  ag::NoGradMode no_grad;  // inference complexity, not training
   for (auto _ : state) {
     benchmark::DoNotOptimize(model.Forward(x, /*training=*/false));
   }

@@ -1,0 +1,191 @@
+// Serving load generator: measures micro-batching throughput and latency
+// against the batch-size-1 baseline on one frozen ST-WA checkpoint, and
+// verifies that every served forecast is bit-identical to the offline
+// InferenceSession answer for the same window (batching must never change
+// the bytes). Writes bench_out/BENCH_serve.json with throughput and
+// p50/p95/p99 latency per mode.
+//
+// STWA_BENCH_SMOKE=1 shrinks the request count to a seconds-long CI run
+// that still produces the same JSON.
+
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "data/traffic_generator.h"
+#include "serve/checkpoint.h"
+#include "serve/inference_session.h"
+#include "serve/server.h"
+#include "tensor/ops.h"
+
+namespace stwa {
+namespace bench {
+namespace {
+
+struct ModeResult {
+  std::string name;
+  int64_t max_batch = 0;
+  double seconds = 0.0;
+  double rps = 0.0;
+  double mean_batch = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  int64_t mismatches = 0;
+};
+
+void Run() {
+  ReportRuntime();
+  const bool smoke = GetEnvIntOr("STWA_BENCH_SMOKE", 0) != 0;
+  const int64_t num_requests = smoke ? 64 : 512;
+  const int64_t distinct_windows = smoke ? 16 : 32;
+
+  // A frozen ST-WA at quickstart-like scale. Weights are random-init:
+  // the bench measures serving mechanics, and the bit-identity check is
+  // equally strict for any weights.
+  data::GeneratorOptions gen;
+  gen.name = "serve-bench";
+  gen.num_roads = 2;
+  gen.sensors_per_road = 2;
+  gen.num_days = 2;
+  gen.steps_per_day = 96;
+  gen.seed = 11;
+  data::TrafficDataset dataset = data::GenerateTraffic(gen);
+
+  // Latency-bound serving scale: per-sample tensors are small, so the
+  // fixed per-forward cost (op dispatch, graph walk, allocations) is the
+  // dominant term that batching amortises.
+  baselines::ModelSettings settings;
+  settings.history = 12;
+  settings.horizon = 12;
+  settings.d_model = 8;
+  settings.window_sizes = {3, 2, 2};
+  settings.latent_dim = 4;
+  settings.predictor_hidden = 16;
+  settings.seed = 3;
+  auto model = baselines::MakeModel("ST-WA", dataset, settings);
+
+  data::StandardScaler scaler;
+  scaler.Fit(dataset.values, dataset.num_steps() * 6 / 10);
+  serve::ServingInfo info;
+  info.model = "ST-WA";
+  info.settings = settings;
+  info.num_sensors = dataset.num_sensors();
+  info.num_features = dataset.num_features();
+  info.scaler_mean = scaler.mean();
+  info.scaler_std = scaler.stddev();
+  const std::string ckpt = BenchOutPath("serve_ckpt.bin");
+  serve::SaveServingCheckpoint(*model, info, ckpt);
+
+  // Distinct raw input windows sliced out of the generated series.
+  std::vector<Tensor> windows;
+  for (int64_t r = 0; r < distinct_windows; ++r) {
+    const int64_t anchor = r * 7 % (dataset.num_steps() - settings.history);
+    windows.push_back(
+        ops::Slice(dataset.values, 1, anchor, settings.history));
+  }
+
+  // Offline reference: one session, batch of 1, no queueing.
+  auto offline = serve::InferenceSession::Open(ckpt);
+  std::vector<Tensor> expected;
+  for (const Tensor& w : windows) expected.push_back(offline->Forecast(w));
+
+  auto run_mode = [&](const std::string& name, int64_t max_batch,
+                      int64_t max_delay_us) {
+    serve::ServerOptions opts;
+    opts.workers = 1;
+    opts.batching.max_batch = max_batch;
+    opts.batching.max_delay = std::chrono::microseconds(max_delay_us);
+    opts.batching.capacity = num_requests + 1;
+    opts.default_deadline = std::chrono::seconds(300);
+    serve::Server server(ckpt, opts);
+
+    ModeResult result;
+    result.name = name;
+    result.max_batch = max_batch;
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(static_cast<size_t>(num_requests));
+    Stopwatch watch;
+    for (int64_t i = 0; i < num_requests; ++i) {
+      futures.push_back(server.Submit(windows[i % distinct_windows]));
+    }
+    for (int64_t i = 0; i < num_requests; ++i) {
+      serve::Response resp = futures[static_cast<size_t>(i)].get();
+      const Tensor& want = expected[i % distinct_windows];
+      if (!resp.ok ||
+          std::memcmp(resp.forecast.data(), want.data(),
+                      sizeof(float) * static_cast<size_t>(want.size())) !=
+              0) {
+        ++result.mismatches;
+      }
+    }
+    result.seconds = watch.ElapsedSeconds();
+    result.rps = static_cast<double>(num_requests) / result.seconds;
+    serve::ServerStats stats = server.Stats();
+    result.mean_batch = stats.mean_batch;
+    result.p50 = stats.latency.p50();
+    result.p95 = stats.latency.p95();
+    result.p99 = stats.latency.p99();
+    return result;
+  };
+
+  std::vector<ModeResult> results;
+  results.push_back(run_mode("batch1", 1, 0));
+  results.push_back(run_mode("batch4", 4, 2000));
+  results.push_back(run_mode("batch16", 16, 2000));
+
+  const double speedup = results.back().rps / results.front().rps;
+  std::cout << "\nserve load test: " << num_requests << " requests over "
+            << distinct_windows << " windows, N=" << info.num_sensors
+            << ", H=" << settings.history << " -> U=" << settings.horizon
+            << "\n";
+  for (const ModeResult& m : results) {
+    std::cout << "  " << m.name << ": " << FormatFloat(m.rps, 1)
+              << " req/s, mean batch " << FormatFloat(m.mean_batch, 2)
+              << ", p50 " << FormatFloat(m.p50 / 1000.0, 2) << "ms p95 "
+              << FormatFloat(m.p95 / 1000.0, 2) << "ms p99 "
+              << FormatFloat(m.p99 / 1000.0, 2) << "ms, mismatches "
+              << m.mismatches << "\n";
+  }
+  std::cout << "batched (16) vs batch-1 throughput: "
+            << FormatFloat(speedup, 2) << "x\n";
+
+  const std::string path = BenchOutPath("BENCH_serve.json");
+  std::ofstream out(path);
+  out << "{\n  \"num_requests\": " << num_requests
+      << ",\n  \"distinct_windows\": " << distinct_windows
+      << ",\n  \"num_sensors\": " << info.num_sensors
+      << ",\n  \"history\": " << settings.history
+      << ",\n  \"horizon\": " << settings.horizon
+      << ",\n  \"batched_vs_batch1_speedup\": " << speedup
+      << ",\n  \"modes\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& m = results[i];
+    out << "    {\"mode\": \"" << m.name << "\", \"max_batch\": "
+        << m.max_batch << ", \"seconds\": " << m.seconds
+        << ", \"requests_per_second\": " << m.rps
+        << ", \"mean_batch\": " << m.mean_batch << ", \"p50_us\": " << m.p50
+        << ", \"p95_us\": " << m.p95 << ", \"p99_us\": " << m.p99
+        << ", \"bit_mismatches\": " << m.mismatches << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+  if (results.front().mismatches + results.back().mismatches > 0) {
+    std::cerr << "ERROR: served forecasts diverged from offline eval\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stwa
+
+int main() {
+  stwa::bench::Run();
+  return 0;
+}

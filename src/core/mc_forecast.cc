@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "autograd/no_grad.h"
 #include "common/check.h"
 #include "tensor/ops.h"
 
@@ -14,6 +15,9 @@ McForecast MonteCarloForecast(StwaModel& model, const Tensor& x,
   STWA_CHECK(model.config().latent_mode != LatentMode::kNone &&
                  model.config().stochastic,
              "MonteCarloForecast requires a stochastic ST-aware model");
+  // Sampling needs training=true (latent noise) but never gradients:
+  // skip tape construction for all num_samples forward passes.
+  ag::NoGradMode no_grad;
   McForecast out;
   out.num_samples = num_samples;
   Tensor sum;

@@ -1,5 +1,6 @@
 #include "core/stwa_model.h"
 
+#include "autograd/no_grad.h"
 #include "common/check.h"
 #include "tensor/ops.h"
 
@@ -208,6 +209,7 @@ Tensor StwaModel::GeneratedProjections(const Tensor& x, int64_t layer) {
              "no generated projections in the agnostic variant");
   STWA_CHECK(layer >= 0 && layer < static_cast<int64_t>(k_decoders_.size()),
              "layer out of range");
+  ag::NoGradMode no_grad;  // analysis-only pass, no gradients needed
   ag::Var input(x);
   ag::Var theta = latent_->Forward(input, /*training=*/false, noise_rng_);
   ag::Var k_proj = k_decoders_[layer]->Forward(theta);  // [B, N, d_in, d]

@@ -8,6 +8,11 @@
 namespace stwa {
 namespace data {
 
+StandardScaler::StandardScaler(float mean, float stddev)
+    : fitted_(true), mean_(mean), std_(stddev) {
+  STWA_CHECK(stddev > 0.0f, "scaler stddev must be positive, got ", stddev);
+}
+
 void StandardScaler::Fit(const Tensor& values, int64_t train_end) {
   STWA_CHECK(values.rank() == 3, "scaler expects [N, T, F]");
   STWA_CHECK(train_end > 0 && train_end <= values.dim(1),

@@ -15,6 +15,11 @@ class StandardScaler {
  public:
   StandardScaler() = default;
 
+  /// Reconstructs an already-fitted scaler from stored statistics (e.g.
+  /// serving-checkpoint metadata); bit-identical to the scaler that
+  /// produced them.
+  StandardScaler(float mean, float stddev);
+
   /// Fits mean/std on values[:, 0:train_end, :] of a [N, T, F] tensor.
   void Fit(const Tensor& values, int64_t train_end);
 

@@ -1,0 +1,82 @@
+#include "metrics/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace metrics {
+
+int LatencyHistogram::BucketIndex(double micros) {
+  if (micros <= 1.0) return 0;
+  const int bucket = static_cast<int>(
+      std::floor(std::log2(micros) * kBucketsPerDoubling));
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketLowerEdge(int bucket) {
+  return std::exp2(static_cast<double>(bucket) / kBucketsPerDoubling);
+}
+
+void LatencyHistogram::Record(double micros) {
+  ++buckets_[static_cast<size_t>(BucketIndex(micros))];
+  if (count_ == 0) {
+    min_ = micros;
+    max_ = micros;
+  } else {
+    min_ = std::min(min_, micros);
+    max_ = std::max(max_, micros);
+  }
+  ++count_;
+  sum_ += micros;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::mean_micros() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::min_micros() const {
+  return count_ == 0 ? 0.0 : min_;
+}
+
+double LatencyHistogram::max_micros() const {
+  return count_ == 0 ? 0.0 : max_;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  STWA_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+  if (count_ == 0) return 0.0;
+  // Rank of the requested observation (1-based, nearest-rank method).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(p / 100.0 *
+                                        static_cast<double>(count_))));
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (cumulative + buckets_[i] >= rank) {
+      // Interpolate linearly inside the bucket, clamped to the observed
+      // extremes so tiny histograms don't report values never seen.
+      const double lo = BucketLowerEdge(i);
+      const double hi = BucketLowerEdge(i + 1);
+      const double frac = static_cast<double>(rank - cumulative) /
+                          static_cast<double>(buckets_[i]);
+      const double v = lo + (hi - lo) * frac;
+      return std::clamp(v, min_, max_);
+    }
+    cumulative += buckets_[i];
+  }
+  return max_;
+}
+
+}  // namespace metrics
+}  // namespace stwa

@@ -1,24 +1,73 @@
 // Parameter checkpointing: save/load a Module's named parameters to a
-// simple binary format. Loading matches by hierarchical name and checks
-// shapes, so a checkpoint survives construction-order refactors but not
-// architecture changes.
+// versioned binary format. Loading matches by hierarchical name and checks
+// every name and shape *before* touching the module, so a checkpoint
+// survives construction-order refactors and an architecture mismatch is a
+// single clear error instead of a half-loaded module. Saves are
+// crash-safe: the file is written to `<path>.tmp` and atomically renamed
+// into place, so a crash mid-save never corrupts an existing checkpoint.
+//
+// A checkpoint additionally carries a free-form key/value metadata blob
+// (CheckpointMeta). The serving layer stores the model registry name,
+// model settings and scaler statistics there so a frozen model can be
+// reconstructed from the file alone (see serve/checkpoint.h).
 
 #ifndef STWA_NN_SERIALIZE_H_
 #define STWA_NN_SERIALIZE_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "nn/module.h"
 
 namespace stwa {
 namespace nn {
 
-/// Writes every named parameter of `module` to `path`.
-void SaveParameters(const Module& module, const std::string& path);
+/// Ordered key/value metadata stored in a checkpoint header.
+class CheckpointMeta {
+ public:
+  /// Sets `key` to `value`, replacing an existing entry.
+  void Set(const std::string& key, const std::string& value);
 
-/// Loads parameters by name into `module`. Throws if the file is missing
-/// or malformed, if a stored name is absent from the module, if a module
-/// parameter is absent from the file, or if any shape differs.
+  /// Convenience setters for numeric values. Floats are formatted with
+  /// enough digits (%.9g) that a binary32 round-trips exactly.
+  void SetInt(const std::string& key, int64_t value);
+  void SetFloat(const std::string& key, float value);
+
+  /// True when `key` is present.
+  bool Has(const std::string& key) const;
+
+  /// Value of `key`; throws stwa::Error when absent.
+  const std::string& Get(const std::string& key) const;
+
+  /// Value of `key`, or `fallback` when absent.
+  std::string GetOr(const std::string& key, const std::string& fallback) const;
+
+  /// Parsed numeric accessors; throw on absent or unparsable entries.
+  int64_t GetInt(const std::string& key) const;
+  float GetFloat(const std::string& key) const;
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Writes every named parameter of `module` (plus `meta`) to `path`.
+/// Crash-safe: writes `<path>.tmp` then renames over `path`.
+void SaveParameters(const Module& module, const std::string& path,
+                    const CheckpointMeta& meta = {});
+
+/// Reads only the metadata blob of a checkpoint. Throws if the file is
+/// missing, not an STWA checkpoint, or has an unsupported version.
+CheckpointMeta LoadCheckpointMeta(const std::string& path);
+
+/// Loads parameters by name into `module`. The whole file is read and the
+/// complete parameter table (names and shapes) is validated against the
+/// module first; on any architecture mismatch a single stwa::Error is
+/// thrown describing every difference and the module is left untouched.
 void LoadParameters(Module& module, const std::string& path);
 
 }  // namespace nn

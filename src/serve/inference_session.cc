@@ -1,0 +1,106 @@
+#include "serve/inference_session.h"
+
+#include <algorithm>
+
+#include "autograd/no_grad.h"
+#include "common/check.h"
+
+namespace stwa {
+namespace serve {
+namespace {
+
+/// Models whose construction depends only on sensor/feature counts, so a
+/// checkpoint alone is enough to rebuild them. Graph baselines recompute
+/// supports from dataset content and need the dataset-bearing Open.
+bool DatasetFreeModel(const std::string& name) {
+  static const char* kNames[] = {"ST-WA", "S-WA",   "WA",    "WA-1",
+                                 "Det-ST-WA", "ST-WA-mean", "GRU",
+                                 "GRU+S", "GRU+ST", "ATT",   "SA",
+                                 "ATT+S", "ATT+ST"};
+  for (const char* n : kNames) {
+    if (name == n) return true;
+  }
+  return false;
+}
+
+/// Minimal dataset carrying only the dimensions the dataset-free models
+/// read (num_sensors / num_features).
+data::TrafficDataset StubDataset(const ServingInfo& info) {
+  data::TrafficDataset dataset;
+  dataset.name = "serving-stub";
+  dataset.values =
+      Tensor(Shape{info.num_sensors, 1, info.num_features});
+  return dataset;
+}
+
+}  // namespace
+
+InferenceSession::InferenceSession(
+    ServingInfo info, std::unique_ptr<train::ForecastModel> model)
+    : info_(std::move(info)),
+      scaler_(info_.scaler_mean, info_.scaler_std),
+      model_(std::move(model)) {}
+
+std::unique_ptr<InferenceSession> InferenceSession::Open(
+    const std::string& path) {
+  ServingInfo info = ReadServingInfo(path);
+  STWA_CHECK(DatasetFreeModel(info.model), "model '", info.model,
+             "' needs its training dataset to rebuild graph supports; "
+             "use InferenceSession::Open(path, dataset)");
+  auto model =
+      baselines::MakeModel(info.model, StubDataset(info), info.settings);
+  nn::LoadParameters(*model, path);
+  return std::unique_ptr<InferenceSession>(
+      new InferenceSession(std::move(info), std::move(model)));
+}
+
+std::unique_ptr<InferenceSession> InferenceSession::Open(
+    const std::string& path, const data::TrafficDataset& dataset) {
+  ServingInfo info = ReadServingInfo(path);
+  STWA_CHECK(dataset.num_sensors() == info.num_sensors,
+             "checkpoint expects ", info.num_sensors, " sensors, dataset has ",
+             dataset.num_sensors());
+  auto model = baselines::MakeModel(info.model, dataset, info.settings);
+  nn::LoadParameters(*model, path);
+  return std::unique_ptr<InferenceSession>(
+      new InferenceSession(std::move(info), std::move(model)));
+}
+
+Tensor InferenceSession::Forecast(const Tensor& raw_window) {
+  const bool batched = raw_window.rank() == 4;
+  STWA_CHECK(batched || raw_window.rank() == 3,
+             "Forecast expects [B, N, H, F] or [N, H, F], got ",
+             ShapeToString(raw_window.shape()));
+  const int64_t n = info_.num_sensors;
+  const int64_t h = info_.settings.history;
+  const int64_t f = info_.num_features;
+  Tensor window = batched
+                      ? raw_window
+                      : raw_window.Reshape({1, raw_window.dim(0),
+                                            raw_window.dim(1),
+                                            raw_window.dim(2)});
+  STWA_CHECK(window.dim(1) == n && window.dim(2) == h && window.dim(3) == f,
+             "window shape ", ShapeToString(raw_window.shape()),
+             " does not match the checkpoint's [*, ", n, ", ", h, ", ", f,
+             "]");
+
+  // Inference-only: no tape construction anywhere in the pass.
+  ag::NoGradMode no_grad;
+  ag::Var pred =
+      model_->Forward(scaler_.Transform(window), /*training=*/false);
+  // The NoGradMode contract: every op result is a detached constant. A
+  // violation here means some op bypassed the recording switch and the
+  // session is silently paying autograd costs — fail loudly instead.
+  STWA_CHECK(!pred.node()->requires_grad && pred.node()->parents.empty(),
+             "InferenceSession forward built autograd state under "
+             "NoGradMode");
+  ++forward_count_;
+  Tensor out = scaler_.InverseTransform(pred.value());
+  if (!batched) {
+    out = out.Reshape({out.dim(1), out.dim(2), out.dim(3)});
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace stwa

@@ -1,0 +1,67 @@
+// Forward-only inference over a frozen checkpoint.
+//
+// An InferenceSession owns one model instance reconstructed from a serving
+// checkpoint (serve/checkpoint.h) and answers raw-scale forecast queries:
+// inputs are normalised with the checkpoint's scaler, the forward pass
+// runs under ag::NoGradMode (no tape nodes — asserted), and outputs are
+// denormalised back to flow units. Sessions are deliberately not
+// thread-safe: models carry per-forward state, so the server gives every
+// worker thread its own session; identical weights make their outputs
+// bit-identical.
+
+#ifndef STWA_SERVE_INFERENCE_SESSION_H_
+#define STWA_SERVE_INFERENCE_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "data/scaler.h"
+#include "serve/checkpoint.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace serve {
+
+/// One frozen model + scaler behind a raw-in/raw-out forecast call.
+class InferenceSession {
+ public:
+  /// Opens a checkpoint whose model can be rebuilt from metadata alone
+  /// (the ST-WA family and the enhanced GRU/ATT models — anything that
+  /// only needs sensor/feature counts). Graph-convolutional baselines
+  /// need the dataset-bearing overload and are rejected here with a
+  /// clear error.
+  static std::unique_ptr<InferenceSession> Open(const std::string& path);
+
+  /// Opens a checkpoint for any registered model, rebuilding it against
+  /// `dataset` (graph supports, temporal similarity etc. are recomputed
+  /// from it, so pass the dataset the model was trained on).
+  static std::unique_ptr<InferenceSession> Open(
+      const std::string& path, const data::TrafficDataset& dataset);
+
+  /// Raw-scale forecast: window [B, N, H, F] (or [N, H, F], treated as
+  /// B=1) -> forecast of the same batch rank with U steps. Runs under
+  /// NoGradMode and asserts the result is tape-free. Deterministic: eval
+  /// mode uses the latent mean, so equal inputs give bit-equal outputs
+  /// for any batch size.
+  Tensor Forecast(const Tensor& raw_window);
+
+  const ServingInfo& info() const { return info_; }
+  const data::StandardScaler& scaler() const { return scaler_; }
+
+  /// Number of Forward calls served (one per batch).
+  int64_t forward_count() const { return forward_count_; }
+
+ private:
+  InferenceSession(ServingInfo info,
+                   std::unique_ptr<train::ForecastModel> model);
+
+  ServingInfo info_;
+  data::StandardScaler scaler_;
+  std::unique_ptr<train::ForecastModel> model_;
+  int64_t forward_count_ = 0;
+};
+
+}  // namespace serve
+}  // namespace stwa
+
+#endif  // STWA_SERVE_INFERENCE_SESSION_H_

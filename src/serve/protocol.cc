@@ -1,0 +1,144 @@
+#include "serve/protocol.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace stwa {
+namespace serve {
+namespace {
+
+bool ParseFloatToken(const std::string& token, float* out) {
+  char* end = nullptr;
+  *out = std::strtof(token.c_str(), &end);
+  return end != nullptr && *end == '\0' && !token.empty();
+}
+
+bool ParseIntToken(const std::string& token, int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(token.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && !token.empty();
+}
+
+std::string FormatMicros(double micros) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", micros);
+  return buf;
+}
+
+/// Spaces inside err= values would break token-oriented clients.
+std::string Underscored(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+Command ParseCommand(const std::string& line) {
+  Command cmd;
+  std::vector<std::string> tokens;
+  {
+    std::istringstream iss(line);
+    std::string tok;
+    while (iss >> tok) tokens.push_back(tok);
+  }
+  if (tokens.empty() || tokens[0][0] == '#') {
+    return cmd;  // kInvalid with empty error: skip the line
+  }
+  const std::string& verb = tokens[0];
+  if (verb == "obs") {
+    cmd.values.reserve(tokens.size() - 1);
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      float v;
+      if (!ParseFloatToken(tokens[i], &v)) {
+        cmd.error = "bad value '" + tokens[i] + "'";
+        return cmd;
+      }
+      cmd.values.push_back(v);
+    }
+    if (cmd.values.empty()) {
+      cmd.error = "obs needs at least one value";
+      return cmd;
+    }
+    cmd.kind = Command::Kind::kObs;
+    return cmd;
+  }
+  if (verb == "obs1") {
+    if (tokens.size() < 3 || !ParseIntToken(tokens[1], &cmd.sensor)) {
+      cmd.error = "usage: obs1 <sensor> <value...>";
+      return cmd;
+    }
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      float v;
+      if (!ParseFloatToken(tokens[i], &v)) {
+        cmd.error = "bad value '" + tokens[i] + "'";
+        return cmd;
+      }
+      cmd.values.push_back(v);
+    }
+    cmd.kind = Command::Kind::kObsSensor;
+    return cmd;
+  }
+  if (verb == "forecast" && tokens.size() == 1) {
+    cmd.kind = Command::Kind::kForecast;
+    return cmd;
+  }
+  if (verb == "stats" && tokens.size() == 1) {
+    cmd.kind = Command::Kind::kStats;
+    return cmd;
+  }
+  if (verb == "quit" && tokens.size() == 1) {
+    cmd.kind = Command::Kind::kQuit;
+    return cmd;
+  }
+  cmd.error = "unknown command '" + verb + "'";
+  return cmd;
+}
+
+std::string FormatForecastResponse(const Response& response, int64_t n,
+                                   int64_t u, int64_t f) {
+  std::ostringstream oss;
+  if (!response.ok) {
+    oss << "forecast ok=0 degraded=" << (response.degraded ? 1 : 0)
+        << " err=" << Underscored(response.error.empty()
+                                      ? "unknown"
+                                      : response.error);
+    return oss.str();
+  }
+  oss << "forecast ok=1 degraded=" << (response.degraded ? 1 : 0)
+      << " n=" << n << " u=" << u;
+  char buf[32];
+  const float* p = response.forecast.data();
+  const int64_t total = n * u * f;
+  for (int64_t i = 0; i < total; ++i) {
+    // %.9g round-trips binary32 exactly, so piping the protocol output
+    // back through strtof reproduces the forecast bytes.
+    std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(p[i]));
+    oss << ' ' << buf;
+  }
+  return oss.str();
+}
+
+std::string FormatStatsResponse(const ServerStats& stats) {
+  std::ostringstream oss;
+  oss << "stats submitted=" << stats.submitted
+      << " completed=" << stats.completed << " shed=" << stats.shed
+      << " batches=" << stats.batches << " mean_batch="
+      << FormatFloat(stats.mean_batch, 2)
+      << " p50_us=" << FormatMicros(stats.latency.p50())
+      << " p95_us=" << FormatMicros(stats.latency.p95())
+      << " p99_us=" << FormatMicros(stats.latency.p99());
+  return oss.str();
+}
+
+std::string FormatErrorResponse(const std::string& reason) {
+  return "err " + Underscored(reason);
+}
+
+}  // namespace serve
+}  // namespace stwa

@@ -1,0 +1,66 @@
+// Line-oriented serving protocol (tools/stwa_serve, stdin or TCP).
+//
+// Requests, one per line, whitespace-separated:
+//   obs v_0 v_1 ... v_{N*F-1}   push one timestep for every sensor
+//   obs1 <sensor> v_0 ... v_{F-1}  push one observation for one sensor
+//   forecast                    request an H-step forecast
+//   stats                       serving statistics
+//   quit                        close the connection
+//
+// Responses, one per line:
+//   ok                          observation accepted
+//   forecast ok=1 degraded=0 n=<N> u=<U> <N*U*F floats, sensor-major>
+//   forecast ok=0 degraded=<0|1> err=<reason-with-underscores>
+//   stats submitted=... completed=... shed=... batches=... mean_batch=...
+//         p50_us=... p95_us=... p99_us=...   (single line)
+//   err <reason>                parse or protocol error
+//   bye                         reply to quit
+//
+// Parsing and formatting are pure functions so they unit-test without
+// sockets or threads.
+
+#ifndef STWA_SERVE_PROTOCOL_H_
+#define STWA_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/batching_queue.h"
+#include "serve/server.h"
+
+namespace stwa {
+namespace serve {
+
+/// Parsed request line.
+struct Command {
+  enum class Kind { kObs, kObsSensor, kForecast, kStats, kQuit, kInvalid };
+  Kind kind = Kind::kInvalid;
+  /// Sensor index for kObsSensor.
+  int64_t sensor = -1;
+  /// Observation values for kObs / kObsSensor.
+  std::vector<float> values;
+  /// Parse failure reason for kInvalid.
+  std::string error;
+};
+
+/// Parses one request line (leading/trailing whitespace ignored; empty
+/// lines and lines starting with '#' parse as kInvalid with an empty
+/// error, meaning "skip").
+Command ParseCommand(const std::string& line);
+
+/// Formats a forecast response line. `n`/`u`/`f` describe the forecast
+/// layout; ignored when the response carries no forecast.
+std::string FormatForecastResponse(const Response& response, int64_t n,
+                                   int64_t u, int64_t f);
+
+/// Formats the stats line.
+std::string FormatStatsResponse(const ServerStats& stats);
+
+/// Formats an error line.
+std::string FormatErrorResponse(const std::string& reason);
+
+}  // namespace serve
+}  // namespace stwa
+
+#endif  // STWA_SERVE_PROTOCOL_H_

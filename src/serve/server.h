@@ -1,0 +1,109 @@
+// Batched low-latency forecast server.
+//
+// N worker threads sit behind one BatchingQueue. Each worker owns a
+// private InferenceSession opened from the same checkpoint (identical
+// weights, no shared mutable model state), pops a micro-batch, stacks the
+// request windows into one [B, N, H, F] tensor, runs a single forward
+// pass on the shared execution runtime (src/runtime), and resolves each
+// request's future with its row of the output. Because every kernel in
+// the library computes each output element from one sample's data in a
+// fixed order, a request's forecast bytes are independent of the batch it
+// rode in, the worker that ran it, and the thread count — see DESIGN.md
+// "Serving" for the determinism argument.
+
+#ifndef STWA_SERVE_SERVER_H_
+#define STWA_SERVE_SERVER_H_
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metrics/latency.h"
+#include "serve/batching_queue.h"
+#include "serve/inference_session.h"
+
+namespace stwa {
+namespace serve {
+
+/// Server configuration.
+struct ServerOptions {
+  /// Worker threads (each with a private model replica).
+  int workers = 1;
+  BatchingOptions batching;
+  /// Default in-queue deadline for Submit() without an explicit budget.
+  std::chrono::microseconds default_deadline{1'000'000};
+};
+
+/// Aggregated serving statistics.
+struct ServerStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+  int64_t batches = 0;
+  /// Mean executed batch size (0 when no batch ran yet).
+  double mean_batch = 0.0;
+  /// End-to-end latency (submit -> response) of completed requests.
+  metrics::LatencyHistogram latency;
+};
+
+/// Thread-safe forecast server over a frozen checkpoint.
+class Server {
+ public:
+  /// Opens `workers` sessions from a metadata-only checkpoint (see
+  /// InferenceSession::Open) and starts the worker threads.
+  Server(const std::string& checkpoint_path, ServerOptions options);
+
+  /// Same, for models that need their training dataset to rebuild.
+  Server(const std::string& checkpoint_path,
+         const data::TrafficDataset& dataset, ServerOptions options);
+
+  /// Stops and joins the workers; pending requests are shed.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues a forecast for `window` [N, H, F] (raw scale) with the
+  /// default deadline.
+  std::future<Response> Submit(Tensor window);
+
+  /// Enqueues with an explicit in-queue deadline budget.
+  std::future<Response> Submit(Tensor window,
+                               std::chrono::microseconds deadline_budget);
+
+  /// Merged statistics snapshot (histograms merged across workers).
+  ServerStats Stats() const;
+
+  /// Checkpoint metadata the server is running.
+  const ServingInfo& info() const;
+
+  /// Stops accepting work and joins the workers (idempotent).
+  void Stop();
+
+ private:
+  struct Worker {
+    std::unique_ptr<InferenceSession> session;
+    std::thread thread;
+    mutable std::mutex stats_mutex;
+    metrics::LatencyHistogram latency;
+    int64_t completed = 0;
+    int64_t batches = 0;
+    int64_t batch_requests = 0;
+  };
+
+  void Start(int workers);
+  void WorkerLoop(Worker& worker);
+
+  ServerOptions options_;
+  BatchingQueue queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool stopped_ = false;
+};
+
+}  // namespace serve
+}  // namespace stwa
+
+#endif  // STWA_SERVE_SERVER_H_

@@ -1,0 +1,80 @@
+#include "serve/stream_state.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace serve {
+
+StreamState::StreamState(int64_t num_sensors, int64_t history,
+                         int64_t features)
+    : n_(num_sensors),
+      h_(history),
+      f_(features),
+      ring_(static_cast<size_t>(num_sensors * history * features), 0.0f),
+      head_(static_cast<size_t>(num_sensors), 0),
+      seen_(static_cast<size_t>(num_sensors), 0) {
+  STWA_CHECK(n_ > 0 && h_ > 0 && f_ > 0,
+             "StreamState needs positive dimensions");
+}
+
+void StreamState::PushSensor(int64_t sensor, const float* values) {
+  STWA_CHECK(sensor >= 0 && sensor < n_, "sensor ", sensor,
+             " out of range [0, ", n_, ")");
+  float* slot = ring_.data() + (sensor * h_ + head_[sensor]) * f_;
+  std::copy(values, values + f_, slot);
+  head_[sensor] = (head_[sensor] + 1) % h_;
+  ++seen_[sensor];
+}
+
+void StreamState::Push(const std::vector<float>& observation) {
+  STWA_CHECK(static_cast<int64_t>(observation.size()) == n_ * f_,
+             "observation has ", observation.size(), " values, expected ",
+             n_ * f_, " (", n_, " sensors x ", f_, " features)");
+  for (int64_t i = 0; i < n_; ++i) {
+    PushSensor(i, observation.data() + i * f_);
+  }
+}
+
+bool StreamState::ready() const { return min_filled() >= h_; }
+
+int64_t StreamState::min_filled() const {
+  int64_t m = seen_[0];
+  for (int64_t i = 1; i < n_; ++i) m = std::min(m, seen_[i]);
+  return std::min(m, h_);
+}
+
+int64_t StreamState::seen(int64_t sensor) const {
+  STWA_CHECK(sensor >= 0 && sensor < n_, "sensor out of range");
+  return seen_[sensor];
+}
+
+void StreamState::WindowInto(Tensor* out) const {
+  STWA_CHECK(ready(), "stream still warming up: have ", min_filled(), "/",
+             h_, " observations for the slowest sensor");
+  const Shape shape{1, n_, h_, f_};
+  if (out->shape() != shape || out->use_count() > 1) {
+    *out = Tensor::Uninit(shape);
+  }
+  float* dst = out->data();
+  for (int64_t i = 0; i < n_; ++i) {
+    // Oldest-first: the ring head is the oldest element once full.
+    const int64_t head = head_[i];
+    const float* sensor_ring = ring_.data() + i * h_ * f_;
+    float* sensor_dst = dst + i * h_ * f_;
+    const int64_t tail_steps = h_ - head;
+    std::copy(sensor_ring + head * f_, sensor_ring + h_ * f_, sensor_dst);
+    std::copy(sensor_ring, sensor_ring + head * f_,
+              sensor_dst + tail_steps * f_);
+  }
+}
+
+Tensor StreamState::Window() const {
+  Tensor out;
+  WindowInto(&out);
+  return out;
+}
+
+}  // namespace serve
+}  // namespace stwa

@@ -1,0 +1,67 @@
+// Per-sensor streaming input state.
+//
+// Serving clients push single observations as they arrive; the stream
+// state maintains one ring buffer of the most recent `history` values per
+// sensor (the paper's T=12 lookback) so an H-step forecast can be
+// requested at any time once every sensor has a full window. Sensors may
+// be updated independently (e.g. loop detectors report asynchronously) or
+// all at once per timestep.
+
+#ifndef STWA_SERVE_STREAM_STATE_H_
+#define STWA_SERVE_STREAM_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace serve {
+
+/// Sliding input window over a live observation stream, raw scale.
+class StreamState {
+ public:
+  StreamState(int64_t num_sensors, int64_t history, int64_t features = 1);
+
+  /// Appends one observation (all `features` values) for a single sensor.
+  void PushSensor(int64_t sensor, const float* values);
+
+  /// Appends one timestep for every sensor; `observation` is laid out
+  /// [N, F] row-major and must have num_sensors*features entries.
+  void Push(const std::vector<float>& observation);
+
+  /// True once every sensor has at least `history` observations.
+  bool ready() const;
+
+  /// Smallest per-sensor observation count (warm-up progress).
+  int64_t min_filled() const;
+
+  /// Materialises the current window as a [1, N, H, F] tensor (raw
+  /// scale, oldest step first). Requires ready().
+  Tensor Window() const;
+
+  /// Copies the current window into `out` (same shape contract),
+  /// recycling its buffer when possible — the serving hot path.
+  void WindowInto(Tensor* out) const;
+
+  int64_t num_sensors() const { return n_; }
+  int64_t history() const { return h_; }
+  int64_t features() const { return f_; }
+
+  /// Total observations pushed for `sensor` since construction.
+  int64_t seen(int64_t sensor) const;
+
+ private:
+  int64_t n_;
+  int64_t h_;
+  int64_t f_;
+  /// Ring storage [N, H, F]; slot (i, head_[i]) is the next write.
+  std::vector<float> ring_;
+  std::vector<int64_t> head_;
+  std::vector<int64_t> seen_;
+};
+
+}  // namespace serve
+}  // namespace stwa
+
+#endif  // STWA_SERVE_STREAM_STATE_H_

@@ -1,5 +1,6 @@
 // Checkpoint round-trip tests for nn::SaveParameters / LoadParameters.
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 
@@ -99,6 +100,84 @@ TEST(SerializeTest, MissingFileThrows) {
   Mlp a({2, 2}, Activation::kNone, Activation::kNone, &rng);
   EXPECT_THROW(LoadParameters(a, "/tmp/definitely_missing_ckpt.bin"),
                Error);
+}
+
+TEST(SerializeTest, SaveLeavesNoTempFileBehind) {
+  Rng rng(6);
+  Mlp a({3, 3}, Activation::kNone, Activation::kNone, &rng);
+  const std::string path = TempPath("stwa_ckpt_atomic.bin");
+  SaveParameters(a, path);
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good()) << "temporary file was not renamed away";
+  std::ifstream final_file(path, std::ios::binary);
+  EXPECT_TRUE(final_file.good());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MetadataRoundTrips) {
+  Rng rng(7);
+  Mlp a({3, 3}, Activation::kNone, Activation::kNone, &rng);
+  const std::string path = TempPath("stwa_ckpt_meta.bin");
+  CheckpointMeta meta;
+  meta.Set("model", "ST-WA");
+  meta.SetInt("num_sensors", 307);
+  meta.SetFloat("scaler_mean", 211.70089f);
+  SaveParameters(a, path, meta);
+  CheckpointMeta got = LoadCheckpointMeta(path);
+  EXPECT_EQ(got.Get("model"), "ST-WA");
+  EXPECT_EQ(got.GetInt("num_sensors"), 307);
+  // %.9g formatting makes float round-trips bit-exact.
+  EXPECT_EQ(got.GetFloat("scaler_mean"), 211.70089f);
+  EXPECT_FALSE(got.Has("absent"));
+  EXPECT_EQ(got.GetOr("absent", "fallback"), "fallback");
+  EXPECT_THROW(got.Get("absent"), Error);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ArchMismatchReportsEveryDifferenceAtOnce) {
+  Rng rng(8);
+  Mlp a({4, 8, 2}, Activation::kRelu, Activation::kNone, &rng);
+  const std::string path = TempPath("stwa_ckpt_mismatch.bin");
+  CheckpointMeta meta;
+  meta.Set("model", "demo-mlp");
+  SaveParameters(a, path, meta);
+  Mlp other({4, 16, 4}, Activation::kRelu, Activation::kNone, &rng);
+  // Keep a copy of the original weights to prove the module is untouched
+  // after a failed load.
+  Tensor before = other.Parameters()[0].value().Clone();
+  try {
+    LoadParameters(other, path);
+    FAIL() << "expected architecture mismatch";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("architecture mismatch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("demo-mlp"), std::string::npos)
+        << "error should name the checkpoint's model: " << msg;
+    EXPECT_NE(msg.find("shape mismatch"), std::string::npos) << msg;
+  }
+  EXPECT_TRUE(ops::AllClose(other.Parameters()[0].value(), before, 0.0f,
+                            0.0f))
+      << "failed load must leave the module untouched";
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, UnsupportedVersionRejectedWithClearMessage) {
+  const std::string path = TempPath("stwa_ckpt_oldver.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const uint32_t magic = 0x53545741, version = 1;
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  }
+  Rng rng(9);
+  Mlp a({2, 2}, Activation::kNone, Activation::kNone, &rng);
+  try {
+    LoadParameters(a, path);
+    FAIL() << "expected version rejection";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(SerializeTest, GarbageFileThrows) {

@@ -1,0 +1,314 @@
+// stwa_serve: line-protocol forecast server over a frozen checkpoint.
+//
+// Modes:
+//   --train-demo <ckpt> [--epochs E]
+//       Generate the tiny quickstart-like dataset, train ST-WA for E
+//       epochs (default 2) and write a serving checkpoint — a
+//       self-contained way to produce a checkpoint for smoke tests.
+//   --ckpt <path> [--workers W] [--max-batch B] [--max-delay-us D]
+//          [--deadline-us D] [--port P]
+//       Serve the checkpoint. Default transport is the line protocol on
+//       stdin/stdout (see serve/protocol.h); --port instead listens on
+//       TCP with one connection thread and one StreamState per client,
+//       all sharing the batching server.
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "baselines/registry.h"
+#include "common/string_util.h"
+#include "data/traffic_generator.h"
+#include "serve/checkpoint.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/stream_state.h"
+#include "train/trainer.h"
+
+namespace stwa {
+namespace {
+
+struct Args {
+  std::string train_demo_path;
+  int epochs = 2;
+  std::string ckpt;
+  int workers = 1;
+  int64_t max_batch = 8;
+  int64_t max_delay_us = 2000;
+  int64_t deadline_us = 1'000'000;
+  int port = 0;  // 0 = stdin/stdout
+};
+
+void PrintUsage() {
+  std::cerr <<
+      "usage:\n"
+      "  stwa_serve --train-demo <ckpt> [--epochs E]\n"
+      "  stwa_serve --ckpt <path> [--workers W] [--max-batch B]\n"
+      "             [--max-delay-us D] [--deadline-us D] [--port P]\n";
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  auto next_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* v = nullptr;
+    if (flag == "--train-demo") {
+      if ((v = next_value(i)) == nullptr) return false;
+      args->train_demo_path = v;
+    } else if (flag == "--epochs") {
+      if ((v = next_value(i)) == nullptr) return false;
+      args->epochs = std::atoi(v);
+    } else if (flag == "--ckpt") {
+      if ((v = next_value(i)) == nullptr) return false;
+      args->ckpt = v;
+    } else if (flag == "--workers") {
+      if ((v = next_value(i)) == nullptr) return false;
+      args->workers = std::atoi(v);
+    } else if (flag == "--max-batch") {
+      if ((v = next_value(i)) == nullptr) return false;
+      args->max_batch = std::atoll(v);
+    } else if (flag == "--max-delay-us") {
+      if ((v = next_value(i)) == nullptr) return false;
+      args->max_delay_us = std::atoll(v);
+    } else if (flag == "--deadline-us") {
+      if ((v = next_value(i)) == nullptr) return false;
+      args->deadline_us = std::atoll(v);
+    } else if (flag == "--port") {
+      if ((v = next_value(i)) == nullptr) return false;
+      args->port = std::atoi(v);
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      return false;
+    }
+  }
+  return !args->train_demo_path.empty() || !args->ckpt.empty();
+}
+
+/// The demo dataset/model: small enough that two epochs train in seconds,
+/// shaped like the quickstart (paper T=12 lookback, U=12 horizon).
+int TrainDemo(const Args& args) {
+  data::GeneratorOptions gen;
+  gen.name = "serve-demo";
+  gen.num_roads = 2;
+  gen.sensors_per_road = 2;
+  gen.num_days = 4;
+  gen.steps_per_day = 96;
+  gen.seed = 17;
+  data::TrafficDataset dataset = data::GenerateTraffic(gen);
+
+  baselines::ModelSettings settings;
+  settings.history = 12;
+  settings.horizon = 12;
+  settings.d_model = 8;
+  settings.window_sizes = {3, 2, 2};
+  settings.latent_dim = 4;
+  settings.predictor_hidden = 16;
+  auto model = baselines::MakeModel("ST-WA", dataset, settings);
+
+  train::TrainConfig config;
+  config.epochs = args.epochs;
+  config.batch_size = 8;
+  config.stride = 2;
+  config.eval_stride = 4;
+  train::Trainer trainer(dataset, settings.history, settings.horizon,
+                         config);
+  train::TrainResult result = trainer.Fit(*model);
+  std::cerr << "trained ST-WA " << result.epochs_run << " epochs, test MAE "
+            << FormatFloat(result.test.mae, 3) << "\n";
+
+  serve::ServingInfo info;
+  info.model = "ST-WA";
+  info.settings = settings;
+  info.num_sensors = dataset.num_sensors();
+  info.num_features = dataset.num_features();
+  info.scaler_mean = trainer.scaler().mean();
+  info.scaler_std = trainer.scaler().stddev();
+  serve::SaveServingCheckpoint(*model, info, args.train_demo_path);
+  std::cerr << "wrote serving checkpoint " << args.train_demo_path << "\n";
+  return 0;
+}
+
+/// Handles one protocol line. Returns the response to write (nullopt to
+/// skip, e.g. blank/comment lines) and sets `quit` on the quit command.
+std::optional<std::string> HandleLine(const std::string& line,
+                                      serve::Server& server,
+                                      serve::StreamState& state,
+                                      bool* quit) {
+  const serve::ServingInfo& info = server.info();
+  serve::Command cmd = serve::ParseCommand(line);
+  using Kind = serve::Command::Kind;
+  switch (cmd.kind) {
+    case Kind::kInvalid:
+      if (cmd.error.empty()) return std::nullopt;  // blank/comment
+      return serve::FormatErrorResponse(cmd.error);
+    case Kind::kObs:
+      if (static_cast<int64_t>(cmd.values.size()) !=
+          state.num_sensors() * state.features()) {
+        return serve::FormatErrorResponse(
+            "obs needs " +
+            std::to_string(state.num_sensors() * state.features()) +
+            " values");
+      }
+      state.Push(cmd.values);
+      return "ok";
+    case Kind::kObsSensor:
+      if (cmd.sensor < 0 || cmd.sensor >= state.num_sensors()) {
+        return serve::FormatErrorResponse("sensor out of range");
+      }
+      if (static_cast<int64_t>(cmd.values.size()) != state.features()) {
+        return serve::FormatErrorResponse(
+            "obs1 needs " + std::to_string(state.features()) + " value(s)");
+      }
+      state.PushSensor(cmd.sensor, cmd.values.data());
+      return "ok";
+    case Kind::kForecast: {
+      if (!state.ready()) {
+        return "forecast ok=0 degraded=0 err=warming_up_have_" +
+               std::to_string(state.min_filled()) + "_of_" +
+               std::to_string(state.history());
+      }
+      Tensor window = state.Window().Reshape(
+          {state.num_sensors(), state.history(), state.features()});
+      serve::Response resp = server.Submit(std::move(window)).get();
+      return serve::FormatForecastResponse(resp, info.num_sensors,
+                                           info.settings.horizon,
+                                           info.num_features);
+    }
+    case Kind::kStats:
+      return serve::FormatStatsResponse(server.Stats());
+    case Kind::kQuit:
+      *quit = true;
+      return "bye";
+  }
+  return std::nullopt;
+}
+
+void ServeStdio(serve::Server& server) {
+  const serve::ServingInfo& info = server.info();
+  serve::StreamState state(info.num_sensors, info.settings.history,
+                           info.num_features);
+  std::string line;
+  bool quit = false;
+  while (!quit && std::getline(std::cin, line)) {
+    auto resp = HandleLine(line, server, state, &quit);
+    if (resp) std::cout << *resp << "\n" << std::flush;
+  }
+}
+
+void ServeConnection(int fd, serve::Server& server) {
+  const serve::ServingInfo& info = server.info();
+  serve::StreamState state(info.num_sensors, info.settings.history,
+                           info.num_features);
+  std::string buffer;
+  char chunk[4096];
+  bool quit = false;
+  while (!quit) {
+    const ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t pos;
+    while (!quit && (pos = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      auto resp = HandleLine(line, server, state, &quit);
+      if (resp) {
+        std::string out = *resp + "\n";
+        size_t written = 0;
+        while (written < out.size()) {
+          const ssize_t w =
+              write(fd, out.data() + written, out.size() - written);
+          if (w <= 0) {
+            quit = true;
+            break;
+          }
+          written += static_cast<size_t>(w);
+        }
+      }
+    }
+  }
+  close(fd);
+}
+
+int ServeTcp(serve::Server& server, int port) {
+  const int listener = socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "socket() failed: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const int one = 1;
+  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(listener, 16) < 0) {
+    std::cerr << "bind/listen on port " << port
+              << " failed: " << std::strerror(errno) << "\n";
+    close(listener);
+    return 1;
+  }
+  std::cerr << "listening on 127.0.0.1:" << port << "\n";
+  std::vector<std::thread> connections;
+  for (;;) {
+    const int fd = accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    connections.emplace_back([fd, &server] { ServeConnection(fd, server); });
+  }
+  for (std::thread& t : connections) t.join();
+  close(listener);
+  return 0;
+}
+
+int Serve(const Args& args) {
+  serve::ServerOptions opts;
+  opts.workers = args.workers;
+  opts.batching.max_batch = args.max_batch;
+  opts.batching.max_delay = std::chrono::microseconds(args.max_delay_us);
+  opts.default_deadline = std::chrono::microseconds(args.deadline_us);
+  serve::Server server(args.ckpt, opts);
+  const serve::ServingInfo& info = server.info();
+  std::cerr << "serving " << info.model << " (" << info.num_sensors
+            << " sensors, H=" << info.settings.history
+            << " -> U=" << info.settings.horizon << ") with "
+            << args.workers << " worker(s), max batch " << args.max_batch
+            << ", max delay " << args.max_delay_us << "us\n";
+  if (args.port > 0) return ServeTcp(server, args.port);
+  ServeStdio(server);
+  return 0;
+}
+
+}  // namespace
+}  // namespace stwa
+
+int main(int argc, char** argv) {
+  stwa::Args args;
+  if (!stwa::ParseArgs(argc, argv, &args)) {
+    stwa::PrintUsage();
+    return 2;
+  }
+  try {
+    if (!args.train_demo_path.empty()) return stwa::TrainDemo(args);
+    return stwa::Serve(args);
+  } catch (const std::exception& e) {
+    std::cerr << "fatal: " << e.what() << "\n";
+    return 1;
+  }
+}
