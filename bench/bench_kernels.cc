@@ -10,7 +10,12 @@
 //   * dispatch: ops::UnaryOp (type-erased std::function) vs ops::UnaryMap
 //     (inlined functor) on the same data — the de-virtualisation delta;
 //   * train_step: heap allocations per training step on the quickstart
-//     ST-WA config, pool on vs off (STWA_DISABLE_POOL A/B in one process).
+//     ST-WA config, pool on vs off (STWA_DISABLE_POOL A/B in one process);
+//   * graph_plan: traced vs replayed train step on a captured execution
+//     plan — wall time, tape nodes/bytes and pool traffic per step, plus
+//     the per-OpKind forward/backward profile. The plan summary and the
+//     traced-vs-replayed comparison also land in
+//     bench_out/BENCH_graph.json.
 //
 // Thread counts swept: 1, 2, 4 and the runtime default (deduplicated).
 // Each measurement is the best of several repetitions, so transient noise
@@ -22,15 +27,19 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "autograd/ops.h"
 #include "baselines/registry.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "data/sampler.h"
 #include "data/traffic_generator.h"
+#include "ir/plan.h"
 #include "runtime/parallel.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
@@ -173,6 +182,177 @@ void BenchTrainStep(std::vector<Measurement>* results) {
   pool::SetEnabled(pool_was_enabled);
 }
 
+/// Captures one ST-WA train-step execution plan on the quickstart config
+/// and compares a traced (eager) step against a replayed step: wall time,
+/// tape nodes/bytes and buffer-pool traffic per step. With profiling
+/// enabled, the replay also yields a per-OpKind forward/backward cost
+/// table. Emits `graph_*` measurements into BENCH_kernels.json and the
+/// full plan summary + per-op table into bench_out/BENCH_graph.json.
+void BenchGraphPlan(std::vector<Measurement>* results) {
+  data::GeneratorOptions gen;
+  gen.name = "quickstart";
+  gen.num_roads = 4;
+  gen.sensors_per_road = 4;
+  gen.num_days = SmokeMode() ? 4 : 10;
+  gen.steps_per_day = 144;
+  gen.seed = 2024;
+  data::TrafficDataset dataset = data::GenerateTraffic(gen);
+
+  baselines::ModelSettings settings;
+  settings.history = 12;
+  settings.horizon = 12;
+  settings.d_model = 16;
+  settings.window_sizes = {3, 2, 2};
+  settings.latent_dim = 8;
+  settings.predictor_hidden = 64;
+
+  train::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 8;
+
+  auto model = baselines::MakeModel("ST-WA", dataset, settings);
+  train::Trainer trainer(dataset, settings.history, settings.horizon,
+                         config);
+  std::vector<ag::Var> params = model->Parameters();
+  const data::WindowSampler& sampler = trainer.train_sampler();
+  auto batches = sampler.EpochBatches(config.batch_size, nullptr);
+  data::Batch batch;
+  sampler.MakeBatchInto(batches[0], &batch);
+
+  // The same step the trainer runs: forward, Huber + regulariser, backward.
+  auto traced_step = [&] {
+    for (ag::Var& p : params) p.ZeroGrad();
+    ag::Var pred = model->Forward(batch.x, /*training=*/true);
+    ag::Var loss = ag::HuberLoss(pred, ag::Var(batch.y), 1.0f);
+    ag::Var reg = model->RegularizationLoss();
+    if (reg.defined()) loss = ag::Add(loss, reg);
+    loss.Backward();
+    return loss;
+  };
+
+  std::unique_ptr<ir::ExecutionPlan> plan;
+  {
+    ir::GraphCapture capture;
+    ag::Var loss = traced_step();
+    plan = capture.Finish(loss, {batch.x, batch.y}, /*with_backward=*/true);
+  }
+  if (plan == nullptr) {
+    std::cout << "graph_plan: capture was unplannable, section skipped\n";
+    return;
+  }
+  const ir::PlanStats& stats = plan->stats();
+  auto replayed_step = [&] {
+    for (ag::Var& p : params) p.ZeroGrad();
+    plan->ReplayTrainStep({batch.x, batch.y});
+  };
+
+  const int reps = SmokeMode() ? 3 : 10;
+  const int threads = runtime::NumThreads();
+
+  Measurement traced_m{"graph_traced_step", stats.forward_ops, threads, 0.0,
+                       0.0};
+  traced_m.seconds = TimeBest(reps, traced_step);
+  pool::ResetStats();
+  traced_step();
+  const pool::PoolStats traced_pool = pool::Stats();
+  traced_m.heap_allocs = traced_pool.misses;
+  traced_m.peak_bytes = traced_pool.peak_outstanding_bytes;
+  results->push_back(traced_m);
+
+  Measurement replay_m{"graph_replayed_step", stats.forward_ops, threads,
+                       0.0, 0.0};
+  replay_m.seconds = TimeBest(reps, replayed_step);
+  pool::ResetStats();
+  replayed_step();
+  const pool::PoolStats replay_pool = pool::Stats();
+  replay_m.heap_allocs = replay_pool.misses;
+  replay_m.peak_bytes = replay_pool.peak_outstanding_bytes;
+  results->push_back(replay_m);
+
+  std::cout << "graph_plan: " << stats.captured_nodes << " nodes captured ("
+            << stats.forward_ops << " fwd ops, " << stats.backward_ops
+            << " bwd ops, " << stats.pruned_ops << " pruned)\n"
+            << "  traced   " << traced_m.seconds * 1e3 << " ms/step, "
+            << stats.forward_ops << " tape nodes, " << stats.tape_value_bytes
+            << " tape B, " << traced_pool.requests << " buffer reqs, "
+            << traced_m.heap_allocs << " heap allocs\n"
+            << "  replayed " << replay_m.seconds * 1e3 << " ms/step, 0 tape "
+            << "nodes, " << stats.peak_live_bytes << " peak live B, "
+            << replay_pool.requests << " buffer reqs, "
+            << replay_m.heap_allocs << " heap allocs ("
+            << traced_m.seconds / replay_m.seconds << "x)\n";
+
+  // Per-OpKind profile over a fixed number of instrumented replays.
+  const int profile_reps = SmokeMode() ? 4 : 16;
+  plan->EnableProfiling(true);
+  for (int r = 0; r < profile_reps; ++r) replayed_step();
+  plan->EnableProfiling(false);
+  std::vector<ir::OpProfile> profile = plan->Profile();
+  // Costliest kinds first, so both stdout and the JSON lead with the
+  // kernels that dominate the step.
+  std::sort(profile.begin(), profile.end(),
+            [](const ir::OpProfile& a, const ir::OpProfile& b) {
+              return a.forward_seconds + a.backward_seconds >
+                     b.forward_seconds + b.backward_seconds;
+            });
+  std::cout << "  per-op profile (" << profile_reps << " replays):\n";
+  for (const ir::OpProfile& p : profile) {
+    const double fwd_ms = p.forward_seconds * 1e3 / profile_reps;
+    const double bwd_ms = p.backward_seconds * 1e3 / profile_reps;
+    std::cout << "    " << p.name << ": fwd " << p.forward_calls / profile_reps
+              << " calls " << FormatFloat(fwd_ms, 3) << " ms, bwd "
+              << p.backward_calls / profile_reps << " calls "
+              << FormatFloat(bwd_ms, 3) << " ms, "
+              << p.buffer_requests / profile_reps << " buffer reqs\n";
+    Measurement op_m{std::string("graph_op_") + p.name,
+                     p.forward_calls / profile_reps,
+                     threads,
+                     (p.forward_seconds + p.backward_seconds) / profile_reps,
+                     0.0,
+                     p.heap_allocs / static_cast<uint64_t>(profile_reps),
+                     0};
+    results->push_back(op_m);
+  }
+
+  const std::string path = BenchOutPath("BENCH_graph.json");
+  std::ofstream out(path);
+  out << "{\n  \"model\": \"ST-WA\",\n  \"batch_x\": \""
+      << ShapeToString(batch.x.shape()) << "\",\n  \"plan\": {"
+      << "\"captured_nodes\": " << stats.captured_nodes
+      << ", \"forward_ops\": " << stats.forward_ops
+      << ", \"backward_ops\": " << stats.backward_ops
+      << ", \"pruned_ops\": " << stats.pruned_ops
+      << ", \"tape_value_bytes\": " << stats.tape_value_bytes
+      << ", \"peak_live_bytes\": " << stats.peak_live_bytes
+      << ", \"released_buffers\": " << stats.released_buffers << "},\n"
+      << "  \"traced\": {\"seconds_per_step\": " << traced_m.seconds
+      << ", \"tape_nodes_per_step\": " << stats.forward_ops
+      << ", \"tape_value_bytes\": " << stats.tape_value_bytes
+      << ", \"buffer_requests\": " << traced_pool.requests
+      << ", \"heap_allocs\": " << traced_m.heap_allocs << "},\n"
+      << "  \"replayed\": {\"seconds_per_step\": " << replay_m.seconds
+      << ", \"tape_nodes_per_step\": 0"
+      << ", \"peak_live_bytes\": " << stats.peak_live_bytes
+      << ", \"buffer_requests\": " << replay_pool.requests
+      << ", \"heap_allocs\": " << replay_m.heap_allocs << "},\n"
+      << "  \"replay_speedup\": " << traced_m.seconds / replay_m.seconds
+      << ",\n  \"profile_replays\": " << profile_reps << ",\n  \"ops\": [\n";
+  for (size_t i = 0; i < profile.size(); ++i) {
+    const ir::OpProfile& p = profile[i];
+    out << "    {\"name\": \"" << p.name
+        << "\", \"forward_calls\": " << p.forward_calls / profile_reps
+        << ", \"backward_calls\": " << p.backward_calls / profile_reps
+        << ", \"forward_seconds\": " << p.forward_seconds / profile_reps
+        << ", \"backward_seconds\": " << p.backward_seconds / profile_reps
+        << ", \"buffer_requests\": " << p.buffer_requests / profile_reps
+        << ", \"heap_allocs\": "
+        << p.heap_allocs / static_cast<uint64_t>(profile_reps) << "}"
+        << (i + 1 < profile.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 void Run() {
   ReportRuntime();
   Rng rng(77);
@@ -245,6 +425,7 @@ void Run() {
   runtime::SetNumThreads(0);
 
   BenchTrainStep(&results);
+  BenchGraphPlan(&results);
 
   // Headline number for the PR gate: 512x512 matmul speedup over 1 thread.
   double base512 = 0.0;

@@ -19,6 +19,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "data/traffic_generator.h"
+#include "ir/plan.h"
 #include "serve/checkpoint.h"
 #include "serve/inference_session.h"
 #include "serve/server.h"
@@ -94,6 +95,28 @@ void Run() {
   std::vector<Tensor> expected;
   for (const Tensor& w : windows) expected.push_back(offline->Forecast(w));
 
+  // Execution-plan A/B: the reference above ran under the ambient plan
+  // mode (captured forward plans replayed per window shape). Re-forecast
+  // every window with plans globally disabled — pure eager tracing — and
+  // demand the same bytes. Replay must never change a served forecast.
+  const bool plan_was_enabled = ir::PlanModeEnabled();
+  int64_t plan_ab_mismatches = 0;
+  {
+    ir::SetPlanMode(!plan_was_enabled);
+    auto flipped = serve::InferenceSession::Open(ckpt);
+    for (size_t i = 0; i < windows.size(); ++i) {
+      Tensor got = flipped->Forecast(windows[i]);
+      if (std::memcmp(got.data(), expected[i].data(),
+                      sizeof(float) * static_cast<size_t>(
+                                          expected[i].size())) != 0) {
+        ++plan_ab_mismatches;
+      }
+    }
+    ir::SetPlanMode(plan_was_enabled);
+  }
+  std::cout << "plan on/off offline A/B: " << windows.size() << " windows, "
+            << plan_ab_mismatches << " mismatches\n";
+
   auto run_mode = [&](const std::string& name, int64_t max_batch,
                       int64_t max_delay_us) {
     serve::ServerOptions opts;
@@ -162,6 +185,7 @@ void Run() {
       << ",\n  \"history\": " << settings.history
       << ",\n  \"horizon\": " << settings.horizon
       << ",\n  \"batched_vs_batch1_speedup\": " << speedup
+      << ",\n  \"plan_ab_mismatches\": " << plan_ab_mismatches
       << ",\n  \"modes\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const ModeResult& m = results[i];
@@ -177,6 +201,10 @@ void Run() {
   std::cout << "wrote " << path << "\n";
   if (results.front().mismatches + results.back().mismatches > 0) {
     std::cerr << "ERROR: served forecasts diverged from offline eval\n";
+    std::exit(1);
+  }
+  if (plan_ab_mismatches > 0) {
+    std::cerr << "ERROR: plan-replayed forecasts diverged from eager\n";
     std::exit(1);
   }
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "ir/registry.h"
 
 namespace stwa {
 namespace ag {
@@ -48,7 +49,7 @@ GradCheckResult CheckGradients(const std::function<Var()>& fn,
       if (err > atol + rtol * std::fabs(numeric)) {
         result.ok = false;
         if (result.message.empty()) {
-          result.message = detail::StrCat(
+          result.message = stwa::detail::StrCat(
               "param ", pi, " element ", i, ": analytic=", got,
               " numeric=", numeric, " |err|=", err);
         }
@@ -56,6 +57,37 @@ GradCheckResult CheckGradients(const std::function<Var()>& fn,
     }
   }
   return result;
+}
+
+int CheckAllOpKinds(std::vector<std::string>* failures) {
+  auto fail = [failures](std::string message) {
+    if (failures != nullptr) failures->push_back(std::move(message));
+  };
+  int checked = 0;
+  for (int k = 0; k < ir::kNumOpKinds; ++k) {
+    const ir::OpKind kind = static_cast<ir::OpKind>(k);
+    const ir::OpKernelInfo& info = ir::Kernel(kind);
+    if (info.backward == nullptr) {
+      if (info.make_gradcheck != nullptr) {
+        fail(stwa::detail::StrCat(info.name,
+                            ": gradcheck case on a non-differentiable kind"));
+      }
+      continue;
+    }
+    if (info.make_gradcheck == nullptr) {
+      fail(stwa::detail::StrCat(info.name,
+                          ": backward kernel without a gradcheck case"));
+      continue;
+    }
+    ir::GradCheckCase test_case = info.make_gradcheck();
+    const GradCheckResult result =
+        CheckGradients(test_case.fn, test_case.params);
+    ++checked;
+    if (!result.ok) {
+      fail(stwa::detail::StrCat(info.name, ": ", result.message));
+    }
+  }
+  return checked;
 }
 
 }  // namespace ag

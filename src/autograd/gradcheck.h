@@ -31,6 +31,15 @@ GradCheckResult CheckGradients(
     const std::function<Var()>& fn, const std::vector<Var>& params,
     float epsilon = 1e-2f, float rtol = 5e-2f, float atol = 5e-3f);
 
+/// Enumerates every OpKind registered in the graph IR (ir/registry.h) and
+/// finite-difference checks each differentiable kind through its
+/// registry-provided gradcheck case. Enforces the registry invariant both
+/// ways: a kind with a backward kernel but no case — or a case without a
+/// backward — is reported as a failure. Returns the number of kinds
+/// checked; `failures` (optional) collects one message per failing kind
+/// and stays empty when everything passes.
+int CheckAllOpKinds(std::vector<std::string>* failures = nullptr);
+
 }  // namespace ag
 }  // namespace stwa
 

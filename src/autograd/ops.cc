@@ -1,281 +1,128 @@
 #include "autograd/ops.h"
 
-#include <cmath>
-#include <cstring>
 #include <utility>
 
 #include "autograd/no_grad.h"
 #include "common/check.h"
-#include "tensor/ops.h"
+#include "ir/capture.h"
+#include "ir/registry.h"
 
 namespace stwa {
 namespace ag {
 namespace {
 
-/// Builds an op node. If no parent requires grad — or recording is off
-/// (NoGradMode) — the node is a detached constant (no parents / backward),
-/// pruning the tape.
-Var MakeOp(Tensor value, std::vector<NodePtr> parents,
-           std::function<void(Node&)> backward) {
+/// Builds a typed op node: stores the kind + attrs, runs the registered
+/// forward kernel to materialise the value, and decides gradient flow.
+///
+/// When no parent requires grad — or recording is off (NoGradMode) — the
+/// node needs no backward pass; outside a plan capture its parent edges are
+/// dropped to prune the tape (constant folding of the graph structure).
+/// While a capture is active the edges are always kept, because a replay
+/// must re-execute the op even if no gradient flows through it.
+Var ApplyOp(ir::OpKind kind, std::vector<NodePtr> parents,
+            ir::OpAttrs attrs = {}) {
   auto node = std::make_shared<Node>();
-  node->value = std::move(value);
+  node->kind = kind;
+  node->attrs = std::move(attrs);
+  node->parents = std::move(parents);
+  const ir::OpKernelInfo& info = ir::Kernel(kind);
+  node->value = info.forward(*node);
   bool any = false;
-  if (GradEnabled()) {
-    for (const NodePtr& p : parents) {
+  if (GradEnabled() && info.backward != nullptr) {
+    for (const NodePtr& p : node->parents) {
       if (p != nullptr && p->requires_grad) {
         any = true;
         break;
       }
     }
   }
-  if (any) {
-    node->requires_grad = true;
-    node->parents = std::move(parents);
-    node->backward = std::move(backward);
-  }
+  node->requires_grad = any;
+  if (!any && !ir::CaptureActive()) node->parents.clear();
+  ir::CaptureRecord(node);
   return Var(std::move(node));
-}
-
-/// Accumulates `g` into `p`'s gradient, reducing over broadcast axes.
-/// Exclusive temporaries are adopted by the grad buffer instead of being
-/// added into a freshly zeroed allocation (Node::AccumulateGrad).
-void Accum(const NodePtr& p, Tensor g) {
-  if (p == nullptr || !p->requires_grad) return;
-  if (g.shape() == p->value.shape()) {
-    p->AccumulateGrad(std::move(g));
-  } else {
-    p->AccumulateGrad(ops::ReduceToShape(g, p->value.shape()));
-  }
-}
-
-/// Accumulates a * b (elementwise) into `p`'s gradient. When the shapes
-/// line up, the product is fused into the accumulation (AddMulInPlace) —
-/// no intermediate product tensor; otherwise falls back to Mul + Accum
-/// with broadcast reduction.
-void AccumProduct(const NodePtr& p, const Tensor& a, const Tensor& b) {
-  if (p == nullptr || !p->requires_grad) return;
-  const Shape& shape = p->value.shape();
-  if (a.shape() == shape && b.shape() == shape) {
-    if (p->grad.empty() && !p->value.empty()) {
-      p->AccumulateGrad(
-          ops::BinaryMap(a, b, [](float x, float y) { return x * y; }));
-    } else {
-      ops::AddMulInPlace(p->grad, a, b);
-    }
-  } else {
-    Accum(p, ops::Mul(a, b));
-  }
 }
 
 }  // namespace
 
 Var Add(const Var& a, const Var& b) {
-  return MakeOp(ops::Add(a.value(), b.value()), {a.node(), b.node()},
-                [](Node& n) {
-                  Accum(n.parents[0], n.grad);
-                  Accum(n.parents[1], n.grad);
-                });
+  return ApplyOp(ir::OpKind::kAdd, {a.node(), b.node()});
 }
 
 Var Sub(const Var& a, const Var& b) {
-  return MakeOp(ops::Sub(a.value(), b.value()), {a.node(), b.node()},
-                [](Node& n) {
-                  Accum(n.parents[0], n.grad);
-                  Accum(n.parents[1], ops::Neg(n.grad));
-                });
+  return ApplyOp(ir::OpKind::kSub, {a.node(), b.node()});
 }
 
 Var Mul(const Var& a, const Var& b) {
-  return MakeOp(ops::Mul(a.value(), b.value()), {a.node(), b.node()},
-                [](Node& n) {
-                  AccumProduct(n.parents[0], n.grad, n.parents[1]->value);
-                  AccumProduct(n.parents[1], n.grad, n.parents[0]->value);
-                });
+  return ApplyOp(ir::OpKind::kMul, {a.node(), b.node()});
 }
 
 Var Div(const Var& a, const Var& b) {
-  return MakeOp(
-      ops::Div(a.value(), b.value()), {a.node(), b.node()}, [](Node& n) {
-        const Tensor& av = n.parents[0]->value;
-        const Tensor& bv = n.parents[1]->value;
-        Accum(n.parents[0], ops::Div(n.grad, bv));
-        Tensor gb = ops::Neg(
-            ops::Div(ops::Mul(n.grad, av), ops::Mul(bv, bv)));
-        Accum(n.parents[1], gb);
-      });
+  return ApplyOp(ir::OpKind::kDiv, {a.node(), b.node()});
 }
 
 Var AddScalar(const Var& a, float s) {
-  return MakeOp(ops::AddScalar(a.value(), s), {a.node()},
-                [](Node& n) { Accum(n.parents[0], n.grad); });
+  ir::OpAttrs attrs;
+  attrs.scalar = s;
+  return ApplyOp(ir::OpKind::kAddScalar, {a.node()}, std::move(attrs));
 }
 
 Var MulScalar(const Var& a, float s) {
-  return MakeOp(ops::MulScalar(a.value(), s), {a.node()}, [s](Node& n) {
-    Accum(n.parents[0], ops::MulScalar(n.grad, s));
-  });
+  ir::OpAttrs attrs;
+  attrs.scalar = s;
+  return ApplyOp(ir::OpKind::kMulScalar, {a.node()}, std::move(attrs));
 }
 
 Var Neg(const Var& a) { return MulScalar(a, -1.0f); }
 
-Var Exp(const Var& a) {
-  Tensor y = ops::Exp(a.value());
-  return MakeOp(y, {a.node()}, [y](Node& n) {
-    AccumProduct(n.parents[0], n.grad, y);
-  });
-}
-
-Var Log(const Var& a) {
-  return MakeOp(ops::Log(a.value()), {a.node()}, [](Node& n) {
-    Accum(n.parents[0], ops::Div(n.grad, n.parents[0]->value));
-  });
-}
-
-Var Sqrt(const Var& a) {
-  Tensor y = ops::Sqrt(a.value());
-  return MakeOp(y, {a.node()}, [y](Node& n) {
-    // d sqrt(x)/dx = 0.5 / sqrt(x); fused single-pass map.
-    Accum(n.parents[0], ops::BinaryMap(n.grad, y, [](float g, float v) {
-      return 0.5f * g / v;
-    }));
-  });
-}
-
-Var Square(const Var& a) {
-  return MakeOp(ops::Square(a.value()), {a.node()}, [](Node& n) {
-    Accum(n.parents[0],
-          ops::BinaryMap(n.grad, n.parents[0]->value, [](float g, float x) {
-            return g * 2.0f * x;
-          }));
-  });
-}
-
-Var Abs(const Var& a) {
-  return MakeOp(ops::Abs(a.value()), {a.node()}, [](Node& n) {
-    Accum(n.parents[0],
-          ops::BinaryMap(n.grad, n.parents[0]->value, [](float g, float x) {
-            return x > 0.0f ? g : (x < 0.0f ? -g : 0.0f);
-          }));
-  });
-}
-
-Var Tanh(const Var& a) {
-  Tensor y = ops::Tanh(a.value());
-  return MakeOp(y, {a.node()}, [y](Node& n) {
-    // Fused g * (1 - y^2): one pooled temporary instead of two.
-    Accum(n.parents[0], ops::BinaryMap(n.grad, y, [](float g, float v) {
-      return g * (1.0f - v * v);
-    }));
-  });
-}
-
-Var Sigmoid(const Var& a) {
-  Tensor y = ops::Sigmoid(a.value());
-  return MakeOp(y, {a.node()}, [y](Node& n) {
-    Accum(n.parents[0], ops::BinaryMap(n.grad, y, [](float g, float v) {
-      return g * v * (1.0f - v);
-    }));
-  });
-}
-
-Var Relu(const Var& a) {
-  return MakeOp(ops::Relu(a.value()), {a.node()}, [](Node& n) {
-    Accum(n.parents[0],
-          ops::BinaryMap(n.grad, n.parents[0]->value, [](float g, float x) {
-            return x > 0.0f ? g : 0.0f;
-          }));
-  });
-}
+Var Exp(const Var& a) { return ApplyOp(ir::OpKind::kExp, {a.node()}); }
+Var Log(const Var& a) { return ApplyOp(ir::OpKind::kLog, {a.node()}); }
+Var Sqrt(const Var& a) { return ApplyOp(ir::OpKind::kSqrt, {a.node()}); }
+Var Square(const Var& a) { return ApplyOp(ir::OpKind::kSquare, {a.node()}); }
+Var Abs(const Var& a) { return ApplyOp(ir::OpKind::kAbs, {a.node()}); }
+Var Tanh(const Var& a) { return ApplyOp(ir::OpKind::kTanh, {a.node()}); }
+Var Sigmoid(const Var& a) { return ApplyOp(ir::OpKind::kSigmoid, {a.node()}); }
+Var Relu(const Var& a) { return ApplyOp(ir::OpKind::kRelu, {a.node()}); }
 
 Var MatMul(const Var& a, const Var& b) {
-  return MakeOp(ops::MatMul(a.value(), b.value()), {a.node(), b.node()},
-                [](Node& n) {
-                  const Tensor& av = n.parents[0]->value;
-                  const Tensor& bv = n.parents[1]->value;
-                  // dA = g @ B^T and dB = A^T @ g via the fused
-                  // transposed-operand kernels (no transpose temporaries),
-                  // reduced over broadcast batch dims by Accum.
-                  Accum(n.parents[0], ops::MatMulNT(n.grad, bv));
-                  Accum(n.parents[1], ops::MatMulTN(av, n.grad));
-                });
+  return ApplyOp(ir::OpKind::kMatMul, {a.node(), b.node()});
 }
 
 Var TransposeLast2(const Var& a) {
-  return MakeOp(ops::TransposeLast2(a.value()), {a.node()}, [](Node& n) {
-    Accum(n.parents[0], ops::TransposeLast2(n.grad));
-  });
+  return ApplyOp(ir::OpKind::kTransposeLast2, {a.node()});
 }
 
 Var Permute(const Var& a, const std::vector<int64_t>& axes) {
-  std::vector<int64_t> inverse(axes.size());
-  for (size_t d = 0; d < axes.size(); ++d) inverse[axes[d]] = d;
-  return MakeOp(ops::Permute(a.value(), axes), {a.node()},
-                [inverse](Node& n) {
-                  Accum(n.parents[0], ops::Permute(n.grad, inverse));
-                });
+  ir::OpAttrs attrs;
+  attrs.ints = axes;
+  return ApplyOp(ir::OpKind::kPermute, {a.node()}, std::move(attrs));
 }
 
 Var Reshape(const Var& a, Shape shape) {
-  Shape original = a.value().shape();
-  return MakeOp(a.value().Reshape(std::move(shape)), {a.node()},
-                [original](Node& n) {
-                  Accum(n.parents[0], n.grad.Reshape(original));
-                });
+  ir::OpAttrs attrs;
+  attrs.shape = std::move(shape);
+  return ApplyOp(ir::OpKind::kReshape, {a.node()}, std::move(attrs));
 }
 
 Var Concat(const std::vector<Var>& parts, int64_t axis) {
   STWA_CHECK(!parts.empty(), "Concat of zero Vars");
-  std::vector<Tensor> values;
   std::vector<NodePtr> nodes;
-  values.reserve(parts.size());
   nodes.reserve(parts.size());
-  for (const Var& v : parts) {
-    values.push_back(v.value());
-    nodes.push_back(v.node());
-  }
+  for (const Var& v : parts) nodes.push_back(v.node());
   int64_t rank = parts[0].value().rank();
   if (axis < 0) axis += rank;
-  std::vector<int64_t> extents;
-  extents.reserve(parts.size());
-  for (const Tensor& t : values) extents.push_back(t.shape()[axis]);
-  return MakeOp(ops::Concat(values, axis), std::move(nodes),
-                [axis, extents](Node& n) {
-                  int64_t offset = 0;
-                  for (size_t i = 0; i < extents.size(); ++i) {
-                    Accum(n.parents[i],
-                          ops::Slice(n.grad, axis, offset, extents[i]));
-                    offset += extents[i];
-                  }
-                });
+  ir::OpAttrs attrs;
+  attrs.axis = axis;
+  return ApplyOp(ir::OpKind::kConcat, std::move(nodes), std::move(attrs));
 }
 
 Var Slice(const Var& a, int64_t axis, int64_t start, int64_t len) {
   int64_t rank = a.value().rank();
   if (axis < 0) axis += rank;
-  Shape parent_shape = a.value().shape();
-  return MakeOp(
-      ops::Slice(a.value(), axis, start, len), {a.node()},
-      [axis, start, len, parent_shape](Node& n) {
-        if (n.parents[0] == nullptr || !n.parents[0]->requires_grad) return;
-        // Scatter the slice gradient back into a zero tensor of the parent
-        // shape, then accumulate.
-        n.parents[0]->EnsureGrad();
-        Tensor& pg = n.parents[0]->grad;
-        int64_t outer = 1;
-        int64_t inner = 1;
-        for (int64_t d = 0; d < axis; ++d) outer *= parent_shape[d];
-        for (size_t d = axis + 1; d < parent_shape.size(); ++d) {
-          inner *= parent_shape[d];
-        }
-        const int64_t extent = parent_shape[axis];
-        const float* g = n.grad.data();
-        float* p = pg.data();
-        for (int64_t o = 0; o < outer; ++o) {
-          const float* src = g + o * len * inner;
-          float* dst = p + (o * extent + start) * inner;
-          for (int64_t i = 0; i < len * inner; ++i) dst[i] += src[i];
-        }
-      });
+  ir::OpAttrs attrs;
+  attrs.axis = axis;
+  attrs.start = start;
+  attrs.len = len;
+  return ApplyOp(ir::OpKind::kSlice, {a.node()}, std::move(attrs));
 }
 
 Var Stack(const std::vector<Var>& parts) {
@@ -291,49 +138,22 @@ Var Stack(const std::vector<Var>& parts) {
 }
 
 Var IndexSelect0(const Var& a, std::vector<int64_t> indices) {
-  // Materialise the forward value before the lambda move-captures `indices`
-  // (argument evaluation order is unspecified).
-  Tensor value = ops::IndexSelect0(a.value(), indices);
-  return MakeOp(std::move(value), {a.node()},
-                [indices = std::move(indices)](Node& n) {
-                  if (n.parents[0] == nullptr ||
-                      !n.parents[0]->requires_grad) {
-                    return;
-                  }
-                  n.parents[0]->EnsureGrad();
-                  ops::ScatterAddRows(n.parents[0]->grad, indices, n.grad);
-                });
+  ir::OpAttrs attrs;
+  attrs.ints = std::move(indices);
+  return ApplyOp(ir::OpKind::kIndexSelect0, {a.node()}, std::move(attrs));
 }
 
-Var SumAll(const Var& a) {
-  return MakeOp(ops::SumAll(a.value()), {a.node()}, [](Node& n) {
-    const float g = n.grad.item();
-    Accum(n.parents[0],
-          Tensor(n.parents[0]->value.shape(), g));
-  });
-}
+Var SumAll(const Var& a) { return ApplyOp(ir::OpKind::kSumAll, {a.node()}); }
 
-Var MeanAll(const Var& a) {
-  const float inv = 1.0f / static_cast<float>(a.value().size());
-  return MakeOp(ops::MeanAll(a.value()), {a.node()}, [inv](Node& n) {
-    const float g = n.grad.item() * inv;
-    Accum(n.parents[0], Tensor(n.parents[0]->value.shape(), g));
-  });
-}
+Var MeanAll(const Var& a) { return ApplyOp(ir::OpKind::kMeanAll, {a.node()}); }
 
 Var Sum(const Var& a, int64_t axis, bool keepdims) {
   int64_t rank = a.value().rank();
   if (axis < 0) axis += rank;
-  Shape keep_shape = a.value().shape();
-  keep_shape[axis] = 1;
-  return MakeOp(ops::Sum(a.value(), axis, keepdims), {a.node()},
-                [keep_shape](Node& n) {
-                  // Broadcast the (possibly squeezed) grad back up —
-                  // a pure copy expansion, no zero tensor or add pass.
-                  Accum(n.parents[0],
-                        ops::BroadcastTo(n.grad.Reshape(keep_shape),
-                                         n.parents[0]->value.shape()));
-                });
+  ir::OpAttrs attrs;
+  attrs.axis = axis;
+  attrs.keepdims = keepdims;
+  return ApplyOp(ir::OpKind::kSum, {a.node()}, std::move(attrs));
 }
 
 Var Mean(const Var& a, int64_t axis, bool keepdims) {
@@ -344,24 +164,25 @@ Var Mean(const Var& a, int64_t axis, bool keepdims) {
 }
 
 Var SoftmaxLast(const Var& a) {
-  Tensor y = ops::SoftmaxLast(a.value());
-  return MakeOp(y, {a.node()}, [y](Node& n) {
-    // Fused dx = y * (g - sum(g * y, last)): one pooled output, no
-    // intermediate product/sum/difference tensors.
-    Accum(n.parents[0], ops::SoftmaxLastBackward(y, n.grad));
-  });
+  return ApplyOp(ir::OpKind::kSoftmaxLast, {a.node()});
+}
+
+Var RandnVar(Shape shape, Rng& rng) {
+  ir::OpAttrs attrs;
+  attrs.shape = std::move(shape);
+  attrs.rng = &rng;
+  return ApplyOp(ir::OpKind::kRandn, {}, std::move(attrs));
 }
 
 Var Dropout(const Var& a, float p, bool training, Rng& rng) {
   if (!training || p <= 0.0f) return a;
   STWA_CHECK(p < 1.0f, "Dropout probability must be < 1, got ", p);
-  Tensor mask = Tensor::Uninit(a.value().shape());
-  const float scale = 1.0f / (1.0f - p);
-  float* m = mask.data();
-  for (int64_t i = 0; i < mask.size(); ++i) {
-    m[i] = rng.Uniform() < p ? 0.0f : scale;
-  }
-  return Mul(a, Var(std::move(mask)));
+  ir::OpAttrs attrs;
+  attrs.scalar = p;
+  attrs.shape = a.value().shape();
+  attrs.rng = &rng;
+  Var mask = ApplyOp(ir::OpKind::kDropoutMask, {}, std::move(attrs));
+  return Mul(a, mask);
 }
 
 Var MseLoss(const Var& pred, const Var& target) {
@@ -375,25 +196,10 @@ Var MaeLoss(const Var& pred, const Var& target) {
 Var HuberLoss(const Var& pred, const Var& target, float delta) {
   STWA_CHECK(delta > 0.0f, "Huber delta must be positive");
   Var diff = Sub(pred, target);
-  // Piecewise value and gradient computed directly for numerical clarity.
-  Tensor d = diff.value();
-  Tensor loss_value = ops::UnaryMap(d, [delta](float e) {
-    const float a = std::fabs(e);
-    return a <= delta ? 0.5f * e * e : delta * (a - 0.5f * delta);
-  });
-  const float inv = 1.0f / static_cast<float>(d.size());
-  Var elem = MakeOp(loss_value, {diff.node()}, [delta](Node& n) {
-    // dH/de = e (|e|<=delta), else delta*sign(e); fused with the incoming
-    // gradient into a single pooled temporary.
-    Accum(n.parents[0],
-          ops::BinaryMap(n.grad, n.parents[0]->value,
-                         [delta](float g, float e) {
-                           const float de = std::fabs(e) <= delta
-                                                ? e
-                                                : (e > 0.0f ? delta : -delta);
-                           return g * de;
-                         }));
-  });
+  const float inv = 1.0f / static_cast<float>(diff.value().size());
+  ir::OpAttrs attrs;
+  attrs.scalar = delta;
+  Var elem = ApplyOp(ir::OpKind::kHuberElem, {diff.node()}, std::move(attrs));
   return MulScalar(SumAll(elem), inv);
 }
 

@@ -1,10 +1,11 @@
 // Differentiable operators over ag::Var.
 //
-// Every function builds a tape node whose backward closure accumulates
-// gradients into the inputs. Binary elementwise ops broadcast like their
+// Every function builds a typed tape node (ir::OpKind + ir::OpAttrs) whose
+// forward and backward kernels live in the per-kind registry
+// (ir/registry.cc). Binary elementwise ops broadcast like their
 // tensor/ops.h counterparts; their backward passes sum-reduce gradients back
-// to the input shapes. All operators are covered by finite-difference
-// gradient tests (tests/autograd_test.cc).
+// to the input shapes. Every registered kind is covered by finite-difference
+// gradient tests (autograd/gradcheck.h enumerates the registry).
 
 #ifndef STWA_AUTOGRAD_OPS_H_
 #define STWA_AUTOGRAD_OPS_H_
@@ -79,6 +80,12 @@ Var Mean(const Var& a, int64_t axis, bool keepdims = false);
 
 /// Numerically stable softmax over the last axis.
 Var SoftmaxLast(const Var& a);
+
+/// Standard-normal sample as a tape op (kRandn). Unlike wrapping
+/// Tensor::Randn in a leaf, the op redraws from `rng` on every execution,
+/// so captured plans replay fresh noise in the same stream order as traced
+/// runs. `rng` must outlive any plan built over this op.
+Var RandnVar(Shape shape, Rng& rng);
 
 /// Inverted dropout; identity when !training or p == 0.
 Var Dropout(const Var& a, float p, bool training, Rng& rng);

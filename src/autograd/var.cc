@@ -4,10 +4,30 @@
 #include <utility>
 
 #include "common/check.h"
+#include "ir/capture.h"
+#include "ir/registry.h"
 #include "tensor/ops.h"
 
 namespace stwa {
 namespace ag {
+
+Node::~Node() {
+  // Drain the parent chain iteratively: destructing a deep tape through
+  // recursive shared_ptr releases would consume one stack frame per node
+  // and overflow on long unrolls. Only uniquely owned parents are drained;
+  // shared ones stay alive and tear down whenever their last owner does.
+  std::vector<NodePtr> stack = std::move(parents);
+  while (!stack.empty()) {
+    NodePtr node = std::move(stack.back());
+    stack.pop_back();
+    if (node != nullptr && node.use_count() == 1) {
+      for (NodePtr& parent : node->parents) {
+        if (parent != nullptr) stack.push_back(std::move(parent));
+      }
+      node->parents.clear();
+    }
+  }
+}
 
 void Node::EnsureGrad() {
   if (grad.empty() && !value.empty()) {
@@ -37,6 +57,7 @@ Var::Var(Tensor value, bool requires_grad) {
   node_ = std::make_shared<Node>();
   node_->value = std::move(value);
   node_->requires_grad = requires_grad;
+  ir::CaptureRecord(node_);
 }
 
 const Tensor& Var::value() const {
@@ -62,11 +83,11 @@ void Var::ZeroGrad() {
   if (!node_->grad.empty()) node_->grad.Fill(0.0f);
 }
 
-namespace {
+namespace detail {
 
-// Depth-first post-order over the tape; iterative to support deep graphs
-// (e.g. long RNN unrolls and many chained windows).
-void TopoSort(const NodePtr& root, std::vector<Node*>& order) {
+void TopoSortGradGraph(const NodePtr& root, std::vector<Node*>& order) {
+  // Depth-first post-order over the requires-grad subgraph; iterative to
+  // support deep graphs (long RNN unrolls, many chained windows).
   std::unordered_set<Node*> visited;
   std::vector<std::pair<Node*, size_t>> stack;
   stack.emplace_back(root.get(), 0);
@@ -87,7 +108,7 @@ void TopoSort(const NodePtr& root, std::vector<Node*>& order) {
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 void Var::Backward() {
   STWA_CHECK(defined(), "Backward() on undefined Var");
@@ -97,22 +118,33 @@ void Var::Backward() {
   STWA_CHECK(node_->requires_grad,
              "Backward() on a node that does not require grad");
   std::vector<Node*> order;
-  TopoSort(node_, order);
+  detail::TopoSortGradGraph(node_, order);
   node_->EnsureGrad();
   node_->grad.Fill(1.0f);
   // Post-order yields parents before children; reverse it so each node's
   // grad is complete before it is pushed to its parents.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* node = *it;
-    if (node->backward) {
+    const ir::OpKernelInfo& info = ir::Kernel(node->kind);
+    if (info.backward != nullptr) {
       node->EnsureGrad();
-      node->backward(*node);
+      info.backward(*node);
     }
   }
 }
 
 Var Var::Detach() const {
   STWA_CHECK(defined(), "Detach() on undefined Var");
+  if (ir::CaptureActive()) {
+    // Record the stop-gradient as a real op so plan replays re-alias the
+    // *recomputed* parent value instead of the capture-time snapshot.
+    NodePtr node = std::make_shared<Node>();
+    node->kind = ir::OpKind::kDetach;
+    node->parents = {node_};
+    node->value = node_->value;
+    ir::CaptureRecord(node);
+    return Var(std::move(node));
+  }
   return Var(node_->value, /*requires_grad=*/false);
 }
 

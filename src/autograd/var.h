@@ -1,9 +1,11 @@
 // Reverse-mode automatic differentiation.
 //
 // Var is a value-semantic handle to a node in a dynamically built tape.
-// Differentiable operators (autograd/ops.h) create fresh nodes whose
-// backward closures accumulate gradients into their parents. Calling
-// Backward() on a scalar Var runs the tape in reverse topological order.
+// Differentiable operators (autograd/ops.h) create fresh nodes that record
+// a typed operator identity (ir::OpKind + ir::OpAttrs) instead of an opaque
+// backward closure; forward and backward kernels are dispatched through the
+// per-kind registry (ir/registry.h). Calling Backward() on a scalar Var
+// runs the tape in reverse topological order.
 //
 // Graph values are never mutated in place after creation, so a node's value
 // can be shared freely (Tensor has shared-buffer copy semantics).
@@ -11,10 +13,10 @@
 #ifndef STWA_AUTOGRAD_VAR_H_
 #define STWA_AUTOGRAD_VAR_H_
 
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "ir/op_kind.h"
 #include "tensor/tensor.h"
 
 namespace stwa {
@@ -24,9 +26,15 @@ class Node;
 using NodePtr = std::shared_ptr<Node>;
 
 /// A node of the autograd tape: holds the forward value, the accumulated
-/// gradient, parent edges and the backward closure.
+/// gradient, parent edges and the typed operator identity used to dispatch
+/// the forward/backward kernels.
 class Node {
  public:
+  /// Iterative teardown of the parent chain: long tapes (RNN baselines over
+  /// long horizons) would otherwise destruct Node::parents recursively and
+  /// can blow the stack.
+  ~Node();
+
   /// Forward value of this node.
   Tensor value;
 
@@ -36,11 +44,16 @@ class Node {
   /// Whether gradients should flow to (and through) this node.
   bool requires_grad = false;
 
-  /// Parent nodes in the tape (inputs of the producing op).
-  std::vector<NodePtr> parents;
+  /// Identity of the producing operator; kLeaf for tensors wrapped
+  /// directly (parameters, constants, feeds).
+  ir::OpKind kind = ir::OpKind::kLeaf;
 
-  /// Accumulates this node's gradient into its parents. Unset for leaves.
-  std::function<void(Node&)> backward;
+  /// Operator attributes read by the kind's kernels.
+  ir::OpAttrs attrs;
+
+  /// Parent nodes in the tape (inputs of the producing op). Empty when the
+  /// node was pruned (no gradient flow and no active capture).
+  std::vector<NodePtr> parents;
 
   /// Allocates (zeroed) grad storage matching `value` if not present.
   /// Only accumulation sites call this; read paths never allocate.
@@ -87,7 +100,9 @@ class Var {
   /// single-element value.
   void Backward();
 
-  /// Returns a leaf Var sharing this value but cut off from the tape.
+  /// Returns a stop-gradient Var sharing this value. Recorded as a kDetach
+  /// op (with the parent edge) while a plan capture is active so replays
+  /// re-alias the recomputed parent value; a plain leaf otherwise.
   Var Detach() const;
 
   /// Shape convenience forwarding to value().shape().
@@ -105,6 +120,17 @@ Var Scalar(float v);
 
 /// Creates a differentiable parameter leaf from a tensor.
 Var Parameter(Tensor value);
+
+namespace detail {
+
+/// Depth-first post-order over the requires-grad subgraph rooted at
+/// `root`; iterating the result in reverse yields the backward schedule.
+/// Shared by Var::Backward (per-step tracing) and ir::ExecutionPlan
+/// (captured schedule) so both execute — and accumulate — in exactly the
+/// same order, keeping traced and replayed gradients bit-identical.
+void TopoSortGradGraph(const NodePtr& root, std::vector<Node*>& order);
+
+}  // namespace detail
 
 }  // namespace ag
 }  // namespace stwa

@@ -93,8 +93,11 @@ ag::Var StLatent::Forward(const ag::Var& x_recent, bool training,
   }
 
   // Reparameterisation: Theta = mean + sqrt(var) * eps, eps ~ N(0, I).
-  Tensor eps = Tensor::Randn({batch, sensors, k}, noise_rng);
-  return ag::Add(mean, ag::Mul(ag::Sqrt(var), ag::Var(eps)));
+  // RandnVar records a kRandn op (not a frozen leaf), so a captured plan
+  // redraws fresh noise from noise_rng on every replayed step, consuming
+  // the stream in the same order as eager tracing.
+  ag::Var eps = ag::RandnVar({batch, sensors, k}, noise_rng);
+  return ag::Add(mean, ag::Mul(ag::Sqrt(var), eps));
 }
 
 }  // namespace core

@@ -24,10 +24,14 @@ WindowSampler::WindowSampler(Tensor values, Tensor targets, int64_t history,
   STWA_CHECK(range_begin >= 0 && range_end <= steps &&
                  range_begin <= range_end,
              "bad sample range [", range_begin, ", ", range_end, ")");
-  // Anchor t needs t-H+1 >= range_begin and t+U <= range_end.
-  for (int64_t t = range_begin + history - 1; t + horizon < range_end + 1;
+  // Anchor t needs t-H+1 >= range_begin and t+U <= range_end-1: the target
+  // window [t+1, t+U] must stay inside the half-open timestamp range, so
+  // the largest target index is range_end-1. (t+U == range_end would read
+  // one step past the range — past the tensor itself when range_end ==
+  // steps, i.e. stale out-of-bounds bytes for the last sensor.)
+  for (int64_t t = range_begin + history - 1; t + horizon < range_end;
        t += stride) {
-    if (t + horizon <= steps - 1 + 1) anchors_.push_back(t);
+    anchors_.push_back(t);
   }
   STWA_CHECK(!anchors_.empty(), "no valid window anchors in range [",
              range_begin, ", ", range_end, ") with H=", history,

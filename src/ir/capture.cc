@@ -1,0 +1,47 @@
+#include "ir/capture.h"
+
+#include "common/check.h"
+
+namespace stwa {
+namespace ir {
+namespace {
+
+struct Recorder {
+  bool active = false;
+  std::vector<std::shared_ptr<ag::Node>> nodes;
+};
+
+Recorder& ThreadRecorder() {
+  static thread_local Recorder recorder;
+  return recorder;
+}
+
+}  // namespace
+
+bool CaptureActive() { return ThreadRecorder().active; }
+
+void CaptureRecord(const std::shared_ptr<ag::Node>& node) {
+  Recorder& r = ThreadRecorder();
+  if (r.active) r.nodes.push_back(node);
+}
+
+namespace detail {
+
+void BeginCapture() {
+  Recorder& r = ThreadRecorder();
+  STWA_CHECK(!r.active, "graph captures do not nest");
+  r.active = true;
+  r.nodes.clear();
+}
+
+std::vector<std::shared_ptr<ag::Node>> EndCapture() {
+  Recorder& r = ThreadRecorder();
+  STWA_CHECK(r.active, "EndCapture without an active capture");
+  r.active = false;
+  return std::move(r.nodes);
+}
+
+}  // namespace detail
+
+}  // namespace ir
+}  // namespace stwa

@@ -1,0 +1,48 @@
+// Thread-local recording of tape-node creation for plan capture.
+//
+// While a capture is active (ir::GraphCapture, see ir/plan.h), every node
+// the autograd layer creates — ops AND leaves — is appended, in creation
+// order, to the current recorder. Creation order is exactly the eager
+// forward execution order, so replaying the recorded op nodes in order
+// reproduces the traced forward pass bit-for-bit (including the order in
+// which sampling ops consume their Rng streams).
+//
+// The hooks are deliberately tiny and dependency-free so autograd/var.cc
+// and autograd/ops.cc can call them without pulling in the plan machinery.
+
+#ifndef STWA_IR_CAPTURE_H_
+#define STWA_IR_CAPTURE_H_
+
+#include <memory>
+#include <vector>
+
+namespace stwa {
+namespace ag {
+class Node;
+}  // namespace ag
+
+namespace ir {
+
+/// True while a GraphCapture is recording on this thread. Op construction
+/// keeps full parent edges (even through non-differentiable nodes) when
+/// active, so the captured graph can be re-executed.
+bool CaptureActive();
+
+/// Appends a freshly created node to the active recording; no-op when no
+/// capture is active. Called by the Var leaf constructor and by every op.
+void CaptureRecord(const std::shared_ptr<ag::Node>& node);
+
+namespace detail {
+
+/// Starts recording on this thread (captures do not nest).
+void BeginCapture();
+
+/// Stops recording and returns the nodes in creation order.
+std::vector<std::shared_ptr<ag::Node>> EndCapture();
+
+}  // namespace detail
+
+}  // namespace ir
+}  // namespace stwa
+
+#endif  // STWA_IR_CAPTURE_H_

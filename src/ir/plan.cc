@@ -1,0 +1,310 @@
+#include "ir/plan.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "ir/capture.h"
+#include "ir/registry.h"
+#include "tensor/buffer_pool.h"
+
+namespace stwa {
+namespace ir {
+namespace {
+
+using ag::Node;
+using ag::NodePtr;
+
+int64_t ValueBytes(const Node* n) {
+  return n->value.size() * static_cast<int64_t>(sizeof(float));
+}
+
+/// -1 unresolved, 0 disabled, 1 enabled.
+int g_plan_mode = -1;
+
+}  // namespace
+
+bool PlanModeEnabled() {
+  if (g_plan_mode < 0) {
+    g_plan_mode = GetEnvIntOr("STWA_NO_PLAN", 0) != 0 ? 0 : 1;
+  }
+  return g_plan_mode == 1;
+}
+
+void SetPlanMode(bool enabled) { g_plan_mode = enabled ? 1 : 0; }
+
+// --- GraphCapture ---------------------------------------------------------
+
+GraphCapture::GraphCapture() { detail::BeginCapture(); }
+
+GraphCapture::~GraphCapture() {
+  if (!finished_) detail::EndCapture();  // discard the recording
+}
+
+std::unique_ptr<ExecutionPlan> GraphCapture::Finish(
+    const ag::Var& root, const std::vector<Tensor>& feeds,
+    bool with_backward) {
+  STWA_CHECK(!finished_, "GraphCapture::Finish called twice");
+  finished_ = true;
+  STWA_CHECK(root.defined(), "Finish() with an undefined root");
+
+  std::unique_ptr<ExecutionPlan> plan(new ExecutionPlan());
+  plan->nodes_ = detail::EndCapture();
+  plan->root_ = root.node();
+  plan->with_backward_ = with_backward;
+
+  // The root must be a computation recorded in this capture, otherwise a
+  // replay cannot recompute it.
+  if (plan->root_->kind == OpKind::kLeaf) return nullptr;
+  bool root_recorded = false;
+  for (const NodePtr& n : plan->nodes_) {
+    if (n.get() == plan->root_.get()) {
+      root_recorded = true;
+      break;
+    }
+  }
+  if (!root_recorded) return nullptr;
+  if (with_backward && !plan->root_->requires_grad) return nullptr;
+
+  // Locate feed leaves by buffer identity: wrapping a batch tensor in a
+  // Var shares its buffer, so the leaf whose value aliases the feed is the
+  // node replays must copy fresh data into.
+  for (const Tensor& feed : feeds) {
+    Node* found = nullptr;
+    for (const NodePtr& n : plan->nodes_) {
+      if (n->kind == OpKind::kLeaf && !n->value.empty() &&
+          n->value.data() == feed.data()) {
+        found = n.get();
+        break;
+      }
+    }
+    if (found == nullptr) return nullptr;
+    plan->feed_nodes_.push_back(found);
+  }
+
+  // Forward schedule: recorded ops in creation order == eager order.
+  for (const NodePtr& n : plan->nodes_) {
+    if (n->kind != OpKind::kLeaf) plan->forward_.push_back(n.get());
+  }
+
+  // Backward schedule: identical ordering to Var::Backward — reversed
+  // depth-first post-order over the requires-grad subgraph, keeping only
+  // nodes that dispatch a backward kernel (interior ops; leaves are
+  // accumulation targets, not steps).
+  if (with_backward) {
+    std::vector<Node*> order;
+    ag::detail::TopoSortGradGraph(plan->root_, order);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      if (Kernel((*it)->kind).backward != nullptr) {
+        plan->backward_.push_back(*it);
+      }
+    }
+  }
+
+  const int64_t F = static_cast<int64_t>(plan->forward_.size());
+  const int64_t B = static_cast<int64_t>(plan->backward_.size());
+  plan->release_after_forward_.assign(plan->forward_.size(), {});
+  plan->release_after_backward_.assign(plan->backward_.size(), {});
+
+  // --- Liveness: last step at which each op node's buffers are read. ----
+  // Timeline: forward steps [0, F), then backward steps [F, F+B).
+  std::unordered_map<Node*, int64_t> last_use;
+  std::unordered_map<Node*, int64_t> forward_step;
+  for (int64_t i = 0; i < F; ++i) {
+    Node* n = plan->forward_[i];
+    forward_step[n] = i;
+    last_use[n] = i;  // produced here
+    for (const NodePtr& p : n->parents) {
+      auto it = last_use.find(p.get());
+      if (it != last_use.end()) it->second = i;  // read by this op
+    }
+  }
+  for (int64_t j = 0; j < B; ++j) {
+    Node* m = plan->backward_[j];
+    const int64_t step = F + j;
+    // m's own backward reads m.grad and (EnsureGrad / y-based kernels)
+    // m.value.
+    last_use[m] = step;
+    const bool reads_parents = Kernel(m->kind).backward_reads_parents;
+    for (const NodePtr& p : m->parents) {
+      auto it = last_use.find(p.get());
+      if (it == last_use.end()) continue;  // leaf — never released anyway
+      // Parent data/shape reads by the kernel itself, plus the
+      // AccumulateGrad shape check for gradient-receiving parents.
+      if (reads_parents || p->requires_grad) it->second = step;
+    }
+  }
+
+  // Nodes whose buffers survive every replay: leaves (parameters,
+  // constants, feeds — not scheduled, so absent from last_use) and the
+  // root (the plan's output; its grad is the backward seed).
+  for (auto& [node, last] : last_use) {
+    if (node == plan->root_.get()) continue;
+    if (last < F) {
+      plan->release_after_forward_[last].push_back(node);
+    } else {
+      plan->release_after_backward_[last - F].push_back(node);
+    }
+    ++plan->stats_.released_buffers;
+  }
+
+  // --- Stats -------------------------------------------------------------
+  plan->stats_.captured_nodes = static_cast<int64_t>(plan->nodes_.size());
+  plan->stats_.forward_ops = F;
+  plan->stats_.backward_ops = B;
+  for (Node* n : plan->forward_) {
+    plan->stats_.tape_value_bytes += ValueBytes(n);
+  }
+  {
+    std::unordered_set<Node*> scheduled(plan->backward_.begin(),
+                                        plan->backward_.end());
+    for (Node* n : plan->forward_) {
+      if (scheduled.find(n) == scheduled.end()) ++plan->stats_.pruned_ops;
+    }
+  }
+
+  // Analytic peak of live intermediate bytes across one replay, walking
+  // the same timeline the replay executes. Gradient buffers are charged
+  // when first accumulated into (a consumer's backward for parents, the
+  // node's own step for the root seed).
+  {
+    int64_t live = 0;
+    int64_t peak = 0;
+    std::unordered_set<Node*> grad_live;
+    auto release = [&](const std::vector<Node*>& list) {
+      for (Node* r : list) {
+        live -= ValueBytes(r);
+        if (grad_live.erase(r) > 0) live -= ValueBytes(r);
+      }
+    };
+    for (int64_t i = 0; i < F; ++i) {
+      live += ValueBytes(plan->forward_[i]);
+      if (live > peak) peak = live;
+      release(plan->release_after_forward_[i]);
+    }
+    for (int64_t j = 0; j < B; ++j) {
+      Node* m = plan->backward_[j];
+      if (grad_live.insert(m).second) live += ValueBytes(m);
+      for (const NodePtr& p : m->parents) {
+        if (p != nullptr && p->requires_grad && p->kind != OpKind::kLeaf &&
+            grad_live.insert(p.get()).second) {
+          live += ValueBytes(p.get());
+        }
+      }
+      if (live > peak) peak = live;
+      release(plan->release_after_backward_[j]);
+    }
+    plan->stats_.peak_live_bytes = peak;
+  }
+
+  // The capture step's traced Backward() left gradients on the op nodes;
+  // a replay must start from empty intermediate grads exactly like every
+  // later replay does (the liveness releases clear them at the end of each
+  // replay, but the capture step ran without releases). Leaves keep theirs:
+  // parameter gradient lifecycle belongs to the caller.
+  for (Node* n : plan->forward_) n->grad = Tensor();
+
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    plan->profile_[k].kind = static_cast<OpKind>(k);
+    plan->profile_[k].name = OpKindName(static_cast<OpKind>(k));
+  }
+  return plan;
+}
+
+// --- ExecutionPlan --------------------------------------------------------
+
+void ExecutionPlan::BindFeeds(const std::vector<Tensor>& feeds) {
+  STWA_CHECK(feeds.size() == feed_nodes_.size(), "plan expects ",
+             feed_nodes_.size(), " feeds, got ", feeds.size());
+  for (size_t i = 0; i < feeds.size(); ++i) {
+    Tensor& dst = feed_nodes_[i]->value;
+    STWA_CHECK(feeds[i].size() == dst.size(),
+               "feed ", i, " size mismatch: plan captured ",
+               ShapeToString(dst.shape()), ", got ",
+               ShapeToString(feeds[i].shape()));
+    if (feeds[i].data() != dst.data()) dst.CopyDataFrom(feeds[i]);
+  }
+}
+
+void ExecutionPlan::RunForward() {
+  const size_t count = forward_.size();
+  for (size_t i = 0; i < count; ++i) {
+    Node* n = forward_[i];
+    if (profiling_) {
+      OpProfile& prof = profile_[static_cast<int>(n->kind)];
+      const pool::PoolStats before = pool::Stats();
+      Stopwatch timer;
+      n->value = Kernel(n->kind).forward(*n);
+      prof.forward_seconds += timer.ElapsedSeconds();
+      const pool::PoolStats after = pool::Stats();
+      prof.forward_calls += 1;
+      prof.buffer_requests += after.requests - before.requests;
+      prof.heap_allocs += after.misses - before.misses;
+    } else {
+      n->value = Kernel(n->kind).forward(*n);
+    }
+    for (Node* r : release_after_forward_[i]) {
+      r->value = Tensor();
+      r->grad = Tensor();
+    }
+  }
+}
+
+void ExecutionPlan::RunBackward() {
+  const size_t count = backward_.size();
+  for (size_t j = 0; j < count; ++j) {
+    Node* n = backward_[j];
+    n->EnsureGrad();
+    if (profiling_) {
+      OpProfile& prof = profile_[static_cast<int>(n->kind)];
+      const pool::PoolStats before = pool::Stats();
+      Stopwatch timer;
+      Kernel(n->kind).backward(*n);
+      prof.backward_seconds += timer.ElapsedSeconds();
+      const pool::PoolStats after = pool::Stats();
+      prof.backward_calls += 1;
+      prof.buffer_requests += after.requests - before.requests;
+      prof.heap_allocs += after.misses - before.misses;
+    } else {
+      Kernel(n->kind).backward(*n);
+    }
+    for (Node* r : release_after_backward_[j]) {
+      r->value = Tensor();
+      r->grad = Tensor();
+    }
+  }
+}
+
+float ExecutionPlan::ReplayTrainStep(const std::vector<Tensor>& feeds) {
+  STWA_CHECK(with_backward_, "ReplayTrainStep on a forward-only plan");
+  BindFeeds(feeds);
+  RunForward();
+  const float loss = root_->value.item();
+  root_->EnsureGrad();
+  root_->grad.Fill(1.0f);
+  RunBackward();
+  return loss;
+}
+
+const Tensor& ExecutionPlan::ReplayForward(const std::vector<Tensor>& feeds) {
+  STWA_CHECK(!with_backward_,
+             "ReplayForward is reserved for forward-only plans (their "
+             "liveness schedule frees buffers during the forward pass)");
+  BindFeeds(feeds);
+  RunForward();
+  return root_->value;
+}
+
+std::vector<OpProfile> ExecutionPlan::Profile() const {
+  std::vector<OpProfile> out;
+  for (const OpProfile& p : profile_) {
+    if (p.forward_calls > 0 || p.backward_calls > 0) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace ir
+}  // namespace stwa

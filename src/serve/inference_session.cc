@@ -84,18 +84,37 @@ Tensor InferenceSession::Forecast(const Tensor& raw_window) {
              " does not match the checkpoint's [*, ", n, ", ", h, ", ", f,
              "]");
 
-  // Inference-only: no tape construction anywhere in the pass.
+  // Inference-only: no gradient bookkeeping anywhere in the pass.
   ag::NoGradMode no_grad;
-  ag::Var pred =
-      model_->Forward(scaler_.Transform(window), /*training=*/false);
-  // The NoGradMode contract: every op result is a detached constant. A
-  // violation here means some op bypassed the recording switch and the
-  // session is silently paying autograd costs — fail loudly instead.
-  STWA_CHECK(!pred.node()->requires_grad && pred.node()->parents.empty(),
-             "InferenceSession forward built autograd state under "
-             "NoGradMode");
+  Tensor normalised = scaler_.Transform(window);
+  Tensor pred_value;
+  const int64_t batch = window.dim(0);
+  auto it = ir::PlanModeEnabled() ? plans_.find(batch) : plans_.end();
+  if (ir::PlanModeEnabled() && it == plans_.end()) {
+    // First request at this batch size: trace eagerly while recording and
+    // freeze a forward-only plan for every later request.
+    ir::GraphCapture capture;
+    ag::Var pred = model_->Forward(normalised, /*training=*/false);
+    STWA_CHECK(!pred.node()->requires_grad,
+               "InferenceSession forward built gradient state under "
+               "NoGradMode");
+    pred_value = pred.value();
+    plans_.emplace(batch, capture.Finish(pred, {normalised},
+                                         /*with_backward=*/false));
+  } else if (it != plans_.end() && it->second != nullptr) {
+    pred_value = it->second->ReplayForward({normalised});
+  } else {
+    ag::Var pred = model_->Forward(normalised, /*training=*/false);
+    // The NoGradMode contract: every op result is a detached constant. A
+    // violation here means some op bypassed the recording switch and the
+    // session is silently paying autograd costs — fail loudly instead.
+    STWA_CHECK(!pred.node()->requires_grad && pred.node()->parents.empty(),
+               "InferenceSession forward built autograd state under "
+               "NoGradMode");
+    pred_value = pred.value();
+  }
   ++forward_count_;
-  Tensor out = scaler_.InverseTransform(pred.value());
+  Tensor out = scaler_.InverseTransform(pred_value);
   if (!batched) {
     out = out.Reshape({out.dim(1), out.dim(2), out.dim(3)});
   }

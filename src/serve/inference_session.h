@@ -12,10 +12,13 @@
 #ifndef STWA_SERVE_INFERENCE_SESSION_H_
 #define STWA_SERVE_INFERENCE_SESSION_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "data/scaler.h"
+#include "ir/plan.h"
 #include "serve/checkpoint.h"
 #include "train/trainer.h"
 
@@ -40,9 +43,11 @@ class InferenceSession {
 
   /// Raw-scale forecast: window [B, N, H, F] (or [N, H, F], treated as
   /// B=1) -> forecast of the same batch rank with U steps. Runs under
-  /// NoGradMode and asserts the result is tape-free. Deterministic: eval
-  /// mode uses the latent mean, so equal inputs give bit-equal outputs
-  /// for any batch size.
+  /// NoGradMode. Deterministic: eval mode uses the latent mean, so equal
+  /// inputs give bit-equal outputs for any batch size. The first call per
+  /// batch size captures a forward-only execution plan (ir/plan.h); later
+  /// calls replay it with the new window data — bit-identical outputs,
+  /// no graph construction. STWA_NO_PLAN=1 keeps every call eager.
   Tensor Forecast(const Tensor& raw_window);
 
   const ServingInfo& info() const { return info_; }
@@ -59,6 +64,10 @@ class InferenceSession {
   data::StandardScaler scaler_;
   std::unique_ptr<train::ForecastModel> model_;
   int64_t forward_count_ = 0;
+  /// Forward-only plans keyed by batch size (all other input dims are
+  /// fixed by the checkpoint). Null entry: shape not plannable, stay
+  /// eager. Sessions are single-threaded, so no lock.
+  std::unordered_map<int64_t, std::unique_ptr<ir::ExecutionPlan>> plans_;
 };
 
 }  // namespace serve

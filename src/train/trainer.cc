@@ -3,15 +3,27 @@
 #include "autograd/no_grad.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "ir/plan.h"
 #include "optim/early_stopping.h"
 #include "optim/optimizer.h"
 #include "runtime/parallel.h"
 #include "tensor/ops.h"
 
 #include <iostream>
+#include <unordered_map>
 
 namespace stwa {
 namespace train {
+namespace {
+
+/// Plan-cache key: one plan per distinct (x shape, y shape) pair. Only the
+/// final partial batch of an epoch differs from the full-batch shape, so a
+/// run holds at most two train plans.
+std::string PlanKey(const data::Batch& batch) {
+  return ShapeToString(batch.x.shape()) + "|" + ShapeToString(batch.y.shape());
+}
+
+}  // namespace
 
 Trainer::Trainer(const data::TrafficDataset& dataset, int64_t history,
                  int64_t horizon, TrainConfig config)
@@ -37,21 +49,44 @@ Trainer::Trainer(const data::TrafficDataset& dataset, int64_t history,
 
 metrics::ForecastMetrics Trainer::Evaluate(ForecastModel& model,
                                            const data::WindowSampler& sampler) {
-  // Inference only: skip tape-node construction for the whole pass.
+  // Inference only: skip gradient bookkeeping for the whole pass.
   ag::NoGradMode no_grad;
+  const bool use_plan =
+      config_.use_plan >= 0 ? config_.use_plan != 0 : ir::PlanModeEnabled();
   metrics::MetricAccumulator acc;
   auto batches = sampler.EpochBatches(config_.batch_size, nullptr);
   // Staging buffers recycled across batches (MakeBatchInto reuses them
   // whenever the forward pass released its reference).
   data::Batch batch;
+  // Forward-only plans, one per batch shape, captured from the first batch
+  // of each shape and replayed for the rest of the pass. A null entry
+  // means the capture could not be planned; those shapes stay eager.
+  std::unordered_map<std::string, std::unique_ptr<ir::ExecutionPlan>> plans;
   for (const auto& batch_indices : batches) {
     sampler.MakeBatchInto(batch_indices, &batch);
-    ag::Var pred = model.Forward(batch.x, /*training=*/false);
-    STWA_CHECK(pred.value().shape() == batch.y.shape(),
+    Tensor pred;
+    if (!use_plan) {
+      pred = model.Forward(batch.x, /*training=*/false).value();
+    } else {
+      const std::string key = ShapeToString(batch.x.shape());
+      auto it = plans.find(key);
+      if (it == plans.end()) {
+        ir::GraphCapture capture;
+        ag::Var traced = model.Forward(batch.x, /*training=*/false);
+        pred = traced.value();
+        plans.emplace(
+            key, capture.Finish(traced, {batch.x}, /*with_backward=*/false));
+      } else if (it->second != nullptr) {
+        pred = it->second->ReplayForward({batch.x});
+      } else {
+        pred = model.Forward(batch.x, /*training=*/false).value();
+      }
+    }
+    STWA_CHECK(pred.shape() == batch.y.shape(),
                "model '", model.name(), "' produced ",
-               ShapeToString(pred.value().shape()), ", expected ",
+               ShapeToString(pred.shape()), ", expected ",
                ShapeToString(batch.y.shape()));
-    acc.Add(scaler_.InverseTransform(pred.value()),
+    acc.Add(scaler_.InverseTransform(pred),
             scaler_.InverseTransform(batch.y));
   }
   return acc.Result();
@@ -64,6 +99,26 @@ TrainResult Trainer::Fit(ForecastModel& model) {
   optim::Adam opt(params, config_.lr);
   optim::EarlyStopping stopper(config_.patience);
   Rng shuffle_rng(config_.seed);
+
+  const bool use_plan =
+      config_.use_plan >= 0 ? config_.use_plan != 0 : ir::PlanModeEnabled();
+  // Captured train-step plans, one per batch shape (full batches plus the
+  // trailing partial batch), reused across every epoch. A null entry marks
+  // a shape whose capture could not be planned (feed not locatable); those
+  // batches stay on the eager path with no re-capture attempts.
+  std::unordered_map<std::string, std::unique_ptr<ir::ExecutionPlan>> plans;
+
+  // One eagerly traced step: forward, Huber + regulariser, backward.
+  // Capture-mode records exactly this computation, so replayed steps are
+  // bit-identical to it.
+  auto traced_step = [&](const data::Batch& b) {
+    ag::Var pred = model.Forward(b.x, /*training=*/true);
+    ag::Var loss = ag::HuberLoss(pred, ag::Var(b.y), config_.huber_delta);
+    ag::Var reg = model.RegularizationLoss();
+    if (reg.defined()) loss = ag::Add(loss, reg);
+    loss.Backward();
+    return loss;
+  };
 
   Stopwatch total_watch;
   double epoch_seconds_sum = 0.0;
@@ -80,15 +135,44 @@ TrainResult Trainer::Fit(ForecastModel& model) {
       }
       train_->MakeBatchInto(batch_indices, &batch);
       opt.ZeroGrad();
-      ag::Var pred = model.Forward(batch.x, /*training=*/true);
-      ag::Var loss =
-          ag::HuberLoss(pred, ag::Var(batch.y), config_.huber_delta);
-      ag::Var reg = model.RegularizationLoss();
-      if (reg.defined()) loss = ag::Add(loss, reg);
-      loss.Backward();
+      float loss_value = 0.0f;
+      if (!use_plan) {
+        loss_value = traced_step(batch).value().item();
+        ++result.plan.traced_steps;
+      } else {
+        const std::string key = PlanKey(batch);
+        auto it = plans.find(key);
+        if (it == plans.end()) {
+          // First batch of this shape: trace eagerly while recording, then
+          // freeze the recording into a replayable plan.
+          ir::GraphCapture capture;
+          ag::Var loss = traced_step(batch);
+          loss_value = loss.value().item();
+          auto plan = capture.Finish(loss, {batch.x, batch.y},
+                                     /*with_backward=*/true);
+          if (plan != nullptr) {
+            ++result.plan.plans_captured;
+            const ir::PlanStats& s = plan->stats();
+            if (s.captured_nodes > result.plan.captured_nodes) {
+              result.plan.captured_nodes = s.captured_nodes;
+              result.plan.backward_ops = s.backward_ops;
+              result.plan.pruned_ops = s.pruned_ops;
+              result.plan.peak_live_bytes = s.peak_live_bytes;
+            }
+          }
+          plans.emplace(key, std::move(plan));
+          ++result.plan.traced_steps;
+        } else if (it->second != nullptr) {
+          loss_value = it->second->ReplayTrainStep({batch.x, batch.y});
+          ++result.plan.replayed_steps;
+        } else {
+          loss_value = traced_step(batch).value().item();
+          ++result.plan.traced_steps;
+        }
+      }
       optim::ClipGradNorm(params, config_.clip_norm);
       opt.Step();
-      loss_sum += loss.value().item();
+      loss_sum += loss_value;
       ++batch_count;
     }
     epoch_seconds_sum += epoch_watch.ElapsedSeconds();

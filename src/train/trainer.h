@@ -58,6 +58,26 @@ struct TrainConfig {
   /// Cap on train batches per epoch (0 = no cap); keeps bench runtimes
   /// bounded on the largest synthetic networks.
   int64_t max_batches_per_epoch = 0;
+  /// Captured execution plans (ir/plan.h): -1 follows the global gate
+  /// (on unless STWA_NO_PLAN / ir::SetPlanMode(false)), 0 forces eager
+  /// tracing, 1 forces capture+replay. Either setting trains to
+  /// bit-identical weights and metrics.
+  int use_plan = -1;
+};
+
+/// How the run used captured execution plans.
+struct PlanSummary {
+  /// Plans captured (one per distinct train batch shape; 0 when eager).
+  int64_t plans_captured = 0;
+  /// Steps run by eager tracing (plan-off runs, capture steps, fallbacks).
+  int64_t traced_steps = 0;
+  /// Steps run by plan replay.
+  int64_t replayed_steps = 0;
+  /// Stats of the largest captured plan (the full-batch step).
+  int64_t captured_nodes = 0;
+  int64_t backward_ops = 0;
+  int64_t pruned_ops = 0;
+  int64_t peak_live_bytes = 0;
 };
 
 /// Outcome of a training run.
@@ -69,6 +89,7 @@ struct TrainResult {
   int64_t param_count = 0;
   int epochs_run = 0;
   std::vector<double> val_mae_history;
+  PlanSummary plan;
 };
 
 /// Owns the split/scaler/samplers for one dataset + forecasting setting and

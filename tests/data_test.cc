@@ -298,8 +298,9 @@ TEST(SamplerTest, WindowContentsMatchSource) {
 TEST(SamplerTest, AnchorsRespectRangeBoundaries) {
   Tensor values = Tensor::Zeros({1, 100, 1});
   WindowSampler sampler(values, values, 12, 12, 20, 60);
-  // First anchor: 20+12-1 = 31; last anchor t satisfies t+12 <= 60 => 48.
-  EXPECT_EQ(sampler.num_samples(), 48 - 31 + 1);
+  // First anchor: 20+12-1 = 31; last anchor t satisfies t+12 <= 59 (the
+  // largest valid target index in the half-open range [20, 60)) => 47.
+  EXPECT_EQ(sampler.num_samples(), 47 - 31 + 1);
 }
 
 TEST(SamplerTest, StrideSkipsAnchors) {
