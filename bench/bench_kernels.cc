@@ -25,6 +25,7 @@
 // smoke run that still exercises every section and emits the same JSON.
 
 #include <algorithm>
+#include <array>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -41,6 +42,7 @@
 #include "data/traffic_generator.h"
 #include "ir/plan.h"
 #include "runtime/parallel.h"
+#include "simd/simd.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
 #include "train/trainer.h"
@@ -119,6 +121,134 @@ void BenchDispatch(Rng& rng, std::vector<Measurement>* results) {
             << " std::function=" << fn_m.seconds * 1e3
             << " ms, template=" << tmpl_m.seconds * 1e3 << " ms ("
             << fn_m.seconds / tmpl_m.seconds << "x)\n";
+}
+
+// --- GEMM section (bench_out/BENCH_gemm.json) ----------------------------
+
+/// Single-thread legacy-style scalar GEMM (i-k-j, k-blocked, zero-skip):
+/// the loop tensor/ops.cc compiled before the SIMD layer, timed in-bench
+/// as the baseline for the speedup column. The compiler may autovectorize
+/// it exactly as it would in an STWA_NO_SIMD build, so the column reports
+/// "SIMD kernel vs legacy kernel", not "SIMD vs strict one-lane code".
+void LegacyGemmNN(const float* a, const float* b, float* c, int64_t m,
+                  int64_t n, int64_t k) {
+  constexpr int64_t kBlockK = 512;
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const int64_t k1 = std::min(k, k0 + kBlockK);
+      for (int64_t kk = k0; kk < k1; ++kk) {
+        const float aik = a[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+/// GEMM throughput on the shapes the quickstart ST-WA model emits
+/// (projections, window-attention contractions, predictor head) plus the
+/// 512^3 headline square, with a scalar-baseline speedup column. Writes
+/// bench_out/BENCH_gemm.json.
+void BenchGemm(Rng& rng, std::vector<Measurement>* results) {
+  struct GemmRow {
+    int64_t m, n, k;
+    std::string variant;
+    int threads;
+    double seconds = 0.0;
+    double gflops = 0.0;
+    double scalar_seconds = 0.0;  // 0 outside the 1-thread NN rows
+    double speedup = 0.0;
+  };
+  const bool smoke = SmokeMode();
+  const int reps = smoke ? 2 : 6;
+  const std::vector<std::array<int64_t, 3>> shapes = {
+      {128, 16, 16},      // latent/projection: [batch*sensors, d, d]
+      {1536, 16, 16},     // time-major projection sweep
+      {128, 64, 144},     // predictor head: hidden x (horizon*12)
+      {512, 512, 512}};   // headline square (packed-path territory)
+  std::vector<GemmRow> rows;
+
+  for (auto [m, n, k] : shapes) {
+    Tensor a = Tensor::Randn({m, k}, rng);
+    Tensor b = Tensor::Randn({k, n}, rng);
+    Tensor bt = Tensor::Randn({n, k}, rng);
+    Tensor at = Tensor::Randn({k, m}, rng);
+    const double flops = 2.0 * m * n * k;
+
+    // Scalar baseline: always single-thread, independent of the sweep.
+    runtime::SetNumThreads(1);
+    Tensor ref = Tensor::Uninit({m, n});
+    const double scalar_sec = TimeBest(reps, [&] {
+      LegacyGemmNN(a.data(), b.data(), ref.data(), m, n, k);
+    });
+
+    for (int threads : ThreadCounts()) {
+      runtime::SetNumThreads(threads);
+      GemmRow row{m, n, k, "nn", threads};
+      row.seconds = TimeBest(reps, [&] { return ops::MatMul2D(a, b); });
+      row.gflops = flops / row.seconds / 1e9;
+      if (threads == 1) {
+        row.scalar_seconds = scalar_sec;
+        row.speedup = scalar_sec / row.seconds;
+      }
+      std::cout << "gemm " << m << "x" << n << "x" << k
+                << " nn threads=" << threads << " " << row.seconds * 1e3
+                << " ms (" << row.gflops << " GFLOP/s"
+                << (threads == 1
+                        ? ", " + FormatFloat(row.speedup, 2) + "x vs scalar"
+                        : "")
+                << ")\n";
+      rows.push_back(row);
+
+      // Transposed-operand variants (the backward-pass kernels) on the
+      // headline shape only, to keep the sweep short.
+      if (m == 512) {
+        GemmRow nt{m, n, k, "nt", threads};
+        nt.seconds = TimeBest(reps, [&] { return ops::MatMulNT(a, bt); });
+        nt.gflops = flops / nt.seconds / 1e9;
+        rows.push_back(nt);
+        GemmRow tn{m, n, k, "tn", threads};
+        tn.seconds = TimeBest(reps, [&] { return ops::MatMulTN(at, b); });
+        tn.gflops = flops / tn.seconds / 1e9;
+        rows.push_back(tn);
+        std::cout << "gemm " << m << "x" << n << "x" << k << " nt/tn threads="
+                  << threads << " " << nt.gflops << " / " << tn.gflops
+                  << " GFLOP/s\n";
+      }
+    }
+    // The 1-thread headline also lands in BENCH_kernels.json for the
+    // cross-PR trend line.
+    Measurement m_out{std::string("gemm_") + std::to_string(m) + "x" +
+                          std::to_string(n) + "x" + std::to_string(k),
+                      m * n, 1, 0.0, 0.0};
+    for (const GemmRow& r : rows) {
+      if (r.m == m && r.variant == "nn" && r.threads == 1) {
+        m_out.seconds = r.seconds;
+        m_out.gflops = r.gflops;
+      }
+    }
+    results->push_back(m_out);
+  }
+  runtime::SetNumThreads(0);
+
+  const std::string path = BenchOutPath("BENCH_gemm.json");
+  std::ofstream out(path);
+  out << "{\n  \"isa\": \"" << simd::IsaName() << "\",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const GemmRow& r = rows[i];
+    out << "    {\"m\": " << r.m << ", \"n\": " << r.n << ", \"k\": " << r.k
+        << ", \"variant\": \"" << r.variant
+        << "\", \"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+        << ", \"gflops\": " << r.gflops
+        << ", \"scalar_seconds\": " << r.scalar_seconds
+        << ", \"speedup_vs_scalar\": " << r.speedup << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
 }
 
 /// Heap allocations per training step on the quickstart ST-WA config,
@@ -424,6 +554,7 @@ void Run() {
   }
   runtime::SetNumThreads(0);
 
+  BenchGemm(rng, &results);
   BenchTrainStep(&results);
   BenchGraphPlan(&results);
 

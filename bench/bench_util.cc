@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/string_util.h"
 #include "runtime/parallel.h"
+#include "simd/simd.h"
 #include "tensor/buffer_pool.h"
 
 namespace stwa {
@@ -159,7 +160,7 @@ void ReportRuntime() {
             << " pool=" << (pool::Enabled() ? "on" : "off")
             << (pool_env.empty() ? ""
                                  : " (STWA_DISABLE_POOL=" + pool_env + ")")
-            << "\n";
+            << " simd=" << simd::IsaName() << "\n";
 }
 
 std::string BenchOutPath(const std::string& filename) {

@@ -80,8 +80,13 @@ int CheckAllOpKinds(std::vector<std::string>* failures) {
       continue;
     }
     ir::GradCheckCase test_case = info.make_gradcheck();
+    // Per-kind tolerance overrides (registry-declared, 0 = default) let
+    // kinds whose vectorized kernels differ slightly from libm loosen the
+    // comparison without weakening every other kind's check.
+    const float rtol = info.gc_rtol > 0.0f ? info.gc_rtol : 5e-2f;
+    const float atol = info.gc_atol > 0.0f ? info.gc_atol : 5e-3f;
     const GradCheckResult result =
-        CheckGradients(test_case.fn, test_case.params);
+        CheckGradients(test_case.fn, test_case.params, 1e-2f, rtol, atol);
     ++checked;
     if (!result.ok) {
       fail(stwa::detail::StrCat(info.name, ": ", result.message));

@@ -6,6 +6,7 @@
 #include "autograd/ops.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "simd/vec_math.h"
 #include "tensor/ops.h"
 
 namespace stwa {
@@ -15,6 +16,88 @@ namespace {
 using ag::Node;
 using ag::NodePtr;
 using ag::Var;
+using simd::Vec;
+
+// --- Vectorized backward functors ----------------------------------------
+// Dual-overload functors: the templated UnaryMap/BinaryMap kernels pick
+// the Vec overload when SIMD is enabled (simd::kIsVecUnary/kIsVecBinary)
+// and the scalar overload — the legacy lambda expression verbatim —
+// otherwise, so the STWA_NO_SIMD build stays bit-identical to the
+// pre-SIMD library.
+
+struct BwdSqrtFn {
+  float operator()(float g, float v) const { return 0.5f * g / v; }
+  Vec operator()(Vec g, Vec v) const { return Vec::Broadcast(0.5f) * g / v; }
+};
+
+struct BwdSquareFn {
+  float operator()(float g, float x) const { return g * 2.0f * x; }
+  Vec operator()(Vec g, Vec x) const { return g * Vec::Broadcast(2.0f) * x; }
+};
+
+struct BwdAbsFn {
+  float operator()(float g, float x) const {
+    return x > 0.0f ? g : (x < 0.0f ? -g : 0.0f);
+  }
+  Vec operator()(Vec g, Vec x) const {
+    const Vec z = Vec::Zero();
+    return Vec::Select(Vec::CmpGt(x, z), g,
+                       Vec::Select(Vec::CmpGt(z, x), z - g, z));
+  }
+};
+
+struct BwdTanhFn {
+  float operator()(float g, float v) const { return g * (1.0f - v * v); }
+  Vec operator()(Vec g, Vec v) const {
+    return g * (Vec::Broadcast(1.0f) - v * v);
+  }
+};
+
+struct BwdSigmoidFn {
+  float operator()(float g, float v) const { return g * v * (1.0f - v); }
+  Vec operator()(Vec g, Vec v) const {
+    return g * v * (Vec::Broadcast(1.0f) - v);
+  }
+};
+
+struct BwdReluFn {
+  float operator()(float g, float x) const { return x > 0.0f ? g : 0.0f; }
+  Vec operator()(Vec g, Vec x) const {
+    return Vec::Select(Vec::CmpGt(x, Vec::Zero()), g, Vec::Zero());
+  }
+};
+
+/// Huber value: 0.5 e^2 inside |e| <= delta, linear outside.
+struct FwdHuberFn {
+  float delta;
+  float operator()(float e) const {
+    const float a = std::fabs(e);
+    return a <= delta ? 0.5f * e * e : delta * (a - 0.5f * delta);
+  }
+  Vec operator()(Vec e) const {
+    const Vec vd = Vec::Broadcast(delta);
+    const Vec half = Vec::Broadcast(0.5f);
+    const Vec a = Vec::Abs(e);
+    return Vec::Select(Vec::CmpLe(a, vd), half * e * e,
+                       vd * (a - half * vd));
+  }
+};
+
+/// Huber derivative (times incoming grad): e inside, delta*sign(e) outside
+/// (|e| > delta implies e != 0, so CopySign matches the scalar ternary).
+struct BwdHuberFn {
+  float delta;
+  float operator()(float g, float e) const {
+    const float de = std::fabs(e) <= delta ? e : (e > 0.0f ? delta : -delta);
+    return g * de;
+  }
+  Vec operator()(Vec g, Vec e) const {
+    const Vec vd = Vec::Broadcast(delta);
+    const Vec de =
+        Vec::Select(Vec::CmpLe(Vec::Abs(e), vd), e, Vec::CopySign(vd, e));
+    return g * de;
+  }
+};
 
 // --- Shared gradient-accumulation helpers --------------------------------
 
@@ -39,8 +122,7 @@ void AccumProduct(const NodePtr& p, const Tensor& a, const Tensor& b) {
   const Shape& shape = p->value.shape();
   if (a.shape() == shape && b.shape() == shape) {
     if (p->grad.empty() && !p->value.empty()) {
-      p->AccumulateGrad(
-          ops::BinaryMap(a, b, [](float x, float y) { return x * y; }));
+      p->AccumulateGrad(ops::BinaryMap(a, b, simd::MulOp{}));
     } else {
       ops::AddMulInPlace(p->grad, a, b);
     }
@@ -99,11 +181,7 @@ Tensor FwdSum(const Node& n) {
 }
 Tensor FwdSoftmaxLast(const Node& n) { return ops::SoftmaxLast(P(n, 0)); }
 Tensor FwdHuberElem(const Node& n) {
-  const float delta = n.attrs.scalar;
-  return ops::UnaryMap(P(n, 0), [delta](float e) {
-    const float a = std::fabs(e);
-    return a <= delta ? 0.5f * e * e : delta * (a - 0.5f * delta);
-  });
+  return ops::UnaryMap(P(n, 0), FwdHuberFn{n.attrs.scalar});
 }
 Tensor FwdDetach(const Node& n) { return P(n, 0); }
 Tensor FwdRandn(const Node& n) {
@@ -162,41 +240,31 @@ void BwdLog(Node& n) {
 
 void BwdSqrt(Node& n) {
   // d sqrt(x)/dx = 0.5 / sqrt(x); fused single-pass map over own value.
-  Accum(n.parents[0], ops::BinaryMap(n.grad, n.value, [](float g, float v) {
-    return 0.5f * g / v;
-  }));
+  Accum(n.parents[0], ops::BinaryMap(n.grad, n.value, BwdSqrtFn{}));
 }
 
 void BwdSquare(Node& n) {
   Accum(n.parents[0],
-        ops::BinaryMap(n.grad, n.parents[0]->value,
-                       [](float g, float x) { return g * 2.0f * x; }));
+        ops::BinaryMap(n.grad, n.parents[0]->value, BwdSquareFn{}));
 }
 
 void BwdAbs(Node& n) {
   Accum(n.parents[0],
-        ops::BinaryMap(n.grad, n.parents[0]->value, [](float g, float x) {
-          return x > 0.0f ? g : (x < 0.0f ? -g : 0.0f);
-        }));
+        ops::BinaryMap(n.grad, n.parents[0]->value, BwdAbsFn{}));
 }
 
 void BwdTanh(Node& n) {
   // Fused g * (1 - y^2): one pooled temporary instead of two.
-  Accum(n.parents[0], ops::BinaryMap(n.grad, n.value, [](float g, float v) {
-    return g * (1.0f - v * v);
-  }));
+  Accum(n.parents[0], ops::BinaryMap(n.grad, n.value, BwdTanhFn{}));
 }
 
 void BwdSigmoid(Node& n) {
-  Accum(n.parents[0], ops::BinaryMap(n.grad, n.value, [](float g, float v) {
-    return g * v * (1.0f - v);
-  }));
+  Accum(n.parents[0], ops::BinaryMap(n.grad, n.value, BwdSigmoidFn{}));
 }
 
 void BwdRelu(Node& n) {
   Accum(n.parents[0],
-        ops::BinaryMap(n.grad, n.parents[0]->value,
-                       [](float g, float x) { return x > 0.0f ? g : 0.0f; }));
+        ops::BinaryMap(n.grad, n.parents[0]->value, BwdReluFn{}));
 }
 
 void BwdMatMul(Node& n) {
@@ -290,15 +358,11 @@ void BwdSoftmaxLast(Node& n) {
 }
 
 void BwdHuberElem(Node& n) {
-  const float delta = n.attrs.scalar;
   // dH/de = e (|e|<=delta), else delta*sign(e); fused with the incoming
   // gradient into a single pooled temporary.
   Accum(n.parents[0],
-        ops::BinaryMap(n.grad, n.parents[0]->value, [delta](float g, float e) {
-          const float de =
-              std::fabs(e) <= delta ? e : (e > 0.0f ? delta : -delta);
-          return g * de;
-        }));
+        ops::BinaryMap(n.grad, n.parents[0]->value,
+                       BwdHuberFn{n.attrs.scalar}));
 }
 
 // --- Gradcheck case builders ---------------------------------------------

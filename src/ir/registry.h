@@ -53,6 +53,14 @@ struct OpKernelInfo {
 
   /// Builds a finite-difference case; required iff `backward` is set.
   GradCheckCase (*make_gradcheck)() = nullptr;
+
+  /// Per-kind finite-difference tolerance overrides for CheckAllOpKinds;
+  /// 0 means "use the CheckGradients defaults". Only kinds whose
+  /// vectorized kernels (polynomial transcendentals) measurably deviate
+  /// from the libm scalars set these — each override is justified at its
+  /// registration site.
+  float gc_rtol = 0.0f;
+  float gc_atol = 0.0f;
 };
 
 /// Dispatch-table lookup. Aborts on an unregistered kind.

@@ -1,0 +1,158 @@
+// Vectorized transcendental kernels (exp / tanh / sigmoid) plus the dual
+// scalar+vector functors tensor/ops.cc and ir/registry.cc feed to the
+// elementwise maps.
+//
+// ExpV is the classic Cephes single-precision expf: range-clamp, split
+// x = n*ln2 + r with a Cody-Waite two-constant reduction, a degree-5
+// polynomial for e^r on |r| <= ln2/2, and a 2^n scale built straight in
+// the exponent field (Vec::Pow2). Max relative error is ~2 ulp across the
+// clamp range, and ExpV(0) == 1 exactly (the polynomial collapses to
+// 1 + 0), so SigmoidV(0) == 0.5 exactly like the scalar kernel.
+//
+// All three are lane-independent, so the partial-vector tail rule of
+// simd.h applies unchanged. On the scalar build (kEnabled == false) the
+// functors' scalar overloads are the only instantiated path and match the
+// legacy kernels expression-for-expression — scalar builds stay
+// bit-identical to the pre-SIMD library.
+
+#ifndef STWA_SIMD_VEC_MATH_H_
+#define STWA_SIMD_VEC_MATH_H_
+
+#include <cmath>
+
+#include "simd/simd.h"
+
+namespace stwa {
+namespace simd {
+
+/// e^x per lane (Cephes polynomial; ~2 ulp, clamped to the finite range).
+inline Vec ExpV(Vec x) {
+  x = Vec::Min(x, Vec::Broadcast(88.3762626647950f));
+  x = Vec::Max(x, Vec::Broadcast(-87.3365478515625f));
+  // n = round(x / ln2); r = x - n*ln2 via two-constant Cody-Waite so the
+  // reduction is exact to well below float epsilon.
+  const Vec n = Vec::RoundNearest(x * Vec::Broadcast(1.44269504088896341f));
+  x = Vec::Fma(n, Vec::Broadcast(-0.693359375f), x);
+  x = Vec::Fma(n, Vec::Broadcast(2.12194440e-4f), x);
+  // e^r = 1 + r + r^2 * P(r), P a degree-4 polynomial in Horner form.
+  const Vec z = x * x;
+  Vec p = Vec::Broadcast(1.9875691500e-4f);
+  p = Vec::Fma(p, x, Vec::Broadcast(1.3981999507e-3f));
+  p = Vec::Fma(p, x, Vec::Broadcast(8.3334519073e-3f));
+  p = Vec::Fma(p, x, Vec::Broadcast(4.1665795894e-2f));
+  p = Vec::Fma(p, x, Vec::Broadcast(1.6666665459e-1f));
+  p = Vec::Fma(p, x, Vec::Broadcast(5.0000001201e-1f));
+  p = Vec::Fma(p, z, x + Vec::Broadcast(1.0f));
+  return p * Vec::Pow2(n);
+}
+
+/// tanh per lane via the exp identity: tanh(|x|) = 1 - 2/(e^(2|x|) + 1),
+/// sign restored with CopySign. Exact 0 at x == 0; saturates to ±1 once
+/// e^(2|x|) overflows float precision (|x| >~ 9), like std::tanh.
+inline Vec TanhV(Vec x) {
+  const Vec a = Vec::Abs(x);
+  const Vec e = ExpV(a + a);
+  const Vec t = Vec::Broadcast(1.0f) -
+                Vec::Broadcast(2.0f) / (e + Vec::Broadcast(1.0f));
+  return Vec::CopySign(t, x);
+}
+
+/// logistic sigmoid per lane: 1 / (1 + e^-x).
+inline Vec SigmoidV(Vec x) {
+  return Vec::Broadcast(1.0f) /
+         (Vec::Broadcast(1.0f) + ExpV(Vec::Zero() - x));
+}
+
+// --- Dual scalar/vector functors ----------------------------------------
+//
+// The scalar overload is the legacy kernel expression (what scalar builds
+// compile); the Vec overload is what SIMD builds compile through the
+// vectorized maps. Arithmetic functors are bit-identical between the two;
+// the transcendental ones differ in low-order bits (std:: vs polynomial).
+
+struct ExpOp {
+  float operator()(float x) const { return std::exp(x); }
+  Vec operator()(Vec x) const { return ExpV(x); }
+};
+
+struct TanhOp {
+  float operator()(float x) const { return std::tanh(x); }
+  Vec operator()(Vec x) const { return TanhV(x); }
+};
+
+struct SigmoidOp {
+  float operator()(float x) const { return 1.0f / (1.0f + std::exp(-x)); }
+  Vec operator()(Vec x) const { return SigmoidV(x); }
+};
+
+struct SqrtOp {
+  float operator()(float x) const { return std::sqrt(x); }
+  Vec operator()(Vec x) const { return Vec::Sqrt(x); }
+};
+
+struct AbsOp {
+  float operator()(float x) const { return std::fabs(x); }
+  Vec operator()(Vec x) const { return Vec::Abs(x); }
+};
+
+struct NegOp {
+  float operator()(float x) const { return -x; }
+  Vec operator()(Vec x) const { return Vec::Zero() - x; }
+};
+
+struct SquareOp {
+  float operator()(float x) const { return x * x; }
+  Vec operator()(Vec x) const { return x * x; }
+};
+
+struct ReluOp {
+  float operator()(float x) const { return x > 0.0f ? x : 0.0f; }
+  Vec operator()(Vec x) const { return Vec::Max(x, Vec::Zero()); }
+};
+
+struct AddScalarOp {
+  float s;
+  float operator()(float x) const { return x + s; }
+  Vec operator()(Vec x) const { return x + Vec::Broadcast(s); }
+};
+
+struct MulScalarOp {
+  float s;
+  float operator()(float x) const { return x * s; }
+  Vec operator()(Vec x) const { return x * Vec::Broadcast(s); }
+};
+
+struct AddOp {
+  float operator()(float x, float y) const { return x + y; }
+  Vec operator()(Vec x, Vec y) const { return x + y; }
+};
+
+struct SubOp {
+  float operator()(float x, float y) const { return x - y; }
+  Vec operator()(Vec x, Vec y) const { return x - y; }
+};
+
+struct MulOp {
+  float operator()(float x, float y) const { return x * y; }
+  Vec operator()(Vec x, Vec y) const { return x * y; }
+};
+
+struct DivOp {
+  float operator()(float x, float y) const { return x / y; }
+  Vec operator()(Vec x, Vec y) const { return x / y; }
+};
+
+struct MaxOp {
+  float operator()(float x, float y) const { return std::max(x, y); }
+  Vec operator()(Vec x, Vec y) const { return Vec::Max(x, y); }
+};
+
+struct MinOp {
+  float operator()(float x, float y) const { return std::min(x, y); }
+  Vec operator()(Vec x, Vec y) const { return Vec::Min(x, y); }
+};
+
+}  // namespace simd
+}  // namespace stwa
+
+#endif  // STWA_SIMD_VEC_MATH_H_

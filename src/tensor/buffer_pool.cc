@@ -35,7 +35,7 @@ struct Pool {
   std::mutex mu;
   // Raw pointers: ownership passes to the shared_ptr deleter on acquire and
   // back to the free list on release.
-  std::vector<std::vector<float>*> free_lists[kNumBuckets];
+  std::vector<FloatBuffer*> free_lists[kNumBuckets];
   bool enabled = true;
   uint64_t max_pooled_bytes = kMaxPooledBytes;
   PoolStats stats;
@@ -58,7 +58,7 @@ Pool& GetPool() {
 // is full or disabled).
 struct PooledDeleter {
   int bucket;
-  void operator()(std::vector<float>* v) const {
+  void operator()(FloatBuffer* v) const {
     Pool& p = GetPool();
     const uint64_t bytes = BucketCapacity(bucket) * sizeof(float);
     std::lock_guard<std::mutex> lock(p.mu);
@@ -75,8 +75,8 @@ struct PooledDeleter {
 
 }  // namespace
 
-std::shared_ptr<std::vector<float>> Acquire(int64_t n) {
-  if (n <= 0) return std::make_shared<std::vector<float>>();
+std::shared_ptr<FloatBuffer> Acquire(int64_t n) {
+  if (n <= 0) return std::make_shared<FloatBuffer>();
   Pool& p = GetPool();
   const int bucket = BucketIndex(n);
   if (bucket >= kNumBuckets) {
@@ -84,11 +84,11 @@ std::shared_ptr<std::vector<float>> Acquire(int64_t n) {
     std::lock_guard<std::mutex> lock(p.mu);
     ++p.stats.requests;
     ++p.stats.misses;
-    return std::make_shared<std::vector<float>>(n);
+    return std::make_shared<FloatBuffer>(n);
   }
   const int64_t cap = BucketCapacity(bucket);
   const uint64_t bytes = cap * sizeof(float);
-  std::vector<float>* raw = nullptr;
+  FloatBuffer* raw = nullptr;
   {
     std::lock_guard<std::mutex> lock(p.mu);
     ++p.stats.requests;
@@ -105,8 +105,8 @@ std::shared_ptr<std::vector<float>> Acquire(int64_t n) {
     p.stats.peak_outstanding_bytes =
         std::max(p.stats.peak_outstanding_bytes, p.stats.outstanding_bytes);
   }
-  if (raw == nullptr) raw = new std::vector<float>(cap);
-  return std::shared_ptr<std::vector<float>>(raw, PooledDeleter{bucket});
+  if (raw == nullptr) raw = new FloatBuffer(cap);
+  return std::shared_ptr<FloatBuffer>(raw, PooledDeleter{bucket});
 }
 
 bool Enabled() {
@@ -117,19 +117,19 @@ bool Enabled() {
 
 void SetEnabled(bool enabled) {
   Pool& p = GetPool();
-  std::vector<std::vector<float>*> drained;
+  std::vector<FloatBuffer*> drained;
   {
     std::lock_guard<std::mutex> lock(p.mu);
     p.enabled = enabled;
     if (!enabled) {
       for (auto& list : p.free_lists) {
-        for (std::vector<float>* v : list) drained.push_back(v);
+        for (FloatBuffer* v : list) drained.push_back(v);
         list.clear();
       }
       p.stats.pooled_bytes = 0;
     }
   }
-  for (std::vector<float>* v : drained) delete v;
+  for (FloatBuffer* v : drained) delete v;
 }
 
 PoolStats Stats() {
@@ -149,16 +149,16 @@ void ResetStats() {
 
 void Trim() {
   Pool& p = GetPool();
-  std::vector<std::vector<float>*> drained;
+  std::vector<FloatBuffer*> drained;
   {
     std::lock_guard<std::mutex> lock(p.mu);
     for (auto& list : p.free_lists) {
-      for (std::vector<float>* v : list) drained.push_back(v);
+      for (FloatBuffer* v : list) drained.push_back(v);
       list.clear();
     }
     p.stats.pooled_bytes = 0;
   }
-  for (std::vector<float>* v : drained) delete v;
+  for (FloatBuffer* v : drained) delete v;
 }
 
 }  // namespace pool

@@ -33,11 +33,54 @@
 #define STWA_TENSOR_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <vector>
 
 namespace stwa {
 namespace pool {
+
+/// Minimal aligned std allocator: every allocation starts on an
+/// `Alignment`-byte boundary (default 64 = one cache line, and a full
+/// AVX-512 vector). Tensor buffers use it so SIMD kernels see aligned
+/// bases on every bucket — pooled or not — and so buffers never straddle
+/// a cache line start. Kernels still issue unaligned load instructions
+/// (values cannot depend on alignment), so pool-on/off stays
+/// bit-identical; alignment only removes the split-line penalty.
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(std::size_t n) {
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    const std::size_t bytes =
+        (n * sizeof(T) + Alignment - 1) / Alignment * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// Backing storage type of every Tensor buffer: a float vector whose data
+/// begins on a 64-byte boundary.
+using FloatBuffer = std::vector<float, AlignedAllocator<float>>;
 
 /// Snapshot of the pool's counters since process start (or ResetStats).
 struct PoolStats {
@@ -62,7 +105,7 @@ struct PoolStats {
 /// is >= n (bucket capacity); contents are unspecified — callers must write
 /// every element they read. Never returns nullptr; n == 0 yields an empty
 /// buffer.
-std::shared_ptr<std::vector<float>> Acquire(int64_t n);
+std::shared_ptr<FloatBuffer> Acquire(int64_t n);
 
 /// True when recycling is active (default unless STWA_DISABLE_POOL is set).
 bool Enabled();

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
+#include <type_traits>
 
 #include "common/check.h"
 #include "runtime/parallel.h"
+#include "simd/gemm.h"
+#include "simd/vec_math.h"
 
 namespace stwa {
 namespace ops {
@@ -13,6 +17,16 @@ namespace {
 
 // Grain sizes below derive from the shared per-chunk work floor.
 using detail::kMinChunkWork;
+
+// SIMD kernels below follow the simd.h determinism contract: ragged tails
+// use partial vector loads/stores (never scalar remainder loops), lane
+// reductions combine in a fixed tree, and kernel selection depends only
+// on the shape — so within one build, results are bit-identical across
+// thread counts, pool on/off and plan on/off. On STWA_NO_SIMD builds
+// (simd::kEnabled == false) every `if constexpr` below compiles the
+// legacy scalar kernel, keeping scalar builds bit-identical to PR 4.
+using simd::Vec;
+constexpr int64_t kVecW = Vec::kWidth;
 
 // Odometer-style iteration over an output shape with per-input strides
 // that are zero on broadcast dimensions, split across the worker pool.
@@ -92,8 +106,29 @@ std::vector<int64_t> BroadcastStrides(const Shape& shape,
   return out;
 }
 
+// One broadcast run with a constant side: out[j] = fn(row[j], cv) (or
+// fn(cv, row[j]) with SwapArgs). Vectorized with a broadcast lane for the
+// constant; run boundaries are shape-derived, so tails are deterministic.
+template <bool SwapArgs, typename Fn>
+inline void VecRunWithConst(float* po, const float* row, float cv,
+                            int64_t len, const Fn& fn) {
+  const Vec c = Vec::Broadcast(cv);
+  int64_t j = 0;
+  for (; j + kVecW <= len; j += kVecW) {
+    const Vec r = Vec::Load(row + j);
+    (SwapArgs ? fn(c, r) : fn(r, c)).Store(po + j);
+  }
+  if (j < len) {
+    const int64_t rem = len - j;
+    const Vec r = simd::LoadPartial(row + j, rem);
+    simd::StorePartial(SwapArgs ? fn(c, r) : fn(r, c), po + j, rem);
+  }
+}
+
 template <typename Fn>
 Tensor BinaryImpl(const Tensor& a, const Tensor& b, Fn&& fn) {
+  using RawFn = std::remove_cvref_t<Fn>;
+  constexpr bool kVec = simd::kEnabled && simd::kIsVecBinary<RawFn>;
   if (a.shape() == b.shape()) {
     Tensor out = Tensor::Uninit(a.shape());
     const float* pa = a.data();
@@ -101,8 +136,13 @@ Tensor BinaryImpl(const Tensor& a, const Tensor& b, Fn&& fn) {
     float* po = out.data();
     runtime::ParallelFor(0, a.size(), kMinChunkWork,
                          [po, pa, pb, &fn](int64_t begin, int64_t end) {
-                           for (int64_t i = begin; i < end; ++i) {
-                             po[i] = fn(pa[i], pb[i]);
+                           if constexpr (kVec) {
+                             detail::VecBinaryRange(po, pa, pb, begin, end,
+                                                    fn);
+                           } else {
+                             for (int64_t i = begin; i < end; ++i) {
+                               po[i] = fn(pa[i], pb[i]);
+                             }
                            }
                          });
     return out;
@@ -120,16 +160,29 @@ Tensor BinaryImpl(const Tensor& a, const Tensor& b, Fn&& fn) {
                         int64_t sa, int64_t sb) {
         // Specialise the common stride patterns so the inner loop
         // vectorises: bias-add style (one side constant) and elementwise
-        // rows (both advancing).
+        // rows (both advancing). Generic strides stay scalar (arithmetic
+        // functors compute identical values either way).
         if (sa == 1 && sb == 0) {
-          const float bv = pb[b0];
-          for (int64_t j = 0; j < len; ++j) po[o + j] = fn(pa[a0 + j], bv);
+          if constexpr (kVec) {
+            VecRunWithConst<false>(po + o, pa + a0, pb[b0], len, fn);
+          } else {
+            const float bv = pb[b0];
+            for (int64_t j = 0; j < len; ++j) po[o + j] = fn(pa[a0 + j], bv);
+          }
         } else if (sa == 0 && sb == 1) {
-          const float av = pa[a0];
-          for (int64_t j = 0; j < len; ++j) po[o + j] = fn(av, pb[b0 + j]);
+          if constexpr (kVec) {
+            VecRunWithConst<true>(po + o, pb + b0, pa[a0], len, fn);
+          } else {
+            const float av = pa[a0];
+            for (int64_t j = 0; j < len; ++j) po[o + j] = fn(av, pb[b0 + j]);
+          }
         } else if (sa == 1 && sb == 1) {
-          for (int64_t j = 0; j < len; ++j) {
-            po[o + j] = fn(pa[a0 + j], pb[b0 + j]);
+          if constexpr (kVec) {
+            detail::VecBinaryRange(po + o, pa + a0, pb + b0, 0, len, fn);
+          } else {
+            for (int64_t j = 0; j < len; ++j) {
+              po[o + j] = fn(pa[a0 + j], pb[b0 + j]);
+            }
           }
         } else {
           for (int64_t j = 0; j < len; ++j) {
@@ -352,22 +405,22 @@ std::vector<int64_t> Strides(const Shape& shape) {
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryImpl(a, b, [](float x, float y) { return x + y; });
+  return BinaryImpl(a, b, simd::AddOp{});
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryImpl(a, b, [](float x, float y) { return x - y; });
+  return BinaryImpl(a, b, simd::SubOp{});
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryImpl(a, b, [](float x, float y) { return x * y; });
+  return BinaryImpl(a, b, simd::MulOp{});
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BinaryImpl(a, b, [](float x, float y) { return x / y; });
+  return BinaryImpl(a, b, simd::DivOp{});
 }
 Tensor Maximum(const Tensor& a, const Tensor& b) {
-  return BinaryImpl(a, b, [](float x, float y) { return std::max(x, y); });
+  return BinaryImpl(a, b, simd::MaxOp{});
 }
 Tensor Minimum(const Tensor& a, const Tensor& b) {
-  return BinaryImpl(a, b, [](float x, float y) { return std::min(x, y); });
+  return BinaryImpl(a, b, simd::MinOp{});
 }
 
 Tensor BinaryOp(const Tensor& a, const Tensor& b,
@@ -376,39 +429,24 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b,
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryImpl(a, [s](float x) { return x + s; });
+  return UnaryMap(a, simd::AddScalarOp{s});
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryImpl(a, [s](float x) { return x * s; });
+  return UnaryMap(a, simd::MulScalarOp{s});
 }
 
-Tensor Neg(const Tensor& a) {
-  return UnaryImpl(a, [](float x) { return -x; });
-}
-Tensor Exp(const Tensor& a) {
-  return UnaryImpl(a, [](float x) { return std::exp(x); });
-}
+Tensor Neg(const Tensor& a) { return UnaryMap(a, simd::NegOp{}); }
+Tensor Exp(const Tensor& a) { return UnaryMap(a, simd::ExpOp{}); }
 Tensor Log(const Tensor& a) {
+  // No vectorized log polynomial yet; stays scalar on every build.
   return UnaryImpl(a, [](float x) { return std::log(x); });
 }
-Tensor Sqrt(const Tensor& a) {
-  return UnaryImpl(a, [](float x) { return std::sqrt(x); });
-}
-Tensor Abs(const Tensor& a) {
-  return UnaryImpl(a, [](float x) { return std::fabs(x); });
-}
-Tensor Square(const Tensor& a) {
-  return UnaryImpl(a, [](float x) { return x * x; });
-}
-Tensor Tanh(const Tensor& a) {
-  return UnaryImpl(a, [](float x) { return std::tanh(x); });
-}
-Tensor Sigmoid(const Tensor& a) {
-  return UnaryImpl(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
-}
-Tensor Relu(const Tensor& a) {
-  return UnaryImpl(a, [](float x) { return x > 0.0f ? x : 0.0f; });
-}
+Tensor Sqrt(const Tensor& a) { return UnaryMap(a, simd::SqrtOp{}); }
+Tensor Abs(const Tensor& a) { return UnaryMap(a, simd::AbsOp{}); }
+Tensor Square(const Tensor& a) { return UnaryMap(a, simd::SquareOp{}); }
+Tensor Tanh(const Tensor& a) { return UnaryMap(a, simd::TanhOp{}); }
+Tensor Sigmoid(const Tensor& a) { return UnaryMap(a, simd::SigmoidOp{}); }
+Tensor Relu(const Tensor& a) { return UnaryMap(a, simd::ReluOp{}); }
 
 Tensor UnaryOp(const Tensor& a, const std::function<float(float)>& fn) {
   return UnaryImpl(a, fn);
@@ -422,6 +460,14 @@ Tensor MatMul2D(const Tensor& a, const Tensor& b) {
   const int64_t n = b.dim(1);
   STWA_CHECK(b.dim(0) == k, "inner dimensions mismatch: ",
              ShapeToString(a.shape()), " x ", ShapeToString(b.shape()));
+  if constexpr (simd::kEnabled) {
+    // Gemm2D writes every element (packed or row path), so the output can
+    // skip the zero fill the accumulating legacy kernel needed.
+    Tensor out = Tensor::Uninit(Shape{m, n});
+    simd::Gemm2D(a.data(), b.data(), out.data(), m, n, k,
+                 /*trans_a=*/false, /*trans_b=*/false);
+    return out;
+  }
   Tensor out(Shape{m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -450,7 +496,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Shape out_shape = batch;
   out_shape.push_back(m);
   out_shape.push_back(n);
-  Tensor out(out_shape);
+  // The SIMD row kernel writes every element; the legacy kernel
+  // accumulates into zeros.
+  Tensor out = simd::kEnabled ? Tensor::Uninit(out_shape)
+                              : Tensor(out_shape);
 
   // Per-batch offsets honouring broadcasting over the batch dims.
   std::vector<int64_t> a_strides =
@@ -488,8 +537,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
             a_off += coord * as_p[d];
             b_off += coord * bs_p[d];
           }
-          MatMulRowRange(pa + a_off * a_mat, pb + b_off * b_mat,
-                         po + bi * o_mat, i0, i1, k, n);
+          if constexpr (simd::kEnabled) {
+            simd::GemmRowsNN(pa + a_off * a_mat, pb + b_off * b_mat,
+                             po + bi * o_mat, i0, i1, k, n);
+          } else {
+            MatMulRowRange(pa + a_off * a_mat, pb + b_off * b_mat,
+                           po + bi * o_mat, i0, i1, k, n);
+          }
           r += i1 - i0;
         }
       });
@@ -505,10 +559,24 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   STWA_CHECK(b.dim(-1) == k, "inner dimensions mismatch: ",
              ShapeToString(a.shape()), " x ", ShapeToString(b.shape()),
              "^T");
+  if constexpr (simd::kEnabled) {
+    if (a.rank() == 2 && b.rank() == 2 && simd::GemmUsesPackedPath(m, n, k)) {
+      Tensor out = Tensor::Uninit(Shape{m, n});
+      simd::Gemm2D(a.data(), b.data(), out.data(), m, n, k,
+                   /*trans_a=*/false, /*trans_b=*/true);
+      return out;
+    }
+  }
   return BatchedTransposedProduct(
       a, b, m, n, k,
       [k, n](const float* pa, const float* pb, float* po, int64_t i0,
-             int64_t i1) { MatMulNTRowRange(pa, pb, po, i0, i1, k, n); });
+             int64_t i1) {
+        if constexpr (simd::kEnabled) {
+          simd::GemmRowsNT(pa, pb, po, i0, i1, k, n);
+        } else {
+          MatMulNTRowRange(pa, pb, po, i0, i1, k, n);
+        }
+      });
 }
 
 Tensor MatMulTN(const Tensor& a, const Tensor& b) {
@@ -519,11 +587,23 @@ Tensor MatMulTN(const Tensor& a, const Tensor& b) {
   const int64_t n = b.dim(-1);
   STWA_CHECK(b.dim(-2) == k, "inner dimensions mismatch: ",
              ShapeToString(a.shape()), "^T x ", ShapeToString(b.shape()));
+  if constexpr (simd::kEnabled) {
+    if (a.rank() == 2 && b.rank() == 2 && simd::GemmUsesPackedPath(m, n, k)) {
+      Tensor out = Tensor::Uninit(Shape{m, n});
+      simd::Gemm2D(a.data(), b.data(), out.data(), m, n, k,
+                   /*trans_a=*/true, /*trans_b=*/false);
+      return out;
+    }
+  }
   return BatchedTransposedProduct(
       a, b, m, n, k,
       [k, m, n](const float* pa, const float* pb, float* po, int64_t i0,
                 int64_t i1) {
-        MatMulTNRowRange(pa, pb, po, i0, i1, k, m, n);
+        if constexpr (simd::kEnabled) {
+          simd::GemmRowsTN(pa, pb, po, i0, i1, k, m, n);
+        } else {
+          MatMulTNRowRange(pa, pb, po, i0, i1, k, m, n);
+        }
       });
 }
 
@@ -643,14 +723,39 @@ Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
   const float* pa = a.data();
   float* po = out.data();
   // Parallel over `outer` slices: each output element is reduced by one
-  // chunk in ascending e order, matching the serial loop exactly.
+  // chunk. inner > 1 vectorizes across the inner axis keeping the exact
+  // ascending-e per-element order of the serial loop; inner == 1 (last
+  // axis) uses fixed lane accumulators over the extent (zero pad lanes
+  // are the add identity), deterministic but lane-split, so it differs
+  // from the scalar build in low-order bits.
+  const bool vec_last = simd::kEnabled && inner == 1 && extent >= kVecW;
   runtime::ParallelFor(
       0, outer, std::max<int64_t>(1, kMinChunkWork / (extent * inner + 1)),
       [=](int64_t o0, int64_t o1) {
         for (int64_t o = o0; o < o1; ++o) {
+          if (vec_last) {
+            const float* src = pa + o * extent;
+            Vec acc = Vec::Zero();
+            int64_t e = 0;
+            for (; e + kVecW <= extent; e += kVecW) {
+              acc = acc + Vec::Load(src + e);
+            }
+            if (e < extent) {
+              acc = acc + simd::LoadPartial(src + e, extent - e);
+            }
+            po[o] = simd::ReduceAdd(acc);
+            continue;
+          }
           for (int64_t e = 0; e < extent; ++e) {
             const float* src = pa + (o * extent + e) * inner;
             float* dst = po + o * inner;
+            if constexpr (simd::kEnabled) {
+              if (inner > 1) {
+                detail::VecBinaryRange(dst, dst, src, 0, inner,
+                                       simd::AddOp{});
+                continue;
+              }
+            }
             for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
           }
         }
@@ -683,13 +788,40 @@ Tensor Max(const Tensor& a, int64_t axis, bool keepdims) {
   Tensor out(out_shape, -std::numeric_limits<float>::infinity());
   const float* pa = a.data();
   float* po = out.data();
+  // Same split as Sum: vector-across-inner keeps the serial per-element
+  // order (max is exact either way); last-axis rows use lane maxima with
+  // -inf pad lanes.
+  const bool vec_last = simd::kEnabled && inner == 1 && extent >= kVecW;
   runtime::ParallelFor(
       0, outer, std::max<int64_t>(1, kMinChunkWork / (extent * inner + 1)),
       [=](int64_t o0, int64_t o1) {
         for (int64_t o = o0; o < o1; ++o) {
+          if (vec_last) {
+            const float* src = pa + o * extent;
+            Vec acc = Vec::Broadcast(-std::numeric_limits<float>::infinity());
+            int64_t e = 0;
+            for (; e + kVecW <= extent; e += kVecW) {
+              acc = Vec::Max(acc, Vec::Load(src + e));
+            }
+            if (e < extent) {
+              acc = Vec::Max(
+                  acc, simd::LoadPartial(
+                           src + e, extent - e,
+                           -std::numeric_limits<float>::infinity()));
+            }
+            po[o] = simd::ReduceMax(acc);
+            continue;
+          }
           for (int64_t e = 0; e < extent; ++e) {
             const float* src = pa + (o * extent + e) * inner;
             float* dst = po + o * inner;
+            if constexpr (simd::kEnabled) {
+              if (inner > 1) {
+                detail::VecBinaryRange(dst, dst, src, 0, inner,
+                                       simd::MaxOp{});
+                continue;
+              }
+            }
             for (int64_t i = 0; i < inner; ++i) {
               dst[i] = std::max(dst[i], src[i]);
             }
@@ -774,21 +906,67 @@ Tensor SoftmaxLast(const Tensor& a) {
   Tensor out = Tensor::Uninit(a.shape());
   const float* pa = a.data();
   float* po = out.data();
+  // Vector path only when a row holds at least one full vector: window
+  // attention softmaxes rows of 2-3 where the scalar loop wins. The choice
+  // depends only on the shape, so it is deterministic.
+  const bool vec_rows = simd::kEnabled && last >= kVecW;
   runtime::ParallelFor(
       0, rows, std::max<int64_t>(1, kMinChunkWork / (4 * last)),
       [=](int64_t r0, int64_t r1) {
         for (int64_t r = r0; r < r1; ++r) {
           const float* src = pa + r * last;
           float* dst = po + r * last;
-          float mx = src[0];
-          for (int64_t j = 1; j < last; ++j) mx = std::max(mx, src[j]);
-          float sum = 0.0f;
-          for (int64_t j = 0; j < last; ++j) {
-            dst[j] = std::exp(src[j] - mx);
-            sum += dst[j];
+          if (vec_rows) {
+            // Row max: -inf pad lanes are the max identity.
+            Vec vmax = Vec::Broadcast(-std::numeric_limits<float>::infinity());
+            int64_t j = 0;
+            for (; j + kVecW <= last; j += kVecW) {
+              vmax = Vec::Max(vmax, Vec::Load(src + j));
+            }
+            if (j < last) {
+              vmax = Vec::Max(
+                  vmax, simd::LoadPartial(
+                            src + j, last - j,
+                            -std::numeric_limits<float>::infinity()));
+            }
+            const float mx = simd::ReduceMax(vmax);
+            // exp and the row sum in one sweep; tail pad lanes hold
+            // exp(0 - mx) garbage, so they are masked to the add
+            // identity before accumulating (and never stored).
+            const Vec vmx = Vec::Broadcast(mx);
+            Vec vsum = Vec::Zero();
+            j = 0;
+            for (; j + kVecW <= last; j += kVecW) {
+              const Vec e = simd::ExpV(Vec::Load(src + j) - vmx);
+              e.Store(dst + j);
+              vsum = vsum + e;
+            }
+            if (j < last) {
+              const int64_t rem = last - j;
+              const Vec e = simd::ExpV(simd::LoadPartial(src + j, rem) - vmx);
+              simd::StorePartial(e, dst + j, rem);
+              vsum = vsum + simd::MaskFirstN(e, rem);
+            }
+            const Vec vinv = Vec::Broadcast(1.0f / simd::ReduceAdd(vsum));
+            j = 0;
+            for (; j + kVecW <= last; j += kVecW) {
+              (Vec::Load(dst + j) * vinv).Store(dst + j);
+            }
+            if (j < last) {
+              simd::StorePartial(simd::LoadPartial(dst + j, last - j) * vinv,
+                                 dst + j, last - j);
+            }
+          } else {
+            float mx = src[0];
+            for (int64_t j = 1; j < last; ++j) mx = std::max(mx, src[j]);
+            float sum = 0.0f;
+            for (int64_t j = 0; j < last; ++j) {
+              dst[j] = std::exp(src[j] - mx);
+              sum += dst[j];
+            }
+            const float inv = 1.0f / sum;
+            for (int64_t j = 0; j < last; ++j) dst[j] *= inv;
           }
-          const float inv = 1.0f / sum;
-          for (int64_t j = 0; j < last; ++j) dst[j] *= inv;
         }
       });
   return out;
@@ -805,8 +983,12 @@ Tensor SoftmaxLastBackward(const Tensor& y, const Tensor& g) {
   const float* py = y.data();
   const float* pg = g.data();
   float* po = out.data();
-  // Row-serial accumulation in ascending j order: bit-identical to the
-  // unfused Mul/Sum/Sub/Mul composition it replaces, at any thread count.
+  // Scalar path: row-serial accumulation in ascending j order,
+  // bit-identical to the unfused Mul/Sum/Sub/Mul composition it replaces.
+  // Vector path (rows of at least one full vector): fixed lane
+  // accumulators for s — zero pad lanes contribute fma(0, 0, acc) == acc
+  // exactly, so the ragged tail needs no mask.
+  const bool vec_rows = simd::kEnabled && last >= kVecW;
   runtime::ParallelFor(
       0, rows, std::max<int64_t>(1, kMinChunkWork / (4 * last)),
       [=](int64_t r0, int64_t r1) {
@@ -814,9 +996,33 @@ Tensor SoftmaxLastBackward(const Tensor& y, const Tensor& g) {
           const float* yr = py + r * last;
           const float* gr = pg + r * last;
           float* dst = po + r * last;
-          float s = 0.0f;
-          for (int64_t j = 0; j < last; ++j) s += gr[j] * yr[j];
-          for (int64_t j = 0; j < last; ++j) dst[j] = yr[j] * (gr[j] - s);
+          if (vec_rows) {
+            Vec vs = Vec::Zero();
+            int64_t j = 0;
+            for (; j + kVecW <= last; j += kVecW) {
+              vs = Vec::Fma(Vec::Load(gr + j), Vec::Load(yr + j), vs);
+            }
+            if (j < last) {
+              const int64_t rem = last - j;
+              vs = Vec::Fma(simd::LoadPartial(gr + j, rem),
+                            simd::LoadPartial(yr + j, rem), vs);
+            }
+            const Vec s = Vec::Broadcast(simd::ReduceAdd(vs));
+            j = 0;
+            for (; j + kVecW <= last; j += kVecW) {
+              (Vec::Load(yr + j) * (Vec::Load(gr + j) - s)).Store(dst + j);
+            }
+            if (j < last) {
+              const int64_t rem = last - j;
+              simd::StorePartial(simd::LoadPartial(yr + j, rem) *
+                                     (simd::LoadPartial(gr + j, rem) - s),
+                                 dst + j, rem);
+            }
+          } else {
+            float s = 0.0f;
+            for (int64_t j = 0; j < last; ++j) s += gr[j] * yr[j];
+            for (int64_t j = 0; j < last; ++j) dst[j] = yr[j] * (gr[j] - s);
+          }
         }
       });
   return out;
@@ -943,8 +1149,13 @@ void AddInPlace(Tensor& dst, const Tensor& src) {
   const float* ps = src.data();
   runtime::ParallelFor(0, dst.size(), kMinChunkWork,
                        [pd, ps](int64_t begin, int64_t end) {
-                         for (int64_t i = begin; i < end; ++i) {
-                           pd[i] += ps[i];
+                         if constexpr (simd::kEnabled) {
+                           detail::VecBinaryRange(pd, pd, ps, begin, end,
+                                                  simd::AddOp{});
+                         } else {
+                           for (int64_t i = begin; i < end; ++i) {
+                             pd[i] += ps[i];
+                           }
                          }
                        });
 }
@@ -953,12 +1164,26 @@ void AxpyInPlace(Tensor& dst, float s, const Tensor& src) {
   STWA_CHECK(dst.shape() == src.shape(), "AxpyInPlace shape mismatch");
   float* pd = dst.data();
   const float* ps = src.data();
-  runtime::ParallelFor(0, dst.size(), kMinChunkWork,
-                       [pd, ps, s](int64_t begin, int64_t end) {
-                         for (int64_t i = begin; i < end; ++i) {
-                           pd[i] += s * ps[i];
-                         }
-                       });
+  runtime::ParallelFor(
+      0, dst.size(), kMinChunkWork, [pd, ps, s](int64_t begin, int64_t end) {
+        if constexpr (simd::kEnabled) {
+          const Vec vs = Vec::Broadcast(s);
+          int64_t i = begin;
+          for (; i + kVecW <= end; i += kVecW) {
+            Vec::Fma(vs, Vec::Load(ps + i), Vec::Load(pd + i)).Store(pd + i);
+          }
+          if (i < end) {
+            const int64_t rem = end - i;
+            simd::StorePartial(Vec::Fma(vs, simd::LoadPartial(ps + i, rem),
+                                        simd::LoadPartial(pd + i, rem)),
+                               pd + i, rem);
+          }
+        } else {
+          for (int64_t i = begin; i < end; ++i) {
+            pd[i] += s * ps[i];
+          }
+        }
+      });
 }
 
 void MulInPlace(Tensor& dst, const Tensor& src) {
@@ -968,8 +1193,13 @@ void MulInPlace(Tensor& dst, const Tensor& src) {
   const float* ps = src.data();
   runtime::ParallelFor(0, dst.size(), kMinChunkWork,
                        [pd, ps](int64_t begin, int64_t end) {
-                         for (int64_t i = begin; i < end; ++i) {
-                           pd[i] *= ps[i];
+                         if constexpr (simd::kEnabled) {
+                           detail::VecBinaryRange(pd, pd, ps, begin, end,
+                                                  simd::MulOp{});
+                         } else {
+                           for (int64_t i = begin; i < end; ++i) {
+                             pd[i] *= ps[i];
+                           }
                          }
                        });
 }
@@ -978,8 +1208,13 @@ void MulScalarInPlace(Tensor& dst, float s) {
   float* pd = dst.data();
   runtime::ParallelFor(0, dst.size(), kMinChunkWork,
                        [pd, s](int64_t begin, int64_t end) {
-                         for (int64_t i = begin; i < end; ++i) {
-                           pd[i] *= s;
+                         if constexpr (simd::kEnabled) {
+                           detail::VecUnaryRange(pd, pd, begin, end,
+                                                 simd::MulScalarOp{s});
+                         } else {
+                           for (int64_t i = begin; i < end; ++i) {
+                             pd[i] *= s;
+                           }
                          }
                        });
 }
@@ -992,12 +1227,27 @@ void AddMulInPlace(Tensor& dst, const Tensor& a, const Tensor& b) {
   float* pd = dst.data();
   const float* pa = a.data();
   const float* pb = b.data();
-  runtime::ParallelFor(0, dst.size(), kMinChunkWork,
-                       [pd, pa, pb](int64_t begin, int64_t end) {
-                         for (int64_t i = begin; i < end; ++i) {
-                           pd[i] += pa[i] * pb[i];
-                         }
-                       });
+  runtime::ParallelFor(
+      0, dst.size(), kMinChunkWork, [pd, pa, pb](int64_t begin, int64_t end) {
+        if constexpr (simd::kEnabled) {
+          int64_t i = begin;
+          for (; i + kVecW <= end; i += kVecW) {
+            Vec::Fma(Vec::Load(pa + i), Vec::Load(pb + i), Vec::Load(pd + i))
+                .Store(pd + i);
+          }
+          if (i < end) {
+            const int64_t rem = end - i;
+            simd::StorePartial(Vec::Fma(simd::LoadPartial(pa + i, rem),
+                                        simd::LoadPartial(pb + i, rem),
+                                        simd::LoadPartial(pd + i, rem)),
+                               pd + i, rem);
+          }
+        } else {
+          for (int64_t i = begin; i < end; ++i) {
+            pd[i] += pa[i] * pb[i];
+          }
+        }
+      });
 }
 
 float MaxAbsDiff(const Tensor& a, const Tensor& b) {

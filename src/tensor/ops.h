@@ -13,6 +13,7 @@
 
 #include "common/check.h"
 #include "runtime/parallel.h"
+#include "simd/simd.h"
 #include "tensor/tensor.h"
 
 namespace stwa {
@@ -23,6 +24,38 @@ namespace detail {
 /// amortise thread handoff over (shared by the header map templates and
 /// the kernels in ops.cc).
 constexpr int64_t kMinChunkWork = 16384;
+
+/// Vectorized chunk body shared by the map templates: full vectors, then
+/// one partial vector for the ragged tail. The tail runs the same lane
+/// operations as a full vector (simd.h determinism contract), so results
+/// do not depend on where ParallelFor put the chunk boundary.
+template <typename Fn>
+inline void VecUnaryRange(float* po, const float* pa, int64_t begin,
+                          int64_t end, const Fn& fn) {
+  constexpr int64_t W = simd::Vec::kWidth;
+  int64_t i = begin;
+  for (; i + W <= end; i += W) fn(simd::Vec::Load(pa + i)).Store(po + i);
+  if (i < end) {
+    simd::StorePartial(fn(simd::LoadPartial(pa + i, end - i)), po + i,
+                       end - i);
+  }
+}
+
+template <typename Fn>
+inline void VecBinaryRange(float* po, const float* pa, const float* pb,
+                           int64_t begin, int64_t end, const Fn& fn) {
+  constexpr int64_t W = simd::Vec::kWidth;
+  int64_t i = begin;
+  for (; i + W <= end; i += W) {
+    fn(simd::Vec::Load(pa + i), simd::Vec::Load(pb + i)).Store(po + i);
+  }
+  if (i < end) {
+    const int64_t rem = end - i;
+    simd::StorePartial(
+        fn(simd::LoadPartial(pa + i, rem), simd::LoadPartial(pb + i, rem)),
+        po + i, rem);
+  }
+}
 }  // namespace detail
 
 // --- Templated elementwise maps ----------------------------------------
@@ -33,6 +66,11 @@ constexpr int64_t kMinChunkWork = 16384;
 // on them; the std::function-based UnaryOp/BinaryOp remain only as the
 // type-erased escape hatch (and as the "old path" dispatch baseline in
 // bench_kernels).
+//
+// Functors that also provide a Vec overload (simd/vec_math.h) are
+// vectorized automatically on SIMD builds; plain scalar functors — and
+// every functor on an STWA_NO_SIMD build — take the scalar loop, which is
+// the pre-SIMD code path unchanged.
 
 /// out[i] = fn(a[i]). The output buffer is uninitialised (pooled) — every
 /// element is written exactly once.
@@ -43,8 +81,13 @@ Tensor UnaryMap(const Tensor& a, Fn fn) {
   float* po = out.data();
   runtime::ParallelFor(0, a.size(), detail::kMinChunkWork,
                        [po, pa, &fn](int64_t begin, int64_t end) {
-                         for (int64_t i = begin; i < end; ++i) {
-                           po[i] = fn(pa[i]);
+                         if constexpr (simd::kEnabled &&
+                                       simd::kIsVecUnary<Fn>) {
+                           detail::VecUnaryRange(po, pa, begin, end, fn);
+                         } else {
+                           for (int64_t i = begin; i < end; ++i) {
+                             po[i] = fn(pa[i]);
+                           }
                          }
                        });
   return out;
@@ -62,8 +105,14 @@ Tensor BinaryMap(const Tensor& a, const Tensor& b, Fn fn) {
   float* po = out.data();
   runtime::ParallelFor(0, a.size(), detail::kMinChunkWork,
                        [po, pa, pb, &fn](int64_t begin, int64_t end) {
-                         for (int64_t i = begin; i < end; ++i) {
-                           po[i] = fn(pa[i], pb[i]);
+                         if constexpr (simd::kEnabled &&
+                                       simd::kIsVecBinary<Fn>) {
+                           detail::VecBinaryRange(po, pa, pb, begin, end,
+                                                  fn);
+                         } else {
+                           for (int64_t i = begin; i < end; ++i) {
+                             po[i] = fn(pa[i], pb[i]);
+                           }
                          }
                        });
   return out;
@@ -76,8 +125,13 @@ void UnaryMapInPlace(Tensor& a, Fn fn) {
   float* pa = a.data();
   runtime::ParallelFor(0, a.size(), detail::kMinChunkWork,
                        [pa, &fn](int64_t begin, int64_t end) {
-                         for (int64_t i = begin; i < end; ++i) {
-                           pa[i] = fn(pa[i]);
+                         if constexpr (simd::kEnabled &&
+                                       simd::kIsVecUnary<Fn>) {
+                           detail::VecUnaryRange(pa, pa, begin, end, fn);
+                         } else {
+                           for (int64_t i = begin; i < end; ++i) {
+                             pa[i] = fn(pa[i]);
+                           }
                          }
                        });
 }

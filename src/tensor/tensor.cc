@@ -52,7 +52,11 @@ Tensor::Tensor(Shape shape, std::vector<float> values)
   STWA_CHECK(static_cast<int64_t>(values.size()) == size_,
              "value count ", values.size(), " does not match shape ",
              ShapeToString(shape_));
-  data_ = std::make_shared<std::vector<float>>(std::move(values));
+  // Copy into pooled (64-byte aligned) storage rather than adopting the
+  // caller's vector, so every Tensor buffer shares the alignment and
+  // recycling guarantees.
+  data_ = pool::Acquire(size_);
+  if (size_ > 0) std::copy(values.begin(), values.end(), data_->begin());
 }
 
 Tensor Tensor::Uninit(Shape shape) {

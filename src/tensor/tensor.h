@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "tensor/buffer_pool.h"
+
 namespace stwa {
 
 class Rng;
@@ -146,7 +148,7 @@ class Tensor {
   std::string ToString() const;
 
  private:
-  std::shared_ptr<std::vector<float>> data_;
+  std::shared_ptr<pool::FloatBuffer> data_;
   Shape shape_;
   int64_t size_ = 0;
 

@@ -45,6 +45,36 @@ TEST_F(PoolTest, AcquireReturnsBigEnoughBuffer) {
   }
 }
 
+TEST_F(PoolTest, BuffersAre64ByteAligned) {
+  // Every acquired buffer must start on a 64-byte boundary (a cache line,
+  // and a full vector for any SIMD tier) across all bucket sizes — and
+  // with the pool disabled, since the SIMD kernels assume the guarantee
+  // unconditionally.
+  for (const bool pool_on : {true, false}) {
+    pool::SetEnabled(pool_on);
+    for (int64_t n : {1, 7, 255, 256, 257, 5000, 100000}) {
+      auto buf = pool::Acquire(n);
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(buf->data()) % 64, 0u)
+          << "n=" << n << " pool_on=" << pool_on;
+    }
+  }
+}
+
+TEST_F(PoolTest, TensorStorageIs64ByteAligned) {
+  // All Tensor construction paths route through pooled aligned storage,
+  // including the explicit-values constructor (which copies rather than
+  // adopting the caller's unaligned vector).
+  auto aligned = [](const Tensor& t) {
+    return reinterpret_cast<uintptr_t>(t.data()) % 64 == 0;
+  };
+  EXPECT_TRUE(aligned(Tensor(Shape{3, 5})));
+  EXPECT_TRUE(aligned(Tensor::Uninit(Shape{129})));
+  EXPECT_TRUE(aligned(Tensor(Shape{4}, std::vector<float>{1, 2, 3, 4})));
+  EXPECT_TRUE(aligned(Tensor{1.0f, 2.0f, 3.0f}));
+  Rng rng(5);
+  EXPECT_TRUE(aligned(Tensor::Randn({17, 3}, rng)));
+}
+
 TEST_F(PoolTest, ReleasedBufferIsRecycled) {
   float* first = nullptr;
   {
