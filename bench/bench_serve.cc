@@ -117,6 +117,28 @@ void Run() {
   std::cout << "plan on/off offline A/B: " << windows.size() << " windows, "
             << plan_ab_mismatches << " mismatches\n";
 
+  // Fusion A/B: same drill for the plan-rewrite passes. A session opened
+  // with fusion flipped must serve byte-identical forecasts — the fused
+  // kernels reuse the unfused per-element paths, so any divergence is a
+  // rewriter bug.
+  const bool fuse_was_enabled = ir::FuseModeEnabled();
+  int64_t fuse_ab_mismatches = 0;
+  {
+    ir::SetFuseMode(!fuse_was_enabled);
+    auto flipped = serve::InferenceSession::Open(ckpt);
+    for (size_t i = 0; i < windows.size(); ++i) {
+      Tensor got = flipped->Forecast(windows[i]);
+      if (std::memcmp(got.data(), expected[i].data(),
+                      sizeof(float) * static_cast<size_t>(
+                                          expected[i].size())) != 0) {
+        ++fuse_ab_mismatches;
+      }
+    }
+    ir::SetFuseMode(fuse_was_enabled);
+  }
+  std::cout << "fusion on/off offline A/B: " << windows.size()
+            << " windows, " << fuse_ab_mismatches << " mismatches\n";
+
   auto run_mode = [&](const std::string& name, int64_t max_batch,
                       int64_t max_delay_us) {
     serve::ServerOptions opts;
@@ -186,6 +208,7 @@ void Run() {
       << ",\n  \"horizon\": " << settings.horizon
       << ",\n  \"batched_vs_batch1_speedup\": " << speedup
       << ",\n  \"plan_ab_mismatches\": " << plan_ab_mismatches
+      << ",\n  \"fuse_ab_mismatches\": " << fuse_ab_mismatches
       << ",\n  \"modes\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const ModeResult& m = results[i];
@@ -205,6 +228,10 @@ void Run() {
   }
   if (plan_ab_mismatches > 0) {
     std::cerr << "ERROR: plan-replayed forecasts diverged from eager\n";
+    std::exit(1);
+  }
+  if (fuse_ab_mismatches > 0) {
+    std::cerr << "ERROR: fused-plan forecasts diverged from unfused\n";
     std::exit(1);
   }
 }

@@ -1,0 +1,98 @@
+#include "ir/regions.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace stwa {
+namespace ir {
+
+RegionSchedule BuildRegionSchedule(const std::vector<ag::Node*>& forward) {
+  RegionSchedule sched;
+  if (forward.empty()) return sched;
+
+  // Distinct-consumer census over schedule members. Parents outside the
+  // schedule (leaves: feeds, parameters, constants) impose no ordering —
+  // their values are bound before any step runs.
+  std::unordered_map<ag::Node*, int64_t> step_of;
+  step_of.reserve(forward.size());
+  for (size_t i = 0; i < forward.size(); ++i) {
+    step_of.emplace(forward[i], static_cast<int64_t>(i));
+  }
+  std::unordered_map<ag::Node*, int64_t> distinct_consumers;
+  distinct_consumers.reserve(forward.size());
+  for (ag::Node* n : forward) {
+    ag::Node* prev = nullptr;  // dedup repeated parents within one step
+    for (const ag::NodePtr& p : n->parents) {
+      ag::Node* pn = p.get();
+      if (pn == prev || !step_of.count(pn)) continue;
+      // A step's parent list is short (<= 3); linear re-scan for dedup.
+      bool seen = false;
+      for (const ag::NodePtr& q : n->parents) {
+        if (q.get() == pn) {
+          seen = &q != &p;
+          break;
+        }
+      }
+      if (!seen) ++distinct_consumers[pn];
+      prev = pn;
+    }
+  }
+
+  std::unordered_map<ag::Node*, int64_t> region_of;
+  region_of.reserve(forward.size());
+  for (size_t i = 0; i < forward.size(); ++i) {
+    ag::Node* n = forward[i];
+
+    // Unique op-parent regions, in first-appearance order.
+    std::vector<int64_t> parent_regions;
+    bool all_sole_consumed = true;
+    for (const ag::NodePtr& p : n->parents) {
+      auto it = region_of.find(p.get());
+      if (it == region_of.end()) continue;  // leaf parent
+      if (std::find(parent_regions.begin(), parent_regions.end(),
+                    it->second) == parent_regions.end()) {
+        parent_regions.push_back(it->second);
+      }
+      if (distinct_consumers[p.get()] != 1) all_sole_consumed = false;
+    }
+
+    int64_t region;
+    if (parent_regions.size() == 1 && all_sole_consumed) {
+      // Extends its producers' region: every op-parent is here and nothing
+      // else will ever read them, so the join is order-independent.
+      region = parent_regions[0];
+    } else {
+      region = static_cast<int64_t>(sched.regions.size());
+      sched.regions.emplace_back();
+      std::sort(parent_regions.begin(), parent_regions.end());
+      sched.regions.back().deps = std::move(parent_regions);
+    }
+    Region& r = sched.regions[region];
+    r.steps.push_back(static_cast<int64_t>(i));
+    if (n->kind == OpKind::kRandn || n->kind == OpKind::kDropoutMask) {
+      r.has_rng = true;
+    }
+    region_of.emplace(n, region);
+  }
+
+  // Stage = longest dependency path; deps always point at lower-numbered
+  // regions, so one ascending sweep suffices.
+  for (size_t i = 0; i < sched.regions.size(); ++i) {
+    Region& r = sched.regions[i];
+    int64_t stage = 0;
+    for (int64_t d : r.deps) {
+      stage = std::max(stage, sched.regions[d].stage + 1);
+    }
+    r.stage = stage;
+    sched.num_stages = std::max(sched.num_stages, stage + 1);
+  }
+  std::vector<int64_t> width(static_cast<size_t>(sched.num_stages), 0);
+  for (const Region& r : sched.regions) {
+    sched.max_stage_width =
+        std::max(sched.max_stage_width, ++width[static_cast<size_t>(r.stage)]);
+  }
+  return sched;
+}
+
+}  // namespace ir
+}  // namespace stwa

@@ -1,0 +1,67 @@
+// Region partitioning of a (rewritten) forward schedule.
+//
+// BuildRegionSchedule slices the frozen forward schedule into
+// dependency-closed regions: a step joins the region of its op-parents only
+// when every op-parent lives in one region and is consumed by exactly one
+// distinct node — so no sibling step could have claimed the same region and
+// membership never depends on visit order. Every other step opens a new
+// region that records its parent regions as dependencies. Steps keep their
+// schedule positions inside a region, regions are numbered in the order
+// their first step appears, and dependencies always point at lower-numbered
+// regions — two captures of the same graph shape therefore produce
+// identical region sequences (the determinism contract the plan executor
+// and ir_rewrite_test rely on).
+//
+// Regions are grouped into stages (longest-path depth over the dependency
+// edges). Within a stage no region depends on another, so a stage's regions
+// may replay concurrently; each region writes only its own steps' buffers
+// and reads parent values completed in earlier stages. Sampling steps
+// (kRandn / kDropoutMask) are parentless, so each opens its own region —
+// at most one sampler per region — and the region's has_rng flag lets the
+// executor run those serially in ascending region order, preserving the
+// traced draw order exactly (runtime/parallel.h, ir/plan.cc).
+
+#ifndef STWA_IR_REGIONS_H_
+#define STWA_IR_REGIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace stwa {
+namespace ir {
+
+/// One dependency-closed slice of the forward schedule.
+struct Region {
+  /// Indices into the forward schedule, ascending; replayed in order.
+  std::vector<int64_t> steps;
+  /// Regions whose last step must complete first (all lower-numbered).
+  std::vector<int64_t> deps;
+  /// Longest-path depth over region dependencies; regions of equal stage
+  /// are independent of each other.
+  int64_t stage = 0;
+  /// True when the region contains a sampling step (then exactly one);
+  /// such regions replay serially in region order to keep the rng stream
+  /// identical to traced execution.
+  bool has_rng = false;
+};
+
+/// The full partition of one forward schedule.
+struct RegionSchedule {
+  std::vector<Region> regions;
+  /// Number of stages (max region stage + 1; 0 for an empty schedule).
+  int64_t num_stages = 0;
+  /// Most regions sharing one stage — the schedule's parallelism ceiling.
+  int64_t max_stage_width = 0;
+};
+
+/// Partitions `forward` (the frozen, possibly rewritten schedule) into
+/// regions. Pure function of the graph shape: same kinds, same edges, same
+/// order in — same region sequence out.
+RegionSchedule BuildRegionSchedule(const std::vector<ag::Node*>& forward);
+
+}  // namespace ir
+}  // namespace stwa
+
+#endif  // STWA_IR_REGIONS_H_

@@ -1,0 +1,368 @@
+#include "ir/rewrite.h"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "simd/fused.h"
+
+namespace stwa {
+namespace ir {
+namespace {
+
+// Consumer-edge census of one capture. `edges` counts parent edges pointing
+// at the node; `consumer` is meaningful only when edges == 1 (Mul(t, t)
+// contributes two edges from one consumer, so a self-use can never look
+// single-consumer).
+struct UseInfo {
+  int64_t edges = 0;
+  ag::Node* consumer = nullptr;
+};
+
+std::unordered_map<ag::Node*, UseInfo> BuildUses(
+    const std::vector<ag::NodePtr>& nodes) {
+  std::unordered_map<ag::Node*, UseInfo> uses;
+  uses.reserve(nodes.size());
+  for (const ag::NodePtr& n : nodes) {
+    for (const ag::NodePtr& p : n->parents) {
+      UseInfo& u = uses[p.get()];
+      ++u.edges;
+      u.consumer = n.get();
+    }
+  }
+  return uses;
+}
+
+// True when `p` feeds `c` through exactly one edge and `c` is its only
+// consumer — the link along which a pattern may absorb `p`.
+bool SoleEdgeInto(const std::unordered_map<ag::Node*, UseInfo>& uses,
+                  ag::Node* p, ag::Node* c) {
+  auto it = uses.find(p);
+  return it != uses.end() && it->second.edges == 1 &&
+         it->second.consumer == c;
+}
+
+// Applies the collected matches of one pass: drops absorbed nodes, swaps
+// each pattern tail for its replacement (which sits in the tail's schedule
+// slot — creation order is topological, so every replacement input is
+// already scheduled earlier), and rewires surviving consumers of the tails.
+void CommitMatches(
+    std::vector<ag::NodePtr>& nodes, std::vector<ag::Node*>& forward,
+    const std::unordered_set<ag::Node*>& absorbed,
+    const std::unordered_map<ag::Node*, ag::NodePtr>& replaced) {
+  std::vector<ag::NodePtr> new_nodes;
+  new_nodes.reserve(nodes.size());
+  for (ag::NodePtr& n : nodes) {
+    auto rit = replaced.find(n.get());
+    if (rit != replaced.end()) {
+      new_nodes.push_back(rit->second);
+    } else if (!absorbed.count(n.get())) {
+      new_nodes.push_back(std::move(n));
+    }
+  }
+  nodes = std::move(new_nodes);
+
+  std::vector<ag::Node*> new_forward;
+  new_forward.reserve(forward.size());
+  for (ag::Node* n : forward) {
+    auto rit = replaced.find(n);
+    if (rit != replaced.end()) {
+      new_forward.push_back(rit->second.get());
+    } else if (!absorbed.count(n)) {
+      new_forward.push_back(n);
+    }
+  }
+  forward = std::move(new_forward);
+
+  for (const ag::NodePtr& n : nodes) {
+    for (ag::NodePtr& p : n->parents) {
+      auto rit = replaced.find(p.get());
+      if (rit != replaced.end()) p = rit->second;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: attention quads.
+// ---------------------------------------------------------------------------
+
+// True when q/kt/v can go through ops::FusedAttention: equal ranks >= 2 and
+// equal batch dims (the fused kernel does not broadcast batch strides the
+// way the standalone batched matmul does).
+bool AttentionShapesFusible(const Tensor& q, const Tensor& kt,
+                            const Tensor& v) {
+  const Shape& qs = q.shape();
+  const Shape& ks = kt.shape();
+  const Shape& vs = v.shape();
+  if (qs.size() < 2 || qs.size() != ks.size() || qs.size() != vs.size()) {
+    return false;
+  }
+  for (size_t i = 0; i + 2 < qs.size(); ++i) {
+    if (qs[i] != ks[i] || qs[i] != vs[i]) return false;
+  }
+  return true;
+}
+
+void FuseAttentionQuads(std::vector<ag::NodePtr>& nodes,
+                        std::vector<ag::Node*>& forward, const ag::Node* root,
+                        RewriteStats& stats) {
+  auto uses = BuildUses(nodes);
+  std::unordered_set<ag::Node*> taken;
+  std::unordered_set<ag::Node*> absorbed;
+  std::unordered_map<ag::Node*, ag::NodePtr> replaced;
+
+  for (ag::Node* n1 : forward) {
+    // n1: the score matmul. Every quad member must be gradient-free (so the
+    // backward schedule never reads an absorbed value) and must not be the
+    // plan root (the root pointer survives rewriting untouched).
+    if (n1->kind != OpKind::kMatMul || n1->requires_grad || n1 == root ||
+        taken.count(n1)) {
+      continue;
+    }
+    auto u1 = uses.find(n1);
+    if (u1 == uses.end() || u1->second.edges != 1) continue;
+    ag::Node* n2 = u1->second.consumer;
+    if (n2->kind != OpKind::kMulScalar || n2->requires_grad || n2 == root ||
+        taken.count(n2) || !SoleEdgeInto(uses, n1, n2)) {
+      continue;
+    }
+    auto u2 = uses.find(n2);
+    if (u2 == uses.end() || u2->second.edges != 1) continue;
+    ag::Node* n3 = u2->second.consumer;
+    if (n3->kind != OpKind::kSoftmaxLast || n3->requires_grad || n3 == root ||
+        taken.count(n3)) {
+      continue;
+    }
+    auto u3 = uses.find(n3);
+    if (u3 == uses.end() || u3->second.edges != 1) continue;
+    ag::Node* n4 = u3->second.consumer;
+    // n4: the value matmul, with the softmax as its LEFT operand. A quad
+    // whose softmax feeds anything else (or feeds n4 on the right) has an
+    // observable interior and stays unfused.
+    if (n4->kind != OpKind::kMatMul || n4->requires_grad || n4 == root ||
+        taken.count(n4) || n4->parents.size() != 2 ||
+        n4->parents[0].get() != n3) {
+      continue;
+    }
+    const ag::NodePtr& v = n4->parents[1];
+    if (v.get() == n1 || v.get() == n2 || v.get() == n3) continue;
+    if (n1->parents.size() != 2) continue;
+    const ag::NodePtr& q = n1->parents[0];
+    const ag::NodePtr& kt = n1->parents[1];
+    if (!AttentionShapesFusible(q->value, kt->value, v->value)) continue;
+
+    auto fused = std::make_shared<ag::Node>();
+    fused->kind = OpKind::kFusedAttention;
+    fused->requires_grad = false;
+    fused->attrs.scalar = n2->attrs.scalar;
+    fused->parents = {q, kt, v};
+    // Shares the tail's buffer: liveness and stats see the real output
+    // shape, and replays overwrite it like any other plan value.
+    fused->value = n4->value;
+
+    taken.insert({n1, n2, n3, n4});
+    absorbed.insert({n1, n2, n3});
+    replaced.emplace(n4, std::move(fused));
+    ++stats.fused_attention_nodes;
+    stats.fused_away_ops += 3;
+  }
+
+  if (!replaced.empty()) CommitMatches(nodes, forward, absorbed, replaced);
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: elementwise chains.
+// ---------------------------------------------------------------------------
+
+// Maps a fusible OpKind to its stage opcode. Log is deliberately absent: it
+// has no Vec kernel (simd/fused.h), so fusing it would change which path
+// computes it.
+bool FusedOpFor(OpKind kind, simd::FusedOp* out) {
+  switch (kind) {
+    case OpKind::kAddScalar: *out = simd::FusedOp::kAddScalar; return true;
+    case OpKind::kMulScalar: *out = simd::FusedOp::kMulScalar; return true;
+    case OpKind::kExp: *out = simd::FusedOp::kExp; return true;
+    case OpKind::kSqrt: *out = simd::FusedOp::kSqrt; return true;
+    case OpKind::kSquare: *out = simd::FusedOp::kSquare; return true;
+    case OpKind::kAbs: *out = simd::FusedOp::kAbs; return true;
+    case OpKind::kTanh: *out = simd::FusedOp::kTanh; return true;
+    case OpKind::kSigmoid: *out = simd::FusedOp::kSigmoid; return true;
+    case OpKind::kRelu: *out = simd::FusedOp::kRelu; return true;
+    case OpKind::kAdd: *out = simd::FusedOp::kAdd; return true;
+    case OpKind::kSub: *out = simd::FusedOp::kSub; return true;
+    case OpKind::kMul: *out = simd::FusedOp::kMul; return true;
+    case OpKind::kDiv: *out = simd::FusedOp::kDiv; return true;
+    default: return false;
+  }
+}
+
+// True when a side shaped `side` can stream against a chain shaped `out`:
+// either the full shape, or a non-empty exact suffix (the bias-add pattern —
+// the kernel replays it cyclically per run, matching the eager broadcast
+// element-for-element).
+bool SideFusible(const Shape& side, const Shape& out) {
+  if (side == out) return true;
+  if (side.empty() || side.size() >= out.size()) return false;
+  const size_t off = out.size() - side.size();
+  for (size_t i = 0; i < side.size(); ++i) {
+    if (side[i] != out[i + off]) return false;
+  }
+  return true;
+}
+
+// A chain member must be gradient-free, not the root, and — for binaries —
+// orientable: one parent carries the chain value (shaped exactly like the
+// output) while the other is a fusible side (full shape or suffix).
+bool ChainCandidate(ag::Node* n, const ag::Node* root, simd::FusedOp* op) {
+  if (n->requires_grad || n == root || !FusedOpFor(n->kind, op)) return false;
+  if (simd::FusedOpIsBinary(*op)) {
+    if (n->parents.size() != 2) return false;
+    const Shape& s = n->value.shape();
+    const Shape& p0 = n->parents[0]->value.shape();
+    const Shape& p1 = n->parents[1]->value.shape();
+    if (!(p0 == s && SideFusible(p1, s)) &&
+        !(p1 == s && SideFusible(p0, s))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FuseElementwiseChains(std::vector<ag::NodePtr>& nodes,
+                           std::vector<ag::Node*>& forward,
+                           const ag::Node* root, RewriteStats& stats) {
+  auto uses = BuildUses(nodes);
+  std::unordered_set<ag::Node*> taken;
+  std::unordered_set<ag::Node*> absorbed;
+  std::unordered_map<ag::Node*, ag::NodePtr> replaced;
+
+  for (ag::Node* head : forward) {
+    simd::FusedOp head_op;
+    if (taken.count(head) || !ChainCandidate(head, root, &head_op)) continue;
+
+    // Grow the maximal chain from `head`. Scanning in schedule order makes
+    // this the earliest member: its own producer either is not a candidate
+    // or has fan-out, otherwise an earlier iteration would have taken it.
+    struct Stage {
+      ag::Node* node;
+      simd::FusedOp op;
+      ag::NodePtr side;  // null for unary/scalar stages
+      bool swapped;
+    };
+    std::vector<Stage> chain;
+    // All broadcast (suffix) sides of one chain must share a run length:
+    // the kernel cycles them against a single row stride.
+    int64_t bcast_size = 0;
+    auto admit_side = [&](const ag::NodePtr& side, const Shape& out) {
+      if (side->value.shape() == out) return true;
+      const int64_t sz = side->value.size();
+      if (bcast_size != 0 && bcast_size != sz) return false;
+      bcast_size = sz;
+      return true;
+    };
+    ag::NodePtr input;
+    if (head->parents.empty()) continue;  // defensive; fusible kinds have
+                                          // parents
+    bool head_swapped = false;
+    ag::NodePtr head_side;
+    if (simd::FusedOpIsBinary(head_op)) {
+      // The chain value flows through the full-shape parent; the other
+      // operand becomes the stage side (swapped when the value is on the
+      // right).
+      const Shape& s = head->value.shape();
+      if (head->parents[0]->value.shape() == s &&
+          SideFusible(head->parents[1]->value.shape(), s)) {
+        input = head->parents[0];
+        head_side = head->parents[1];
+      } else {
+        input = head->parents[1];
+        head_side = head->parents[0];
+        head_swapped = true;
+      }
+      if (!admit_side(head_side, s)) continue;
+    } else {
+      input = head->parents[0];
+    }
+    chain.push_back({head, head_op, std::move(head_side), head_swapped});
+    for (;;) {
+      ag::Node* t = chain.back().node;
+      auto ut = uses.find(t);
+      if (ut == uses.end() || ut->second.edges != 1) break;
+      ag::Node* c = ut->second.consumer;
+      simd::FusedOp c_op;
+      if (taken.count(c) || !ChainCandidate(c, root, &c_op)) break;
+      ag::NodePtr side;
+      bool swapped = false;
+      if (simd::FusedOpIsBinary(c_op)) {
+        // The chain value must stay the full-shape operand (a broadcast
+        // would widen the running value mid-chain).
+        if (c->value.shape() != t->value.shape()) break;
+        if (c->parents[0].get() == t) {
+          side = c->parents[1];
+        } else {  // parents[1] == t (the sole edge guarantees exactly one)
+          side = c->parents[0];
+          swapped = true;
+        }
+        if (!admit_side(side, c->value.shape())) break;
+      } else if (c->parents.empty() || c->parents[0].get() != t) {
+        break;
+      }
+      chain.push_back({c, c_op, std::move(side), swapped});
+    }
+    if (chain.size() < 2) continue;
+
+    // Encode the stage program; side inputs are deduplicated into the
+    // fused node's parents[1..].
+    auto fused = std::make_shared<ag::Node>();
+    fused->kind = OpKind::kFusedMap;
+    fused->requires_grad = false;
+    fused->parents.push_back(input);
+    std::unordered_map<ag::Node*, int64_t> side_slot;
+    for (const Stage& st : chain) {
+      int64_t slot = -1;
+      if (st.side != nullptr) {
+        auto it = side_slot.find(st.side.get());
+        if (it != side_slot.end()) {
+          slot = it->second;
+        } else {
+          slot = static_cast<int64_t>(fused->parents.size()) - 1;
+          side_slot.emplace(st.side.get(), slot);
+          fused->parents.push_back(st.side);
+        }
+      }
+      fused->attrs.ints.push_back(static_cast<int64_t>(st.op));
+      fused->attrs.ints.push_back(slot);
+      fused->attrs.ints.push_back(st.swapped ? 1 : 0);
+      fused->attrs.scalars.push_back(st.node->attrs.scalar);
+    }
+    ag::Node* tail = chain.back().node;
+    fused->value = tail->value;
+
+    for (const Stage& st : chain) taken.insert(st.node);
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      absorbed.insert(chain[i].node);
+    }
+    replaced.emplace(tail, std::move(fused));
+    ++stats.fused_map_nodes;
+    stats.fused_away_ops += static_cast<int64_t>(chain.size()) - 1;
+  }
+
+  if (!replaced.empty()) CommitMatches(nodes, forward, absorbed, replaced);
+}
+
+}  // namespace
+
+RewriteStats ApplyFusionPasses(std::vector<ag::NodePtr>& nodes,
+                               std::vector<ag::Node*>& forward,
+                               const ag::Node* root) {
+  RewriteStats stats;
+  // Attention first: its interior MulScalar would otherwise be claimed as
+  // an elementwise chain head and break the quad.
+  FuseAttentionQuads(nodes, forward, root, stats);
+  FuseElementwiseChains(nodes, forward, root, stats);
+  return stats;
+}
+
+}  // namespace ir
+}  // namespace stwa

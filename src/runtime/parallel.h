@@ -41,6 +41,18 @@ int DefaultNumThreads();
 /// True while the calling thread is executing inside a ParallelFor chunk.
 bool InParallelRegion();
 
+/// Runs fn(0) .. fn(count - 1) on the worker pool and blocks until every
+/// call has finished (deterministic join: the caller never resumes while a
+/// region body is still running). Unlike ParallelFor there is no range
+/// splitting — each index is one indivisible task (an execution-plan
+/// region, ir/regions.h). Bodies run with the nested-parallelism flag set,
+/// so kernels inside a region fall back to their serial paths — which
+/// compute the same bits by the ParallelFor determinism contract. Runs
+/// inline on the calling thread (ascending order) when count <= 1, the
+/// pool has one thread, or the caller is already inside a parallel region.
+/// Exceptions from fn are rethrown on the calling thread.
+void RunRegions(int64_t count, const std::function<void(int64_t)>& fn);
+
 namespace detail {
 
 /// Pool size mirror (0 = pool not created yet) and the nested-region flag,

@@ -39,7 +39,8 @@ InferenceSession::InferenceSession(
     ServingInfo info, std::unique_ptr<train::ForecastModel> model)
     : info_(std::move(info)),
       scaler_(info_.scaler_mean, info_.scaler_std),
-      model_(std::move(model)) {}
+      model_(std::move(model)),
+      modes_(ir::SnapshotPlanModes()) {}
 
 std::unique_ptr<InferenceSession> InferenceSession::Open(
     const std::string& path) {
@@ -89,11 +90,14 @@ Tensor InferenceSession::Forecast(const Tensor& raw_window) {
   Tensor normalised = scaler_.Transform(window);
   Tensor pred_value;
   const int64_t batch = window.dim(0);
-  auto it = ir::PlanModeEnabled() ? plans_.find(batch) : plans_.end();
-  if (ir::PlanModeEnabled() && it == plans_.end()) {
+  // One snapshot (taken at session construction) gates both the lookup and
+  // the capture: a global toggle between two calls can neither orphan a
+  // cached plan nor capture into a session opened with plans off.
+  auto it = modes_.plan ? plans_.find(batch) : plans_.end();
+  if (modes_.plan && it == plans_.end()) {
     // First request at this batch size: trace eagerly while recording and
     // freeze a forward-only plan for every later request.
-    ir::GraphCapture capture;
+    ir::GraphCapture capture(modes_);
     ag::Var pred = model_->Forward(normalised, /*training=*/false);
     STWA_CHECK(!pred.node()->requires_grad,
                "InferenceSession forward built gradient state under "

@@ -45,9 +45,11 @@ class InferenceSession {
   /// B=1) -> forecast of the same batch rank with U steps. Runs under
   /// NoGradMode. Deterministic: eval mode uses the latent mean, so equal
   /// inputs give bit-equal outputs for any batch size. The first call per
-  /// batch size captures a forward-only execution plan (ir/plan.h); later
-  /// calls replay it with the new window data — bit-identical outputs,
-  /// no graph construction. STWA_NO_PLAN=1 keeps every call eager.
+  /// batch size captures a forward-only execution plan (ir/plan.h) —
+  /// fused and region-partitioned per the gates snapshotted when the
+  /// session was opened; later calls replay it with the new window data —
+  /// bit-identical outputs, no graph construction. STWA_NO_PLAN=1 (at
+  /// open time) keeps every call eager.
   Tensor Forecast(const Tensor& raw_window);
 
   const ServingInfo& info() const { return info_; }
@@ -63,6 +65,10 @@ class InferenceSession {
   ServingInfo info_;
   data::StandardScaler scaler_;
   std::unique_ptr<train::ForecastModel> model_;
+  /// Plan gates snapshotted when the session was constructed
+  /// (ir::SnapshotPlanModes): every Forecast of one session agrees on
+  /// plan/fuse/region modes even if a global toggle flips mid-stream.
+  ir::PlanModes modes_;
   int64_t forward_count_ = 0;
   /// Forward-only plans keyed by batch size (all other input dims are
   /// fixed by the checkpoint). Null entry: shape not plannable, stay

@@ -1,0 +1,51 @@
+// Fused kernels backing the plan-rewrite passes (ir/rewrite.cc).
+//
+// FusedMap executes a whole elementwise chain — stage program encoded as
+// (opcode, side-slot, swapped) triples plus a per-stage scalar — in one
+// pooled pass over the value stream: one load of the head input, one
+// store of the chain result, side inputs streamed at the same offsets.
+// Per element it computes exactly what the unfused op sequence computes
+// (simd/fused.h routes every stage through the same dual functors), so
+// fusion never changes a bit; it only removes the interior tensors and
+// the extra memory sweeps.
+//
+// FusedAttention executes the softmax(Q·Kᵀ·scale)·V quad one batch slice
+// at a time against a per-worker [m, n] score scratch — the full batched
+// score tensor is never materialised. Each sub-step reuses the exact
+// kernels of the unfused path (per-row NN GEMM, the MulScalar lanes, the
+// shared softmax row routine), so the fused result is bit-identical to
+// the four-node subgraph it replaces.
+
+#ifndef STWA_TENSOR_FUSED_OPS_H_
+#define STWA_TENSOR_FUSED_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simd/fused.h"
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace ops {
+
+/// Runs the fused chain over `head`. `program` holds 3 ints per stage:
+/// {opcode (simd::FusedOp), side slot into `sides` (-1 for unary/scalar
+/// stages), swapped (1 when the chain value is the right operand)}.
+/// `scalars[s]` is stage s's scalar (kAddScalar/kMulScalar). Every side
+/// must have the head's shape.
+Tensor FusedMap(const Tensor& head, const std::vector<Tensor>& sides,
+                const std::vector<int64_t>& program,
+                const std::vector<float>& scalars);
+
+/// softmax(q @ kt * scale) @ v with q [..., m, k], kt [..., k, n] (the key
+/// transpose stays an explicit plan node — its kernel is not bit-compatible
+/// with the fused-transpose GEMM path) and v [..., n, d]; batch dims must
+/// be equal on all three (the rewriter only fuses such quads). Scores live
+/// in a per-worker [m, n] scratch; the output is [..., m, d].
+Tensor FusedAttention(const Tensor& q, const Tensor& kt, const Tensor& v,
+                      float scale);
+
+}  // namespace ops
+}  // namespace stwa
+
+#endif  // STWA_TENSOR_FUSED_OPS_H_

@@ -27,7 +27,11 @@ std::string PlanKey(const data::Batch& batch) {
 
 Trainer::Trainer(const data::TrafficDataset& dataset, int64_t history,
                  int64_t horizon, TrainConfig config)
-    : config_(config), history_(history), horizon_(horizon) {
+    : config_(config),
+      use_plan_(config.use_plan >= 0 ? config.use_plan != 0
+                                     : ir::SnapshotPlanModes().plan),
+      history_(history),
+      horizon_(horizon) {
   if (config_.num_threads > 0) {
     runtime::SetNumThreads(config_.num_threads);
   }
@@ -51,8 +55,7 @@ metrics::ForecastMetrics Trainer::Evaluate(ForecastModel& model,
                                            const data::WindowSampler& sampler) {
   // Inference only: skip gradient bookkeeping for the whole pass.
   ag::NoGradMode no_grad;
-  const bool use_plan =
-      config_.use_plan >= 0 ? config_.use_plan != 0 : ir::PlanModeEnabled();
+  const bool use_plan = use_plan_;
   metrics::MetricAccumulator acc;
   auto batches = sampler.EpochBatches(config_.batch_size, nullptr);
   // Staging buffers recycled across batches (MakeBatchInto reuses them
@@ -100,8 +103,7 @@ TrainResult Trainer::Fit(ForecastModel& model) {
   optim::EarlyStopping stopper(config_.patience);
   Rng shuffle_rng(config_.seed);
 
-  const bool use_plan =
-      config_.use_plan >= 0 ? config_.use_plan != 0 : ir::PlanModeEnabled();
+  const bool use_plan = use_plan_;
   // Captured train-step plans, one per batch shape (full batches plus the
   // trailing partial batch), reused across every epoch. A null entry marks
   // a shape whose capture could not be planned (feed not locatable); those
@@ -155,9 +157,15 @@ TrainResult Trainer::Fit(ForecastModel& model) {
             const ir::PlanStats& s = plan->stats();
             if (s.captured_nodes > result.plan.captured_nodes) {
               result.plan.captured_nodes = s.captured_nodes;
+              result.plan.forward_ops = s.forward_ops;
               result.plan.backward_ops = s.backward_ops;
               result.plan.pruned_ops = s.pruned_ops;
               result.plan.peak_live_bytes = s.peak_live_bytes;
+              result.plan.fused_map_nodes = s.fused_map_nodes;
+              result.plan.fused_attention_nodes = s.fused_attention_nodes;
+              result.plan.fused_away_ops = s.fused_away_ops;
+              result.plan.regions = s.regions;
+              result.plan.region_stages = s.region_stages;
             }
           }
           plans.emplace(key, std::move(plan));

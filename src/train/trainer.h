@@ -75,9 +75,18 @@ struct PlanSummary {
   int64_t replayed_steps = 0;
   /// Stats of the largest captured plan (the full-batch step).
   int64_t captured_nodes = 0;
+  int64_t forward_ops = 0;
   int64_t backward_ops = 0;
   int64_t pruned_ops = 0;
   int64_t peak_live_bytes = 0;
+  /// Fusion rewrites of that plan (ir/rewrite.h): fused super-ops emitted
+  /// and forward steps they absorbed.
+  int64_t fused_map_nodes = 0;
+  int64_t fused_attention_nodes = 0;
+  int64_t fused_away_ops = 0;
+  /// Region schedule of that plan (ir/regions.h).
+  int64_t regions = 0;
+  int64_t region_stages = 0;
 };
 
 /// Outcome of a training run.
@@ -116,6 +125,11 @@ class Trainer {
 
  private:
   TrainConfig config_;
+  /// Plan gate resolved once at construction (config override, else the
+  /// global snapshot — ir::SnapshotPlanModes). Fit and Evaluate consult
+  /// only this, so a mid-run SetPlanMode toggle can never split one run
+  /// between planned and eager epochs.
+  bool use_plan_;
   int64_t history_;
   int64_t horizon_;
   data::StandardScaler scaler_;

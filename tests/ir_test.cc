@@ -349,8 +349,13 @@ TEST(PlanServeTest, ForecastsAreBitIdenticalPlanOnVsOff) {
   const std::string path = "/tmp/stwa_ir_test_ckpt.bin";
   serve::SaveServingCheckpoint(*model, info, path);
 
+  // Sessions snapshot the plan gates at Open (a mid-stream toggle must not
+  // split one session across modes), so each mode is set before its Open.
+  ir::SetPlanMode(true);
   auto planned = serve::InferenceSession::Open(path);
+  ir::SetPlanMode(false);
   auto eager = serve::InferenceSession::Open(path);
+  ir::SetPlanMode(true);
   ASSERT_NE(planned, nullptr);
   ASSERT_NE(eager, nullptr);
 
@@ -359,11 +364,8 @@ TEST(PlanServeTest, ForecastsAreBitIdenticalPlanOnVsOff) {
     Tensor window = Tensor::Rand(
         {2, d.num_sensors(), s.history, d.num_features()}, rng, 50.0f,
         400.0f);
-    ir::SetPlanMode(true);
     Tensor with_plan = planned->Forecast(window);
-    ir::SetPlanMode(false);
     Tensor without_plan = eager->Forecast(window);
-    ir::SetPlanMode(true);
     EXPECT_TRUE(BitIdentical(with_plan, without_plan)) << "request " << i;
   }
   std::remove(path.c_str());
