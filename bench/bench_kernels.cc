@@ -49,6 +49,7 @@
 #include "data/traffic_generator.h"
 #include "ir/plan.h"
 #include "runtime/parallel.h"
+#include "simd/gemm_lowp.h"
 #include "simd/simd.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
@@ -171,11 +172,14 @@ void BenchGemm(Rng& rng, std::vector<Measurement>* results) {
   };
   const bool smoke = SmokeMode();
   const int reps = smoke ? 2 : 6;
+  // Smoke runs swap the 512^3 headline for a 192^3 square — still
+  // packed-path territory, but seconds instead of minutes in CI.
+  const int64_t square = smoke ? 192 : 512;
   const std::vector<std::array<int64_t, 3>> shapes = {
       {128, 16, 16},      // latent/projection: [batch*sensors, d, d]
       {1536, 16, 16},     // time-major projection sweep
       {128, 64, 144},     // predictor head: hidden x (horizon*12)
-      {512, 512, 512}};   // headline square (packed-path territory)
+      {square, square, square}};  // headline square (packed-path territory)
   std::vector<GemmRow> rows;
 
   for (auto [m, n, k] : shapes) {
@@ -212,7 +216,7 @@ void BenchGemm(Rng& rng, std::vector<Measurement>* results) {
 
       // Transposed-operand variants (the backward-pass kernels) on the
       // headline shape only, to keep the sweep short.
-      if (m == 512) {
+      if (m == square && n == square) {
         GemmRow nt{m, n, k, "nt", threads};
         nt.seconds = TimeBest(reps, [&] { return ops::MatMulNT(a, bt); });
         nt.gflops = flops / nt.seconds / 1e9;
@@ -224,6 +228,31 @@ void BenchGemm(Rng& rng, std::vector<Measurement>* results) {
         std::cout << "gemm " << m << "x" << n << "x" << k << " nt/tn threads="
                   << threads << " " << nt.gflops << " / " << tn.gflops
                   << " GFLOP/s\n";
+      }
+    }
+
+    // Reduced-precision tiers on the same op(B): panels packed once (as a
+    // serving session does at open) and timed across the same thread
+    // sweep. The flop count stays 2mnk — the gflops column reads as
+    // effective fp32 throughput, directly comparable to the nn rows.
+    for (const simd::Precision tier :
+         {simd::Precision::kBf16, simd::Precision::kInt8}) {
+      const auto packed = simd::PackWeights(b.data(), k, n, /*trans=*/false,
+                                            tier, /*scales=*/nullptr,
+                                            /*bf16_trunc=*/false);
+      Tensor c = Tensor::Uninit({m, n});
+      for (int threads : ThreadCounts()) {
+        runtime::SetNumThreads(threads);
+        GemmRow row{m, n, k, simd::PrecisionName(tier), threads};
+        row.seconds = TimeBest(reps, [&] {
+          simd::GemmLowp(a.data(), *packed, c.data(), m, /*trans_a=*/false);
+        });
+        row.gflops = flops / row.seconds / 1e9;
+        rows.push_back(row);
+        std::cout << "gemm " << m << "x" << n << "x" << k << " "
+                  << row.variant << " threads=" << threads << " "
+                  << row.seconds * 1e3 << " ms (" << row.gflops
+                  << " GFLOP/s)\n";
       }
     }
     // The 1-thread headline also lands in BENCH_kernels.json for the
@@ -241,9 +270,36 @@ void BenchGemm(Rng& rng, std::vector<Measurement>* results) {
   }
   runtime::SetNumThreads(0);
 
+  // Per-tier headline summary (1-thread square): the acceptance ratios
+  // the lowp PR gate reads from BENCH_gemm.json.
+  const auto headline = [&](const std::string& variant) {
+    for (const GemmRow& r : rows) {
+      if (r.m == square && r.n == square && r.variant == variant &&
+          r.threads == 1) {
+        return r.gflops;
+      }
+    }
+    return 0.0;
+  };
+  const double fp32_g = headline("nn");
+  const double bf16_g = headline("bf16");
+  const double int8_g = headline("int8");
+  std::cout << "gemm lowp " << square << "^3 1t: fp32 " << fp32_g
+            << ", bf16 " << bf16_g << " ("
+            << FormatFloat(fp32_g > 0 ? bf16_g / fp32_g : 0.0, 2)
+            << "x), int8 " << int8_g << " ("
+            << FormatFloat(fp32_g > 0 ? int8_g / fp32_g : 0.0, 2)
+            << "x) GFLOP/s, kernel=" << simd::LowpKernelName() << "\n";
+
   const std::string path = BenchOutPath("BENCH_gemm.json");
   std::ofstream out(path);
-  out << "{\n  \"isa\": \"" << simd::IsaName() << "\",\n  \"rows\": [\n";
+  out << "{\n  \"isa\": \"" << simd::IsaName() << "\",\n  \"precision\": \""
+      << RunPrecisionName() << "\",\n  \"lowp\": {\"kernel\": \""
+      << simd::LowpKernelName() << "\", \"square\": " << square
+      << ", \"fp32_gflops\": " << fp32_g << ", \"bf16_gflops\": " << bf16_g
+      << ", \"int8_gflops\": " << int8_g << ", \"bf16_vs_fp32\": "
+      << (fp32_g > 0 ? bf16_g / fp32_g : 0.0) << ", \"int8_vs_fp32\": "
+      << (fp32_g > 0 ? int8_g / fp32_g : 0.0) << "},\n  \"rows\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const GemmRow& r = rows[i];
     out << "    {\"m\": " << r.m << ", \"n\": " << r.n << ", \"k\": " << r.k
@@ -456,7 +512,8 @@ void BenchGraphPlan(std::vector<Measurement>* results,
 
   const std::string path = BenchOutPath("BENCH_graph.json");
   std::ofstream out(path);
-  out << "{\n  \"model\": \"ST-WA\",\n  \"batch_x\": \""
+  out << "{\n  \"model\": \"ST-WA\",\n  \"precision\": \""
+      << RunPrecisionName() << "\",\n  \"batch_x\": \""
       << ShapeToString(batch.x.shape()) << "\",\n  \"plan\": {"
       << "\"captured_nodes\": " << stats.captured_nodes
       << ", \"forward_ops\": " << stats.forward_ops
@@ -771,17 +828,18 @@ void Run() {
 
   const std::string path = BenchOutPath("BENCH_kernels.json");
   std::ofstream out(path);
-  out << "[\n";
+  out << "{\n  \"simd\": \"" << simd::IsaName() << "\",\n  \"precision\": \""
+      << RunPrecisionName() << "\",\n  \"measurements\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const Measurement& m = results[i];
-    out << "  {\"kernel\": \"" << m.kernel << "\", \"size\": " << m.size
+    out << "    {\"kernel\": \"" << m.kernel << "\", \"size\": " << m.size
         << ", \"threads\": " << m.threads << ", \"seconds\": " << m.seconds
         << ", \"gflops\": " << m.gflops
         << ", \"heap_allocs\": " << m.heap_allocs
         << ", \"peak_bytes\": " << m.peak_bytes << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  out << "]\n";
+  out << "  ]\n}\n";
   std::cout << "wrote " << path << "\n";
 }
 

@@ -5,9 +5,23 @@
 // the bytes). Writes bench_out/BENCH_serve.json with throughput and
 // p50/p95/p99 latency per mode.
 //
-// STWA_BENCH_SMOKE=1 shrinks the request count to a seconds-long CI run
-// that still produces the same JSON.
+// Three reduced-precision sections ride on top (DESIGN.md §4g):
+//   * tier_throughput — batch-16 server throughput per weight tier
+//     (fp32/bf16/int8) on a GEMM-heavier frozen ST-WA, with per-tier
+//     served-vs-offline bit checks;
+//   * tier_determinism — per tier, forecasts swept across {1,4} threads x
+//     {single, batched} x {rewrites on, off} must reproduce the ambient
+//     reference byte-for-byte (the intra-tier determinism contract);
+//   * tier_accuracy — every registered Table IV model: MAE/RMSE vs ground
+//     truth per tier and the relative delta vs fp32. The run fails if
+//     int8 MAE drifts > 1% or bf16 > 0.1% relative, or any bit check
+//     fires.
+//
+// STWA_BENCH_SMOKE=1 shrinks the request count and the accuracy model
+// list to a seconds-long CI run that still produces the same JSON.
 
+#include <array>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -20,9 +34,12 @@
 #include "common/string_util.h"
 #include "data/traffic_generator.h"
 #include "ir/plan.h"
+#include "metrics/metrics.h"
+#include "runtime/parallel.h"
 #include "serve/checkpoint.h"
 #include "serve/inference_session.h"
 #include "serve/server.h"
+#include "simd/lowp.h"
 #include "tensor/ops.h"
 
 namespace stwa {
@@ -37,6 +54,29 @@ struct ModeResult {
   double mean_batch = 0.0;
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;
   int64_t mismatches = 0;
+};
+
+/// The serving tiers, fp32 first (index 0 is the accuracy reference).
+constexpr std::array<simd::Precision, 3> kTiers = {
+    simd::Precision::kFp32, simd::Precision::kBf16, simd::Precision::kInt8};
+
+/// Relative MAE drift bound vs fp32, percent, per tier (fp32 trivially 0).
+constexpr std::array<double, 3> kMaeDeltaBoundPct = {0.0, 0.1, 1.0};
+
+struct TierDeterminism {
+  std::string precision;
+  int64_t checks = 0;
+  int64_t mismatches = 0;
+};
+
+/// MAE/RMSE vs ground truth per tier for one registry model, plus the
+/// relative drift vs the fp32 row.
+struct TierAccuracy {
+  std::string model;
+  std::array<double, 3> mae = {0.0, 0.0, 0.0};
+  std::array<double, 3> rmse = {0.0, 0.0, 0.0};
+  std::array<double, 3> mae_delta_pct = {0.0, 0.0, 0.0};
+  std::array<double, 3> rmse_delta_pct = {0.0, 0.0, 0.0};
 };
 
 void Run() {
@@ -139,37 +179,45 @@ void Run() {
   std::cout << "fusion on/off offline A/B: " << windows.size()
             << " windows, " << fuse_ab_mismatches << " mismatches\n";
 
-  auto run_mode = [&](const std::string& name, int64_t max_batch,
-                      int64_t max_delay_us) {
+  // One server load run: `requests` submissions over `wins`, every
+  // response memcmp'd against `want` (the offline per-window reference for
+  // the same session config).
+  auto run_mode = [](const std::string& name, int64_t max_batch,
+                     int64_t max_delay_us, const std::string& ckpt_path,
+                     const std::vector<Tensor>& wins,
+                     const std::vector<Tensor>& want, int64_t requests,
+                     const serve::SessionConfig& session) {
     serve::ServerOptions opts;
     opts.workers = 1;
     opts.batching.max_batch = max_batch;
     opts.batching.max_delay = std::chrono::microseconds(max_delay_us);
-    opts.batching.capacity = num_requests + 1;
+    opts.batching.capacity = requests + 1;
     opts.default_deadline = std::chrono::seconds(300);
-    serve::Server server(ckpt, opts);
+    opts.session = session;
+    serve::Server server(ckpt_path, opts);
 
+    const int64_t n_wins = static_cast<int64_t>(wins.size());
     ModeResult result;
     result.name = name;
     result.max_batch = max_batch;
     std::vector<std::future<serve::Response>> futures;
-    futures.reserve(static_cast<size_t>(num_requests));
+    futures.reserve(static_cast<size_t>(requests));
     Stopwatch watch;
-    for (int64_t i = 0; i < num_requests; ++i) {
-      futures.push_back(server.Submit(windows[i % distinct_windows]));
+    for (int64_t i = 0; i < requests; ++i) {
+      futures.push_back(server.Submit(wins[i % n_wins]));
     }
-    for (int64_t i = 0; i < num_requests; ++i) {
+    for (int64_t i = 0; i < requests; ++i) {
       serve::Response resp = futures[static_cast<size_t>(i)].get();
-      const Tensor& want = expected[i % distinct_windows];
+      const Tensor& ref = want[i % n_wins];
       if (!resp.ok ||
-          std::memcmp(resp.forecast.data(), want.data(),
-                      sizeof(float) * static_cast<size_t>(want.size())) !=
+          std::memcmp(resp.forecast.data(), ref.data(),
+                      sizeof(float) * static_cast<size_t>(ref.size())) !=
               0) {
         ++result.mismatches;
       }
     }
     result.seconds = watch.ElapsedSeconds();
-    result.rps = static_cast<double>(num_requests) / result.seconds;
+    result.rps = static_cast<double>(requests) / result.seconds;
     serve::ServerStats stats = server.Stats();
     result.mean_batch = stats.mean_batch;
     result.p50 = stats.latency.p50();
@@ -179,9 +227,12 @@ void Run() {
   };
 
   std::vector<ModeResult> results;
-  results.push_back(run_mode("batch1", 1, 0));
-  results.push_back(run_mode("batch4", 4, 2000));
-  results.push_back(run_mode("batch16", 16, 2000));
+  results.push_back(run_mode("batch1", 1, 0, ckpt, windows, expected,
+                             num_requests, serve::SessionConfig()));
+  results.push_back(run_mode("batch4", 4, 2000, ckpt, windows, expected,
+                             num_requests, serve::SessionConfig()));
+  results.push_back(run_mode("batch16", 16, 2000, ckpt, windows, expected,
+                             num_requests, serve::SessionConfig()));
 
   const double speedup = results.back().rps / results.front().rps;
   std::cout << "\nserve load test: " << num_requests << " requests over "
@@ -199,9 +250,176 @@ void Run() {
   std::cout << "batched (16) vs batch-1 throughput: "
             << FormatFloat(speedup, 2) << "x\n";
 
+  // --- Reduced-precision tiers ------------------------------------------
+
+  // GEMM-heavier frozen ST-WA: at d_model 32 / predictor hidden 256 the
+  // projection and predictor GEMMs dominate the forward pass, so the
+  // weight tier moves end-to-end throughput instead of vanishing into
+  // dispatch overhead.
+  baselines::ModelSettings heavy = settings;
+  heavy.d_model = 32;
+  heavy.predictor_hidden = 256;
+  heavy.latent_dim = 8;
+  heavy.seed = 5;
+  auto heavy_model = baselines::MakeModel("ST-WA", dataset, heavy);
+  serve::ServingInfo heavy_info = info;
+  heavy_info.settings = heavy;
+  const std::string heavy_ckpt = BenchOutPath("serve_ckpt_heavy.bin");
+  serve::SaveServingCheckpoint(*heavy_model, heavy_info, heavy_ckpt);
+
+  const int64_t tier_requests = smoke ? 48 : 256;
+  const bool amb_fuse = ir::FuseModeEnabled();
+  const bool amb_rp = ir::RegionParModeEnabled();
+  std::vector<ModeResult> tier_modes;
+  std::vector<TierDeterminism> tier_det;
+  std::cout << "\ntier serving (d_model=" << heavy.d_model << ", hidden="
+            << heavy.predictor_hidden << ", batch 16, " << tier_requests
+            << " requests):\n";
+  for (const simd::Precision tier : kTiers) {
+    serve::SessionConfig cfg;
+    cfg.precision = tier;
+
+    // Ambient-mode offline reference for this tier: the byte pattern
+    // every sweep combination below must reproduce.
+    std::vector<Tensor> tier_expected;
+    {
+      auto session = serve::InferenceSession::Open(heavy_ckpt, cfg);
+      for (const Tensor& w : windows) {
+        tier_expected.push_back(session->Forecast(w));
+      }
+    }
+
+    ModeResult m = run_mode(simd::PrecisionName(tier), 16, 2000, heavy_ckpt,
+                            windows, tier_expected, tier_requests, cfg);
+    tier_modes.push_back(m);
+    std::cout << "  " << m.name << ": " << FormatFloat(m.rps, 1)
+              << " req/s, mean batch " << FormatFloat(m.mean_batch, 2)
+              << ", p50 " << FormatFloat(m.p50 / 1000.0, 2)
+              << "ms, served-vs-offline mismatches " << m.mismatches << "\n";
+
+    // Intra-tier determinism: {1,4} threads x {single, batched} x
+    // {rewrites on, off} must all reproduce the reference bytes.
+    const int64_t bs = 8;
+    const int64_t sample =
+        info.num_sensors * settings.history * info.num_features;
+    Tensor batched = Tensor::Uninit(
+        {bs, info.num_sensors, settings.history, info.num_features});
+    for (int64_t i = 0; i < bs; ++i) {
+      std::memcpy(batched.data() + i * sample,
+                  windows[static_cast<size_t>(i % distinct_windows)].data(),
+                  sizeof(float) * static_cast<size_t>(sample));
+    }
+    TierDeterminism det;
+    det.precision = simd::PrecisionName(tier);
+    for (const int threads : {1, 4}) {
+      runtime::SetNumThreads(threads);
+      for (const bool rewrites : {true, false}) {
+        ir::SetFuseMode(rewrites);
+        ir::SetRegionParMode(rewrites);
+        auto s = serve::InferenceSession::Open(heavy_ckpt, cfg);
+        for (size_t i = 0; i < windows.size(); ++i) {
+          Tensor got = s->Forecast(windows[i]);
+          ++det.checks;
+          if (std::memcmp(got.data(), tier_expected[i].data(),
+                          sizeof(float) * static_cast<size_t>(
+                                              tier_expected[i].size())) !=
+              0) {
+            ++det.mismatches;
+          }
+        }
+        Tensor bout = s->Forecast(batched);
+        for (int64_t i = 0; i < bs; ++i) {
+          const Tensor& ref =
+              tier_expected[static_cast<size_t>(i % distinct_windows)];
+          ++det.checks;
+          if (std::memcmp(bout.data() + i * ref.size(), ref.data(),
+                          sizeof(float) * static_cast<size_t>(ref.size())) !=
+              0) {
+            ++det.mismatches;
+          }
+        }
+      }
+    }
+    ir::SetFuseMode(amb_fuse);
+    ir::SetRegionParMode(amb_rp);
+    runtime::SetNumThreads(0);
+    tier_det.push_back(det);
+    std::cout << "  " << det.precision
+              << " determinism sweep ({1,4}t x {1," << bs
+              << "}batch x rewrites on/off): " << det.checks << " checks, "
+              << det.mismatches << " bit mismatches\n";
+  }
+  const double bf16_vs_fp32 =
+      tier_modes[0].rps > 0 ? tier_modes[1].rps / tier_modes[0].rps : 0.0;
+  const double int8_vs_fp32 =
+      tier_modes[0].rps > 0 ? tier_modes[2].rps / tier_modes[0].rps : 0.0;
+  std::cout << "  batch-16 throughput vs fp32: bf16 "
+            << FormatFloat(bf16_vs_fp32, 2) << "x, int8 "
+            << FormatFloat(int8_vs_fp32, 2) << "x\n";
+
+  // Accuracy across the model registry: random-init weights (the drift
+  // under quantisation is a property of the numerics, not of training),
+  // forecasts scored against the series' true continuation.
+  std::vector<std::string> acc_models = baselines::AllBaselineNames();
+  acc_models.insert(acc_models.begin(), "ST-WA");
+  if (smoke) acc_models = {"ST-WA", "STGCN", "AGCRN"};
+  std::vector<std::pair<Tensor, Tensor>> eval_pairs;
+  const int64_t max_anchor =
+      dataset.num_steps() - settings.history - settings.horizon;
+  const int64_t n_eval = smoke ? 6 : 12;
+  for (int64_t e = 0; e < n_eval; ++e) {
+    const int64_t anchor = e * 13 % max_anchor;
+    eval_pairs.emplace_back(
+        ops::Slice(dataset.values, 1, anchor, settings.history),
+        ops::Slice(dataset.values, 1, anchor + settings.history,
+                   settings.horizon));
+  }
+  std::vector<TierAccuracy> acc_rows;
+  bool acc_violation = false;
+  const std::string acc_ckpt = BenchOutPath("serve_acc_ckpt.bin");
+  std::cout << "\ntier accuracy (" << acc_models.size() << " models, "
+            << n_eval << " eval windows):\n";
+  for (const std::string& name : acc_models) {
+    auto acc_model = baselines::MakeModel(name, dataset, settings);
+    serve::ServingInfo acc_info = info;
+    acc_info.model = name;
+    serve::SaveServingCheckpoint(*acc_model, acc_info, acc_ckpt);
+    TierAccuracy row;
+    row.model = name;
+    for (size_t t = 0; t < kTiers.size(); ++t) {
+      serve::SessionConfig cfg;
+      cfg.precision = kTiers[t];
+      auto s = serve::InferenceSession::Open(acc_ckpt, dataset, cfg);
+      metrics::MetricAccumulator acc;
+      for (const auto& [win, truth] : eval_pairs) {
+        acc.Add(s->Forecast(win), truth);
+      }
+      const metrics::ForecastMetrics fm = acc.Result();
+      row.mae[t] = fm.mae;
+      row.rmse[t] = fm.rmse;
+    }
+    for (size_t t = 1; t < kTiers.size(); ++t) {
+      if (row.mae[0] > 0.0) {
+        row.mae_delta_pct[t] =
+            100.0 * std::abs(row.mae[t] - row.mae[0]) / row.mae[0];
+      }
+      if (row.rmse[0] > 0.0) {
+        row.rmse_delta_pct[t] =
+            100.0 * std::abs(row.rmse[t] - row.rmse[0]) / row.rmse[0];
+      }
+      if (row.mae_delta_pct[t] > kMaeDeltaBoundPct[t]) acc_violation = true;
+    }
+    acc_rows.push_back(row);
+    std::cout << "  " << name << ": fp32 MAE " << FormatFloat(row.mae[0], 3)
+              << ", bf16 delta " << FormatFloat(row.mae_delta_pct[1], 4)
+              << "%, int8 delta " << FormatFloat(row.mae_delta_pct[2], 4)
+              << "%\n";
+  }
+
   const std::string path = BenchOutPath("BENCH_serve.json");
   std::ofstream out(path);
-  out << "{\n  \"num_requests\": " << num_requests
+  out << "{\n  \"precision\": \"" << RunPrecisionName()
+      << "\",\n  \"num_requests\": " << num_requests
       << ",\n  \"distinct_windows\": " << distinct_windows
       << ",\n  \"num_sensors\": " << info.num_sensors
       << ",\n  \"history\": " << settings.history
@@ -220,6 +438,40 @@ void Run() {
         << ", \"bit_mismatches\": " << m.mismatches << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
+  out << "  ],\n  \"tier_throughput\": {\"requests\": " << tier_requests
+      << ", \"d_model\": " << heavy.d_model
+      << ", \"predictor_hidden\": " << heavy.predictor_hidden
+      << ", \"bf16_vs_fp32\": " << bf16_vs_fp32
+      << ", \"int8_vs_fp32\": " << int8_vs_fp32 << ", \"modes\": [\n";
+  for (size_t i = 0; i < tier_modes.size(); ++i) {
+    const ModeResult& m = tier_modes[i];
+    out << "    {\"precision\": \"" << m.name
+        << "\", \"requests_per_second\": " << m.rps
+        << ", \"mean_batch\": " << m.mean_batch << ", \"p50_us\": " << m.p50
+        << ", \"bit_mismatches\": " << m.mismatches << "}"
+        << (i + 1 < tier_modes.size() ? "," : "") << "\n";
+  }
+  out << "  ]},\n  \"tier_determinism\": [\n";
+  for (size_t i = 0; i < tier_det.size(); ++i) {
+    const TierDeterminism& d = tier_det[i];
+    out << "    {\"precision\": \"" << d.precision
+        << "\", \"checks\": " << d.checks
+        << ", \"bit_mismatches\": " << d.mismatches << "}"
+        << (i + 1 < tier_det.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"tier_accuracy\": [\n";
+  for (size_t i = 0; i < acc_rows.size(); ++i) {
+    const TierAccuracy& r = acc_rows[i];
+    out << "    {\"model\": \"" << r.model << "\", \"fp32_mae\": " << r.mae[0]
+        << ", \"fp32_rmse\": " << r.rmse[0] << ", \"bf16_mae\": " << r.mae[1]
+        << ", \"bf16_rmse\": " << r.rmse[1]
+        << ", \"bf16_mae_delta_pct\": " << r.mae_delta_pct[1]
+        << ", \"bf16_rmse_delta_pct\": " << r.rmse_delta_pct[1]
+        << ", \"int8_mae\": " << r.mae[2] << ", \"int8_rmse\": " << r.rmse[2]
+        << ", \"int8_mae_delta_pct\": " << r.mae_delta_pct[2]
+        << ", \"int8_rmse_delta_pct\": " << r.rmse_delta_pct[2] << "}"
+        << (i + 1 < acc_rows.size() ? "," : "") << "\n";
+  }
   out << "  ]\n}\n";
   std::cout << "wrote " << path << "\n";
   if (results.front().mismatches + results.back().mismatches > 0) {
@@ -232,6 +484,27 @@ void Run() {
   }
   if (fuse_ab_mismatches > 0) {
     std::cerr << "ERROR: fused-plan forecasts diverged from unfused\n";
+    std::exit(1);
+  }
+  for (const ModeResult& m : tier_modes) {
+    if (m.mismatches > 0) {
+      std::cerr << "ERROR: " << m.name
+                << " served forecasts diverged from the tier's offline "
+                   "reference\n";
+      std::exit(1);
+    }
+  }
+  for (const TierDeterminism& d : tier_det) {
+    if (d.mismatches > 0) {
+      std::cerr << "ERROR: " << d.precision
+                << " forecasts are not bit-identical across threads/"
+                   "batching/rewrites\n";
+      std::exit(1);
+    }
+  }
+  if (acc_violation) {
+    std::cerr << "ERROR: a tier's MAE drifted past its bound vs fp32 "
+                 "(bf16 0.1%, int8 1%)\n";
     std::exit(1);
   }
 }

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/string_util.h"
 #include "runtime/parallel.h"
+#include "simd/lowp.h"
 #include "simd/simd.h"
 #include "tensor/buffer_pool.h"
 
@@ -160,7 +161,12 @@ void ReportRuntime() {
             << " pool=" << (pool::Enabled() ? "on" : "off")
             << (pool_env.empty() ? ""
                                  : " (STWA_DISABLE_POOL=" + pool_env + ")")
-            << " simd=" << simd::IsaName() << "\n";
+            << " simd=" << simd::IsaName()
+            << " precision=" << RunPrecisionName() << "\n";
+}
+
+const char* RunPrecisionName() {
+  return simd::PrecisionName(simd::EnvPrecision());
 }
 
 std::string BenchOutPath(const std::string& filename) {

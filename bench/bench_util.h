@@ -73,8 +73,14 @@ train::TrainResult RunModel(const std::string& model_name,
 std::vector<std::string> MetricCells(const metrics::ForecastMetrics& m);
 
 /// Prints the execution-runtime configuration (thread count, buffer-pool
-/// state and their sources) so every bench records what it ran with.
+/// state, SIMD ISA and precision tier) so every bench records what it ran
+/// with.
 void ReportRuntime();
+
+/// Name of the run's default serving precision tier (STWA_PRECISION;
+/// "fp32" when unset). Benches stamp this into their JSON next to the
+/// "simd" field.
+const char* RunPrecisionName();
 
 /// Ensures ./bench_out exists and returns the path of `filename` in it.
 std::string BenchOutPath(const std::string& filename);

@@ -15,10 +15,19 @@ namespace nn {
 namespace {
 
 constexpr uint32_t kMagic = 0x53545741;  // "STWA"
-// Version 2 adds the metadata blob and the validate-before-commit load.
+// Version 3 marks checkpoints whose metadata may carry reduced-precision
+// serving entries (per-channel int8 scales, see serve/checkpoint.cc); the
+// byte layout is unchanged from version 2, so this build still reads both.
+// Version 2 added the metadata blob and the validate-before-commit load.
 // Version 1 files (pre-serving checkpoints) are rejected with a clear
 // message; they were never produced outside of transient test runs.
-constexpr uint32_t kVersion = 2;
+constexpr uint32_t kVersion = 3;
+constexpr uint32_t kMinVersion = 2;
+
+// Test seam for the forward-compat error path: caps the version this
+// reader accepts, simulating a version-2-era binary opening a version-3
+// file. 0 = no cap.
+uint32_t g_max_read_version_for_test = 0;
 
 template <typename T>
 void WritePod(std::ofstream& out, const T& value) {
@@ -55,9 +64,17 @@ std::ifstream OpenAndCheckHeader(const std::string& path) {
   STWA_CHECK(ReadPod<uint32_t>(in) == kMagic, "'", path,
              "' is not an STWA checkpoint");
   const uint32_t version = ReadPod<uint32_t>(in);
-  STWA_CHECK(version == kVersion, "checkpoint '", path, "' has version ",
-             version, "; this build reads version ", kVersion,
-             " — re-save the checkpoint with the current code");
+  const uint32_t max_read = g_max_read_version_for_test != 0
+                                ? g_max_read_version_for_test
+                                : kVersion;
+  STWA_CHECK(version >= kMinVersion, "checkpoint '", path, "' has version ",
+             version, "; this build reads versions ", kMinVersion, "..",
+             max_read, " — re-save the checkpoint with the current code");
+  STWA_CHECK(version <= max_read, "checkpoint '", path, "' has version ",
+             version, ", written by a newer build; this reader supports "
+             "versions ", kMinVersion, "..", max_read,
+             " — upgrade this binary, or re-save the checkpoint with a "
+             "build of the same vintage as this reader");
   return in;
 }
 
@@ -74,6 +91,14 @@ CheckpointMeta ReadMeta(std::ifstream& in) {
 }
 
 }  // namespace
+
+namespace internal {
+
+void SetMaxCheckpointReadVersionForTest(uint32_t version) {
+  g_max_read_version_for_test = version;
+}
+
+}  // namespace internal
 
 void CheckpointMeta::Set(const std::string& key, const std::string& value) {
   for (auto& [k, v] : entries_) {

@@ -70,6 +70,15 @@ CheckpointMeta LoadCheckpointMeta(const std::string& path);
 /// thrown describing every difference and the module is left untouched.
 void LoadParameters(Module& module, const std::string& path);
 
+namespace internal {
+
+/// Test-only: caps the checkpoint version this reader accepts, simulating
+/// an older binary opening a newer file (the forward-compat error path).
+/// 0 restores the build default.
+void SetMaxCheckpointReadVersionForTest(uint32_t version);
+
+}  // namespace internal
+
 }  // namespace nn
 }  // namespace stwa
 

@@ -7,7 +7,9 @@
 #ifndef STWA_SERVE_CHECKPOINT_H_
 #define STWA_SERVE_CHECKPOINT_H_
 
+#include <map>
 #include <string>
+#include <vector>
 
 #include "baselines/registry.h"
 #include "nn/serialize.h"
@@ -26,6 +28,12 @@ struct ServingInfo {
   /// denormalises forecasts with exactly these.
   float scaler_mean = 0.0f;
   float scaler_std = 1.0f;
+  /// Per-output-channel int8 weight scales baked at save time, keyed by
+  /// parameter name (rank-2 parameters only; serialize v3 metadata).
+  /// Empty for pre-v3 checkpoints — int8 sessions then recompute the
+  /// scales from the loaded fp32 weights, which yields the same values
+  /// (the quantiser is deterministic), just without the save-time record.
+  std::map<std::string, std::vector<float>> int8_scales;
 };
 
 /// Encodes `info` into checkpoint metadata entries.

@@ -1,9 +1,12 @@
 #include "serve/inference_session.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "autograd/no_grad.h"
 #include "common/check.h"
+#include "simd/gemm_lowp.h"
+#include "tensor/lowp_cache.h"
 
 namespace stwa {
 namespace serve {
@@ -36,14 +39,49 @@ data::TrafficDataset StubDataset(const ServingInfo& info) {
 }  // namespace
 
 InferenceSession::InferenceSession(
-    ServingInfo info, std::unique_ptr<train::ForecastModel> model)
+    ServingInfo info, std::unique_ptr<train::ForecastModel> model,
+    SessionConfig config)
     : info_(std::move(info)),
       scaler_(info_.scaler_mean, info_.scaler_std),
       model_(std::move(model)),
-      modes_(ir::SnapshotPlanModes()) {}
+      config_(config),
+      modes_(ir::SnapshotPlanModes()) {
+  RegisterLowpWeights();
+}
+
+InferenceSession::~InferenceSession() {
+  for (const float* key : lowp_keys_) lowp::Unregister(key);
+}
+
+void InferenceSession::RegisterLowpWeights() {
+  if (config_.precision == simd::Precision::kFp32) return;
+  for (const auto& [name, var] : model_->NamedParameters()) {
+    const Tensor& t = var.value();
+    if (t.rank() != 2) continue;
+    const int64_t k = t.dim(0);
+    const int64_t n = t.dim(1);
+    if (k > (int64_t{1} << 16)) continue;  // outside the exact-i32 window
+    const std::vector<float>* scales = nullptr;
+    if (config_.precision == simd::Precision::kInt8) {
+      const auto it = info_.int8_scales.find(name);
+      if (it != info_.int8_scales.end()) {
+        STWA_CHECK(static_cast<int64_t>(it->second.size()) == n,
+                   "checkpoint bakes ", it->second.size(),
+                   " int8 scales for '", name, "' but the parameter has ",
+                   n, " output channels — the file is inconsistent");
+        scales = &it->second;
+      }
+    }
+    lowp::Register(t.data(),
+                   simd::PackWeights(t.data(), k, n, /*trans=*/false,
+                                     config_.precision, scales,
+                                     /*bf16_trunc=*/false));
+    lowp_keys_.push_back(t.data());
+  }
+}
 
 std::unique_ptr<InferenceSession> InferenceSession::Open(
-    const std::string& path) {
+    const std::string& path, const SessionConfig& config) {
   ServingInfo info = ReadServingInfo(path);
   STWA_CHECK(DatasetFreeModel(info.model), "model '", info.model,
              "' needs its training dataset to rebuild graph supports; "
@@ -52,11 +90,12 @@ std::unique_ptr<InferenceSession> InferenceSession::Open(
       baselines::MakeModel(info.model, StubDataset(info), info.settings);
   nn::LoadParameters(*model, path);
   return std::unique_ptr<InferenceSession>(
-      new InferenceSession(std::move(info), std::move(model)));
+      new InferenceSession(std::move(info), std::move(model), config));
 }
 
 std::unique_ptr<InferenceSession> InferenceSession::Open(
-    const std::string& path, const data::TrafficDataset& dataset) {
+    const std::string& path, const data::TrafficDataset& dataset,
+    const SessionConfig& config) {
   ServingInfo info = ReadServingInfo(path);
   STWA_CHECK(dataset.num_sensors() == info.num_sensors,
              "checkpoint expects ", info.num_sensors, " sensors, dataset has ",
@@ -64,7 +103,7 @@ std::unique_ptr<InferenceSession> InferenceSession::Open(
   auto model = baselines::MakeModel(info.model, dataset, info.settings);
   nn::LoadParameters(*model, path);
   return std::unique_ptr<InferenceSession>(
-      new InferenceSession(std::move(info), std::move(model)));
+      new InferenceSession(std::move(info), std::move(model), config));
 }
 
 Tensor InferenceSession::Forecast(const Tensor& raw_window) {

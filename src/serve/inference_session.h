@@ -16,14 +16,28 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "data/scaler.h"
 #include "ir/plan.h"
 #include "serve/checkpoint.h"
+#include "simd/lowp.h"
 #include "train/trainer.h"
 
 namespace stwa {
 namespace serve {
+
+/// Per-session serving configuration.
+struct SessionConfig {
+  /// Weight precision tier for the session's GEMMs (simd/lowp.h):
+  /// kFp32 serves the checkpoint bytes as-is; kBf16 and kInt8 prepack
+  /// every rank-2 parameter into reduced-precision panels at open, so
+  /// the hot path never repacks. Activations stay fp32 in every tier,
+  /// and within one tier outputs are bit-identical across thread counts,
+  /// batching and plan toggles. Defaults to STWA_PRECISION
+  /// (fp32 / bf16 / int8; unset means fp32).
+  simd::Precision precision = simd::EnvPrecision();
+};
 
 /// One frozen model + scaler behind a raw-in/raw-out forecast call.
 class InferenceSession {
@@ -33,13 +47,20 @@ class InferenceSession {
   /// only needs sensor/feature counts). Graph-convolutional baselines
   /// need the dataset-bearing overload and are rejected here with a
   /// clear error.
-  static std::unique_ptr<InferenceSession> Open(const std::string& path);
+  static std::unique_ptr<InferenceSession> Open(const std::string& path,
+                                                const SessionConfig& config =
+                                                    SessionConfig());
 
   /// Opens a checkpoint for any registered model, rebuilding it against
   /// `dataset` (graph supports, temporal similarity etc. are recomputed
   /// from it, so pass the dataset the model was trained on).
   static std::unique_ptr<InferenceSession> Open(
-      const std::string& path, const data::TrafficDataset& dataset);
+      const std::string& path, const data::TrafficDataset& dataset,
+      const SessionConfig& config = SessionConfig());
+
+  /// Unregisters any reduced-precision weight panels before the model is
+  /// destroyed (tensor/lowp_cache.h lifetime rule).
+  ~InferenceSession();
 
   /// Raw-scale forecast: window [B, N, H, F] (or [N, H, F], treated as
   /// B=1) -> forecast of the same batch rank with U steps. Runs under
@@ -55,16 +76,29 @@ class InferenceSession {
   const ServingInfo& info() const { return info_; }
   const data::StandardScaler& scaler() const { return scaler_; }
 
+  /// Precision tier this session serves at.
+  simd::Precision precision() const { return config_.precision; }
+
   /// Number of Forward calls served (one per batch).
   int64_t forward_count() const { return forward_count_; }
 
  private:
   InferenceSession(ServingInfo info,
-                   std::unique_ptr<train::ForecastModel> model);
+                   std::unique_ptr<train::ForecastModel> model,
+                   SessionConfig config);
+
+  /// Packs every rank-2 parameter into panels for the session tier and
+  /// registers them in the lowp weight cache (no-op at kFp32). int8
+  /// scales come from the checkpoint's baked metadata when present.
+  void RegisterLowpWeights();
 
   ServingInfo info_;
   data::StandardScaler scaler_;
   std::unique_ptr<train::ForecastModel> model_;
+  SessionConfig config_;
+  /// Weight buffers registered in the lowp cache; unregistered in the
+  /// destructor, strictly before model_ frees them.
+  std::vector<const float*> lowp_keys_;
   /// Plan gates snapshotted when the session was constructed
   /// (ir::SnapshotPlanModes): every Forecast of one session agrees on
   /// plan/fuse/region modes even if a global toggle flips mid-stream.

@@ -21,7 +21,8 @@ Server::Server(const std::string& checkpoint_path, ServerOptions options)
   STWA_CHECK(options_.workers >= 1, "need at least one worker");
   for (int i = 0; i < options_.workers; ++i) {
     auto worker = std::make_unique<Worker>();
-    worker->session = InferenceSession::Open(checkpoint_path);
+    worker->session = InferenceSession::Open(checkpoint_path,
+                                             options_.session);
     workers_.push_back(std::move(worker));
   }
   Start(options_.workers);
@@ -33,7 +34,8 @@ Server::Server(const std::string& checkpoint_path,
   STWA_CHECK(options_.workers >= 1, "need at least one worker");
   for (int i = 0; i < options_.workers; ++i) {
     auto worker = std::make_unique<Worker>();
-    worker->session = InferenceSession::Open(checkpoint_path, dataset);
+    worker->session = InferenceSession::Open(checkpoint_path, dataset,
+                                             options_.session);
     workers_.push_back(std::move(worker));
   }
   Start(options_.workers);

@@ -33,6 +33,10 @@ struct ServerOptions {
   /// Worker threads (each with a private model replica).
   int workers = 1;
   BatchingOptions batching;
+  /// Per-worker session configuration (precision tier etc.). Every
+  /// worker session is opened with the same config, so responses stay
+  /// worker-independent.
+  SessionConfig session;
   /// Default in-queue deadline for Submit() without an explicit budget.
   std::chrono::microseconds default_deadline{1'000'000};
 };

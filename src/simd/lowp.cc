@@ -1,0 +1,49 @@
+#include "simd/lowp.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace simd {
+
+const char* PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kBf16:
+      return "bf16";
+    case Precision::kInt8:
+      return "int8";
+  }
+  STWA_FAIL("unknown Precision value ", static_cast<int>(p));
+}
+
+Precision ParsePrecision(const std::string& name) {
+  if (name == "fp32") return Precision::kFp32;
+  if (name == "bf16") return Precision::kBf16;
+  if (name == "int8") return Precision::kInt8;
+  throw Error("unknown precision \"" + name +
+              "\"; expected fp32, bf16 or int8");
+}
+
+Precision EnvPrecision() {
+  const char* env = std::getenv("STWA_PRECISION");
+  if (env == nullptr || env[0] == '\0') return Precision::kFp32;
+  return ParsePrecision(env);
+}
+
+int64_t WeightBytes(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return 4;
+    case Precision::kBf16:
+      return 2;
+    case Precision::kInt8:
+      return 1;
+  }
+  STWA_FAIL("unknown Precision value ", static_cast<int>(p));
+}
+
+}  // namespace simd
+}  // namespace stwa

@@ -1,0 +1,77 @@
+#include "tensor/lowp_cache.h"
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace stwa {
+namespace lowp {
+namespace {
+
+struct Entry {
+  // One slot per orientation: nn serves op(B)=[k,n] buffers, nt serves
+  // [n,k] buffers consumed through MatMulNT.
+  std::shared_ptr<const simd::PackedWeights> nn;
+  std::shared_ptr<const simd::PackedWeights> nt;
+};
+
+std::shared_mutex& Mutex() {
+  static std::shared_mutex mu;
+  return mu;
+}
+
+std::unordered_map<const float*, Entry>& Map() {
+  static std::unordered_map<const float*, Entry> map;
+  return map;
+}
+
+// Registered-buffer count, readable without the lock: the hot-path bail.
+std::atomic<int64_t> g_active{0};
+
+}  // namespace
+
+void Register(const float* data,
+              std::shared_ptr<const simd::PackedWeights> pack) {
+  if (data == nullptr || pack == nullptr) return;
+  std::unique_lock lock(Mutex());
+  auto [it, inserted] = Map().try_emplace(data);
+  if (inserted) g_active.fetch_add(1, std::memory_order_relaxed);
+  (pack->trans ? it->second.nt : it->second.nn) = std::move(pack);
+}
+
+void Unregister(const float* data) {
+  std::unique_lock lock(Mutex());
+  if (Map().erase(data) > 0) {
+    g_active.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<const simd::PackedWeights> Find(const float* data, int64_t k,
+                                                int64_t n, bool trans) {
+  if (g_active.load(std::memory_order_relaxed) == 0) return nullptr;
+  std::shared_lock lock(Mutex());
+  const auto it = Map().find(data);
+  if (it == Map().end()) return nullptr;
+  const auto& pack = trans ? it->second.nt : it->second.nn;
+  if (pack == nullptr || pack->k != k || pack->n != n) return nullptr;
+  return pack;
+}
+
+int64_t ActiveCount() {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+int64_t TotalPanelBytes() {
+  std::shared_lock lock(Mutex());
+  int64_t total = 0;
+  for (const auto& [ptr, entry] : Map()) {
+    if (entry.nn) total += entry.nn->PanelBytes();
+    if (entry.nt) total += entry.nt->PanelBytes();
+  }
+  return total;
+}
+
+}  // namespace lowp
+}  // namespace stwa

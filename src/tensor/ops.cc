@@ -10,8 +10,10 @@
 #include "runtime/parallel.h"
 #include "simd/fused.h"
 #include "simd/gemm.h"
+#include "simd/gemm_lowp.h"
 #include "simd/vec_math.h"
 #include "tensor/fused_ops.h"
+#include "tensor/lowp_cache.h"
 
 namespace stwa {
 namespace ops {
@@ -462,6 +464,15 @@ Tensor MatMul2D(const Tensor& a, const Tensor& b) {
   const int64_t n = b.dim(1);
   STWA_CHECK(b.dim(0) == k, "inner dimensions mismatch: ",
              ShapeToString(a.shape()), " x ", ShapeToString(b.shape()));
+  // Reduced-precision hook: a serving session registered prepacked bf16 /
+  // int8 panels for this weight operand (tensor/lowp_cache.h). Selection
+  // depends only on the operand pointer, so eager, plan replay and
+  // region-parallel replay all dispatch the same way on any thread.
+  if (const auto pack = lowp::Find(b.data(), k, n, /*trans=*/false)) {
+    Tensor out = Tensor::Uninit(Shape{m, n});
+    simd::GemmLowp(a.data(), *pack, out.data(), m, /*trans_a=*/false);
+    return out;
+  }
   if constexpr (simd::kEnabled) {
     // Gemm2D writes every element (packed or row path), so the output can
     // skip the zero fill the accumulating legacy kernel needed.
@@ -498,6 +509,37 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Shape out_shape = batch;
   out_shape.push_back(m);
   out_shape.push_back(n);
+  // A shared rank-2 B multiplies every batch matrix by the same weights,
+  // so the whole product is one [batch*m, k] x [k, n] GEMM over A's
+  // contiguous storage. The flat NN kernels are bit-identical to the
+  // per-batch row kernels (the NN packed and row paths share their
+  // k-ascending FMA chains — SimdGemmTest pins this), and the flatten is
+  // what routes nn::Linear through the packed fp32 path and the
+  // reduced-precision weight hook.
+  if (b.rank() == 2) {
+    const int64_t rows = batch_count * m;
+    if (const auto pack = lowp::Find(b.data(), k, n, /*trans=*/false)) {
+      Tensor out = Tensor::Uninit(out_shape);
+      simd::GemmLowp(a.data(), *pack, out.data(), rows, /*trans_a=*/false);
+      return out;
+    }
+    if constexpr (simd::kEnabled) {
+      Tensor out = Tensor::Uninit(out_shape);
+      simd::Gemm2D(a.data(), b.data(), out.data(), rows, n, k,
+                   /*trans_a=*/false, /*trans_b=*/false);
+      return out;
+    } else {
+      Tensor out(out_shape);
+      const float* pa = a.data();
+      const float* pb = b.data();
+      float* po = out.data();
+      runtime::ParallelFor(0, rows, MatMulRowGrain(k, n),
+                           [pa, pb, po, k, n](int64_t i0, int64_t i1) {
+                             MatMulRowRange(pa, pb, po, i0, i1, k, n);
+                           });
+      return out;
+    }
+  }
   // The SIMD row kernel writes every element; the legacy kernel
   // accumulates into zeros.
   Tensor out = simd::kEnabled ? Tensor::Uninit(out_shape)
@@ -561,6 +603,20 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   STWA_CHECK(b.dim(-1) == k, "inner dimensions mismatch: ",
              ShapeToString(a.shape()), " x ", ShapeToString(b.shape()),
              "^T");
+  // Reduced-precision hook for a registered [n, k] weight operand. A
+  // shared rank-2 B lets the batch flatten into one [batch*m, k] GEMM,
+  // same as MatMul's flatten.
+  if (b.rank() == 2) {
+    if (const auto pack = lowp::Find(b.data(), k, n, /*trans=*/true)) {
+      Shape out_shape(a.shape().begin(), a.shape().end() - 2);
+      out_shape.push_back(m);
+      out_shape.push_back(n);
+      Tensor out = Tensor::Uninit(out_shape);
+      simd::GemmLowp(a.data(), *pack, out.data(), out.size() / std::max<int64_t>(1, n),
+                     /*trans_a=*/false);
+      return out;
+    }
+  }
   if constexpr (simd::kEnabled) {
     if (a.rank() == 2 && b.rank() == 2 && simd::GemmUsesPackedPath(m, n, k)) {
       Tensor out = Tensor::Uninit(Shape{m, n});
@@ -589,6 +645,15 @@ Tensor MatMulTN(const Tensor& a, const Tensor& b) {
   const int64_t n = b.dim(-1);
   STWA_CHECK(b.dim(-2) == k, "inner dimensions mismatch: ",
              ShapeToString(a.shape()), "^T x ", ShapeToString(b.shape()));
+  // Reduced-precision hook: op(B) is B's natural [k, n] layout here, so a
+  // registered NN pack serves TN too; only op(A) differs.
+  if (a.rank() == 2 && b.rank() == 2) {
+    if (const auto pack = lowp::Find(b.data(), k, n, /*trans=*/false)) {
+      Tensor out = Tensor::Uninit(Shape{m, n});
+      simd::GemmLowp(a.data(), *pack, out.data(), m, /*trans_a=*/true);
+      return out;
+    }
+  }
   if constexpr (simd::kEnabled) {
     if (a.rank() == 2 && b.rank() == 2 && simd::GemmUsesPackedPath(m, n, k)) {
       Tensor out = Tensor::Uninit(Shape{m, n});

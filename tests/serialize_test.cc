@@ -180,6 +180,61 @@ TEST(SerializeTest, UnsupportedVersionRejectedWithClearMessage) {
   std::remove(path.c_str());
 }
 
+// Rewrites the u32 version word (byte offset 4, after the magic) in an
+// already-saved checkpoint. The v2 -> v3 bump added only optional metadata
+// entries, so the byte layout is identical and this fabricates a faithful
+// v2-era file.
+void PatchCheckpointVersion(const std::string& path, uint32_t version) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekp(4);
+  f.write(reinterpret_cast<const char*>(&version), sizeof(version));
+}
+
+TEST(SerializeTest, V2CheckpointStillLoads) {
+  Rng rng(10);
+  Mlp a({4, 8, 2}, Activation::kRelu, Activation::kNone, &rng);
+  const std::string path = TempPath("stwa_ckpt_v2compat.bin");
+  CheckpointMeta meta;
+  meta.Set("model", "demo-mlp");
+  SaveParameters(a, path, meta);
+  PatchCheckpointVersion(path, 2);
+
+  Rng rng2(77);
+  Mlp b({4, 8, 2}, Activation::kRelu, Activation::kNone, &rng2);
+  LoadParameters(b, path);  // must not throw
+  EXPECT_TRUE(ops::AllClose(a.Parameters()[0].value(),
+                            b.Parameters()[0].value(), 0.0f, 0.0f));
+  CheckpointMeta got = LoadCheckpointMeta(path);
+  EXPECT_EQ(got.Get("model"), "demo-mlp");
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, V3RejectedByV2EraReaderWithActionableError) {
+  // Simulate an old binary whose reader tops out at version 2 opening a
+  // current (v3) checkpoint: it must fail cleanly and tell the user what
+  // to do, not misparse the extra metadata.
+  Rng rng(11);
+  Mlp a({3, 3}, Activation::kNone, Activation::kNone, &rng);
+  const std::string path = TempPath("stwa_ckpt_v3new.bin");
+  SaveParameters(a, path);
+
+  internal::SetMaxCheckpointReadVersionForTest(2);
+  try {
+    LoadParameters(a, path);
+    internal::SetMaxCheckpointReadVersionForTest(0);
+    FAIL() << "v2-era reader accepted a v3 checkpoint";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("version"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("upgrade"), std::string::npos)
+        << "error should tell the user how to recover: " << msg;
+  }
+  internal::SetMaxCheckpointReadVersionForTest(0);
+  LoadParameters(a, path);  // back to the real reader, loads fine
+  std::remove(path.c_str());
+}
+
 TEST(SerializeTest, GarbageFileThrows) {
   const std::string path = TempPath("stwa_ckpt_garbage.bin");
   {

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <thread>
 #include <vector>
@@ -23,6 +24,8 @@
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/stream_state.h"
+#include "simd/lowp.h"
+#include "tensor/lowp_cache.h"
 #include "tensor/ops.h"
 
 namespace stwa {
@@ -279,6 +282,113 @@ TEST(InferenceSessionTest, TwoSessionsAgreeBitExactly) {
   EXPECT_EQ(std::memcmp(a.data(), b.data(),
                         sizeof(float) * static_cast<size_t>(a.size())),
             0);
+  std::remove(f.path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Reduced-precision sessions
+
+TEST(PrecisionSessionTest, TiersAreDeterministicAndCloseToFp32) {
+  Fixture f = MakeFixture("stwa_serve_prec.bin");
+  Tensor window = ops::Slice(f.dataset.values, 1, 4, f.settings.history);
+  SessionConfig fp32_cfg;
+  fp32_cfg.precision = simd::Precision::kFp32;
+  Tensor baseline = InferenceSession::Open(f.path, fp32_cfg)->Forecast(window);
+
+  for (const simd::Precision tier :
+       {simd::Precision::kBf16, simd::Precision::kInt8}) {
+    SessionConfig cfg;
+    cfg.precision = tier;
+    const int64_t active_before = lowp::ActiveCount();
+    Tensor a, b;
+    {
+      auto s1 = InferenceSession::Open(f.path, cfg);
+      EXPECT_EQ(s1->precision(), tier);
+      EXPECT_GT(lowp::ActiveCount(), active_before)
+          << "session did not register any reduced-precision packs";
+      auto s2 = InferenceSession::Open(f.path, cfg);
+      a = s1->Forecast(window);
+      b = s2->Forecast(window);
+    }
+    EXPECT_EQ(lowp::ActiveCount(), active_before)
+        << "session destructor leaked packs for "
+        << simd::PrecisionName(tier);
+    // Two sessions of the same tier are bit-identical.
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          sizeof(float) * static_cast<size_t>(a.size())),
+              0)
+        << simd::PrecisionName(tier);
+    // And close to fp32: a tiny (scaled-down) model, so loose bounds.
+    EXPECT_TRUE(ops::AllClose(a, baseline, 0.05f, 1.0f))
+        << simd::PrecisionName(tier);
+  }
+  std::remove(f.path.c_str());
+}
+
+TEST(PrecisionSessionTest, V2CheckpointWithoutScalesServesIdentically) {
+  // A v2-era serving checkpoint predates baked int8 scales. An int8
+  // session must recompute them from the fp32 weights and serve
+  // bit-identically to a session on the v3 file (the baked scales are
+  // the same Int8ChannelScales formula, %.9g round-tripped).
+  Fixture f = MakeFixture("stwa_serve_prec_v2.bin");
+  ServingInfo v3_info = ReadServingInfo(f.path);
+  EXPECT_FALSE(v3_info.int8_scales.empty())
+      << "v3 serving checkpoints should bake int8 scales";
+
+  const std::string v2_path = TempPath("stwa_serve_prec_v2_old.bin");
+  // MakeServingMeta carries everything *except* the scale entries, which
+  // SaveServingCheckpoint adds on top — exactly a v2 writer's output.
+  nn::SaveParameters(*f.model, v2_path, MakeServingMeta(f.info));
+  {
+    std::fstream patch(v2_path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(patch.good());
+    const uint32_t v2 = 2;
+    patch.seekp(4);  // version word sits after the u32 magic
+    patch.write(reinterpret_cast<const char*>(&v2), sizeof(v2));
+  }
+  ServingInfo v2_info = ReadServingInfo(v2_path);
+  EXPECT_TRUE(v2_info.int8_scales.empty());
+  EXPECT_EQ(v2_info.model, "ST-WA");
+
+  SessionConfig cfg;
+  cfg.precision = simd::Precision::kInt8;
+  Tensor window = ops::Slice(f.dataset.values, 1, 2, f.settings.history);
+  Tensor from_v3 = InferenceSession::Open(f.path, cfg)->Forecast(window);
+  Tensor from_v2 = InferenceSession::Open(v2_path, cfg)->Forecast(window);
+  EXPECT_EQ(
+      std::memcmp(from_v3.data(), from_v2.data(),
+                  sizeof(float) * static_cast<size_t>(from_v3.size())),
+      0)
+      << "recomputed scales must match baked scales bit-for-bit";
+  std::remove(f.path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+TEST(PrecisionSessionTest, ServerHonoursSessionPrecision) {
+  Fixture f = MakeFixture("stwa_serve_prec_srv.bin");
+  Tensor window = ops::Slice(f.dataset.values, 1, 0, f.settings.history);
+  SessionConfig cfg;
+  cfg.precision = simd::Precision::kBf16;
+  Tensor want = InferenceSession::Open(f.path, cfg)->Forecast(window);
+
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.batching.max_batch = 4;
+  opts.batching.max_delay = std::chrono::microseconds(2000);
+  opts.session = cfg;
+  Server server(f.path, opts);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(server.Submit(window));
+  for (auto& fut : futures) {
+    Response r = fut.get();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(
+        std::memcmp(r.forecast.data(), want.data(),
+                    sizeof(float) * static_cast<size_t>(want.size())),
+        0)
+        << "server bf16 output must match an offline bf16 session";
+  }
   std::remove(f.path.c_str());
 }
 

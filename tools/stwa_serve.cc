@@ -6,11 +6,13 @@
 //       epochs (default 2) and write a serving checkpoint — a
 //       self-contained way to produce a checkpoint for smoke tests.
 //   --ckpt <path> [--workers W] [--max-batch B] [--max-delay-us D]
-//          [--deadline-us D] [--port P]
+//          [--deadline-us D] [--port P] [--precision fp32|bf16|int8]
 //       Serve the checkpoint. Default transport is the line protocol on
 //       stdin/stdout (see serve/protocol.h); --port instead listens on
 //       TCP with one connection thread and one StreamState per client,
-//       all sharing the batching server.
+//       all sharing the batching server. --precision selects the weight
+//       tier every worker session serves at (default: STWA_PRECISION,
+//       falling back to fp32); activations stay fp32.
 
 #include <atomic>
 #include <cerrno>
@@ -35,6 +37,7 @@
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/stream_state.h"
+#include "simd/lowp.h"
 #include "train/trainer.h"
 
 namespace stwa {
@@ -48,7 +51,8 @@ struct Args {
   int64_t max_batch = 8;
   int64_t max_delay_us = 2000;
   int64_t deadline_us = 1'000'000;
-  int port = 0;  // 0 = stdin/stdout
+  int port = 0;            // 0 = stdin/stdout
+  std::string precision;   // empty = STWA_PRECISION / fp32
 };
 
 void PrintUsage() {
@@ -56,7 +60,8 @@ void PrintUsage() {
       "usage:\n"
       "  stwa_serve --train-demo <ckpt> [--epochs E]\n"
       "  stwa_serve --ckpt <path> [--workers W] [--max-batch B]\n"
-      "             [--max-delay-us D] [--deadline-us D] [--port P]\n";
+      "             [--max-delay-us D] [--deadline-us D] [--port P]\n"
+      "             [--precision fp32|bf16|int8]\n";
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -91,6 +96,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--port") {
       if ((v = next_value(i)) == nullptr) return false;
       args->port = std::atoi(v);
+    } else if (flag == "--precision") {
+      if ((v = next_value(i)) == nullptr) return false;
+      args->precision = v;
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -283,13 +291,17 @@ int Serve(const Args& args) {
   opts.batching.max_batch = args.max_batch;
   opts.batching.max_delay = std::chrono::microseconds(args.max_delay_us);
   opts.default_deadline = std::chrono::microseconds(args.deadline_us);
+  if (!args.precision.empty()) {
+    opts.session.precision = simd::ParsePrecision(args.precision);
+  }
   serve::Server server(args.ckpt, opts);
   const serve::ServingInfo& info = server.info();
   std::cerr << "serving " << info.model << " (" << info.num_sensors
             << " sensors, H=" << info.settings.history
             << " -> U=" << info.settings.horizon << ") with "
             << args.workers << " worker(s), max batch " << args.max_batch
-            << ", max delay " << args.max_delay_us << "us\n";
+            << ", max delay " << args.max_delay_us << "us, precision "
+            << simd::PrecisionName(opts.session.precision) << "\n";
   if (args.port > 0) return ServeTcp(server, args.port);
   ServeStdio(server);
   return 0;
