@@ -80,6 +80,9 @@ struct TierAccuracy {
 };
 
 void Run() {
+  // All checkpoints this bench writes are first-generation serving
+  // artifacts of the "serve-bench" profile.
+  SetRunCheckpoint("serve-bench", 1);
   ReportRuntime();
   const bool smoke = GetEnvIntOr("STWA_BENCH_SMOKE", 0) != 0;
   const int64_t num_requests = smoke ? 64 : 512;
@@ -419,7 +422,9 @@ void Run() {
   const std::string path = BenchOutPath("BENCH_serve.json");
   std::ofstream out(path);
   out << "{\n  \"precision\": \"" << RunPrecisionName()
-      << "\",\n  \"num_requests\": " << num_requests
+      << "\",\n  \"profile\": \"" << RunProfileName()
+      << "\",\n  \"ckpt_version\": " << RunCheckpointVersion()
+      << ",\n  \"num_requests\": " << num_requests
       << ",\n  \"distinct_windows\": " << distinct_windows
       << ",\n  \"num_sensors\": " << info.num_sensors
       << ",\n  \"history\": " << settings.history

@@ -152,6 +152,13 @@ std::vector<std::string> MetricCells(const metrics::ForecastMetrics& m) {
           FormatFloat(m.rmse, 2)};
 }
 
+namespace {
+
+std::string g_run_profile = "-";
+int64_t g_run_ckpt_version = 0;
+
+}  // namespace
+
 void ReportRuntime() {
   const std::string env = GetEnvOr("STWA_NUM_THREADS", "");
   const std::string pool_env = GetEnvOr("STWA_DISABLE_POOL", "");
@@ -162,12 +169,23 @@ void ReportRuntime() {
             << (pool_env.empty() ? ""
                                  : " (STWA_DISABLE_POOL=" + pool_env + ")")
             << " simd=" << simd::IsaName()
-            << " precision=" << RunPrecisionName() << "\n";
+            << " precision=" << RunPrecisionName()
+            << " profile=" << g_run_profile
+            << " ckpt_version=" << g_run_ckpt_version << "\n";
 }
 
 const char* RunPrecisionName() {
   return simd::PrecisionName(simd::EnvPrecision());
 }
+
+void SetRunCheckpoint(const std::string& profile, int64_t ckpt_version) {
+  g_run_profile = profile;
+  g_run_ckpt_version = ckpt_version;
+}
+
+const std::string& RunProfileName() { return g_run_profile; }
+
+int64_t RunCheckpointVersion() { return g_run_ckpt_version; }
 
 std::string BenchOutPath(const std::string& filename) {
   ::mkdir("bench_out", 0755);  // ignore EEXIST

@@ -82,6 +82,14 @@ void ReportRuntime();
 /// "simd" field.
 const char* RunPrecisionName();
 
+/// Stamps the serving profile name and checkpoint version this run serves
+/// at into the [runtime] banner (and the accessors below, for JSON).
+/// Serving benches call it before ReportRuntime(); non-serving benches
+/// leave the defaults ("-" / 0 = no checkpoint involved).
+void SetRunCheckpoint(const std::string& profile, int64_t ckpt_version);
+const std::string& RunProfileName();
+int64_t RunCheckpointVersion();
+
 /// Ensures ./bench_out exists and returns the path of `filename` in it.
 std::string BenchOutPath(const std::string& filename);
 

@@ -1,0 +1,82 @@
+#include "fleet/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace stwa {
+namespace fleet {
+
+TokenBucket::TokenBucket(TenantQuota quota)
+    : quota_(quota), tokens_(std::max(quota.burst, 0.0)) {}
+
+bool TokenBucket::TryAdmitAt(int64_t now_us) {
+  if (quota_.rate <= 0.0) return true;
+  if (!started_) {
+    started_ = true;
+    last_us_ = now_us;
+  }
+  const int64_t elapsed_us = std::max<int64_t>(0, now_us - last_us_);
+  last_us_ = now_us;
+  tokens_ = std::min(quota_.burst,
+                     tokens_ + quota_.rate * 1e-6 *
+                                   static_cast<double>(elapsed_us));
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+AdmissionController::AdmissionController(TenantQuota default_quota)
+    : default_quota_(default_quota) {}
+
+void AdmissionController::SetQuota(const std::string& tenant,
+                                   TenantQuota quota) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, bucket] : buckets_) {
+    if (name == tenant) {
+      bucket = TokenBucket(quota);
+      return;
+    }
+  }
+  buckets_.emplace_back(tenant, TokenBucket(quota));
+}
+
+bool AdmissionController::TryAdmit(const std::string& tenant) {
+  const int64_t now_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return TryAdmitAt(tenant, now_us);
+}
+
+bool AdmissionController::TryAdmitAt(const std::string& tenant,
+                                     int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool ok = BucketLocked(tenant).TryAdmitAt(now_us);
+  if (ok) {
+    ++admitted_;
+  } else {
+    ++throttled_;
+  }
+  return ok;
+}
+
+int64_t AdmissionController::admitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_;
+}
+
+int64_t AdmissionController::throttled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return throttled_;
+}
+
+TokenBucket& AdmissionController::BucketLocked(const std::string& tenant) {
+  for (auto& [name, bucket] : buckets_) {
+    if (name == tenant) return bucket;
+  }
+  buckets_.emplace_back(tenant, TokenBucket(default_quota_));
+  return buckets_.back().second;
+}
+
+}  // namespace fleet
+}  // namespace stwa

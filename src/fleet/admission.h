@@ -1,0 +1,88 @@
+// Per-tenant admission control for the fleet serving node.
+//
+// Sits *above* the per-shard deadline shedding (serve/batching_queue):
+// shedding protects the compute workers from overload that already got
+// in, admission keeps an over-quota tenant from getting in at all. Each
+// tenant holds a token bucket (rate tokens/second, `burst` cap); a
+// forecast request consumes one token or is answered with a `throttled`
+// protocol response without ever touching a shard queue. Time is passed
+// in explicitly (microseconds) so tests can drive the refill clock.
+
+#ifndef STWA_FLEET_ADMISSION_H_
+#define STWA_FLEET_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stwa {
+namespace fleet {
+
+/// One tenant's refill policy. rate <= 0 means unlimited (every request
+/// admitted, no tokens tracked).
+struct TenantQuota {
+  /// Tokens added per second.
+  double rate = 0.0;
+  /// Bucket capacity; also the initial fill, so a fresh tenant can burst.
+  double burst = 1.0;
+};
+
+/// Continuous-refill token bucket.
+class TokenBucket {
+ public:
+  explicit TokenBucket(TenantQuota quota);
+
+  /// Consumes one token if available, refilling for the elapsed time
+  /// since the previous call first. `now_us` must be monotone
+  /// non-decreasing (steady-clock microseconds; tests pass values).
+  bool TryAdmitAt(int64_t now_us);
+
+  const TenantQuota& quota() const { return quota_; }
+  double tokens() const { return tokens_; }
+
+ private:
+  TenantQuota quota_;
+  double tokens_;
+  int64_t last_us_ = 0;
+  bool started_ = false;
+};
+
+/// Thread-safe tenant -> bucket map with admit/throttle counters.
+class AdmissionController {
+ public:
+  /// `default_quota` applies to tenants without an explicit SetQuota;
+  /// the default default is unlimited (rate 0), so a node with no quota
+  /// config admits everything.
+  explicit AdmissionController(TenantQuota default_quota = TenantQuota());
+
+  /// Installs (or replaces) `tenant`'s quota; the bucket restarts full.
+  void SetQuota(const std::string& tenant, TenantQuota quota);
+
+  /// Admits or throttles one request for `tenant` at the current
+  /// steady-clock time.
+  bool TryAdmit(const std::string& tenant);
+
+  /// Same with an explicit clock, for deterministic tests.
+  bool TryAdmitAt(const std::string& tenant, int64_t now_us);
+
+  int64_t admitted() const;
+  int64_t throttled() const;
+
+ private:
+  /// Bucket for `tenant`, created from the default quota on first use.
+  /// Caller holds mutex_.
+  TokenBucket& BucketLocked(const std::string& tenant);
+
+  mutable std::mutex mutex_;
+  TenantQuota default_quota_;
+  std::vector<std::pair<std::string, TokenBucket>> buckets_;
+  int64_t admitted_ = 0;
+  int64_t throttled_ = 0;
+};
+
+}  // namespace fleet
+}  // namespace stwa
+
+#endif  // STWA_FLEET_ADMISSION_H_

@@ -1,0 +1,107 @@
+// Fleet wire protocol: the serve line protocol with a profile routing key
+// in front, plus node-level commands.
+//
+// Profile-scoped commands (first token routes to a registry profile):
+//   <profile> obs <tile> <v...>     push one timestep for every sensor of
+//                                   a tile (num_sensors*features values)
+//   <profile> obs1 <g> <v...>       push one observation for global
+//                                   sensor g (features values)
+//   <profile> forecast <tile>       -> "forecast ok=..." (serve format)
+//                                   or "throttled tenant=... profile=..."
+//   <profile> stats                 -> "stats ..." (serve format) plus
+//                                   generation/shard fields
+// Node commands:
+//   profiles                        -> one line listing every profile
+//   tenant <name>                   quota identity for this connection
+//   reload <profile> <path>         hot-swap a profile's checkpoint
+//   stats                           -> "fleetstats ..." node counters
+//   quit                            -> "bye"
+//
+// Malformed lines get an "err ..." response and are counted — in the
+// session (per-connection stats) and in the node (fleet-wide) — never a
+// worker crash. Throttled forecasts have their own first token so
+// token-oriented clients can split admits from rejections.
+
+#ifndef STWA_FLEET_PROTOCOL_H_
+#define STWA_FLEET_PROTOCOL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "fleet/admission.h"
+#include "fleet/config.h"
+#include "fleet/registry.h"
+#include "metrics/latency.h"
+
+namespace stwa {
+namespace fleet {
+
+/// Node-wide serving counters (across connections and profiles).
+struct FleetNodeStats {
+  int64_t admitted = 0;
+  int64_t throttled = 0;
+  int64_t protocol_errors = 0;
+  /// Completed-forecast latency keyed by tenant, and by profile.
+  metrics::LabeledHistograms per_tenant;
+  metrics::LabeledHistograms per_profile;
+};
+
+/// One fleet serving node: the profile registry plus admission control
+/// and node-level stats. Thread-safe; one instance per process, shared by
+/// every connection's FleetLineSession.
+class FleetNode {
+ public:
+  /// Loads every configured profile (concurrently) and installs the
+  /// tenant quotas.
+  explicit FleetNode(const FleetConfig& config);
+
+  ModelRegistry& registry() { return registry_; }
+  AdmissionController& admission() { return admission_; }
+
+  /// Records one completed forecast's end-to-end latency.
+  void RecordForecast(const std::string& tenant, const std::string& profile,
+                      double micros);
+
+  /// Counts one malformed client line.
+  void CountProtocolError();
+
+  FleetNodeStats Stats() const;
+
+ private:
+  ModelRegistry registry_;
+  AdmissionController admission_;
+  mutable std::mutex stats_mutex_;
+  metrics::LabeledHistograms per_tenant_;
+  metrics::LabeledHistograms per_profile_;
+  int64_t protocol_errors_ = 0;
+};
+
+/// Per-connection command loop state (tenant identity + error counter).
+/// Not thread-safe; transports create one per connection.
+class FleetLineSession {
+ public:
+  explicit FleetLineSession(FleetNode& node,
+                            std::string tenant = "default");
+
+  /// Executes one protocol line. Returns the response line, or nullopt
+  /// for blank/comment lines. Sets *quit on "quit".
+  std::optional<std::string> Handle(const std::string& line, bool* quit);
+
+  const std::string& tenant() const { return tenant_; }
+  int64_t protocol_errors() const { return protocol_errors_; }
+
+ private:
+  /// Counts (session + node) and formats a protocol error.
+  std::string Error(const std::string& reason);
+
+  FleetNode& node_;
+  std::string tenant_;
+  int64_t protocol_errors_ = 0;
+};
+
+}  // namespace fleet
+}  // namespace stwa
+
+#endif  // STWA_FLEET_PROTOCOL_H_

@@ -1,0 +1,78 @@
+#include "fleet/registry.h"
+
+#include <exception>
+#include <thread>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace fleet {
+
+ModelRegistry::ModelRegistry(std::vector<FleetProfileConfig> configs) {
+  STWA_CHECK(!configs.empty(), "fleet registry needs at least one profile");
+  for (size_t i = 0; i < configs.size(); ++i) {
+    for (size_t j = i + 1; j < configs.size(); ++j) {
+      STWA_CHECK(configs[i].name != configs[j].name,
+                 "duplicate fleet profile name '", configs[i].name, "'");
+    }
+  }
+  std::vector<std::unique_ptr<ModelProfile>> loaded(configs.size());
+  std::vector<std::exception_ptr> errors(configs.size());
+  std::vector<std::thread> loaders;
+  loaders.reserve(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    loaders.emplace_back([&, i] {
+      try {
+        loaded[i] = std::make_unique<ModelProfile>(configs[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : loaders) t.join();
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  profiles_.reserve(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    profiles_.emplace_back(configs[i].name, std::move(loaded[i]));
+  }
+}
+
+ModelProfile* ModelRegistry::Find(const std::string& name) {
+  for (auto& [key, profile] : profiles_) {
+    if (key == name) return profile.get();
+  }
+  return nullptr;
+}
+
+const ModelProfile* ModelRegistry::Find(const std::string& name) const {
+  for (const auto& [key, profile] : profiles_) {
+    if (key == name) return profile.get();
+  }
+  return nullptr;
+}
+
+ModelProfile& ModelRegistry::Get(const std::string& name) {
+  ModelProfile* profile = Find(name);
+  if (profile == nullptr) {
+    std::string known;
+    for (const auto& [key, p] : profiles_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    STWA_FAIL("unknown fleet profile '", name, "' (registered: ", known,
+              ")");
+  }
+  return *profile;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(profiles_.size());
+  for (const auto& [key, profile] : profiles_) names.push_back(key);
+  return names;
+}
+
+}  // namespace fleet
+}  // namespace stwa

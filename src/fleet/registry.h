@@ -1,0 +1,57 @@
+// The fleet node's profile table: named serving profiles (city x
+// precision), loaded concurrently at startup and looked up by the routing
+// key clients prepend to protocol lines.
+//
+// The table itself is immutable after construction — profiles are not
+// added or removed at runtime (a fleet rollout restarts the node with a
+// new config) — so lookups are lock-free. Mutation happens *inside* a
+// profile via its hot-reload path.
+
+#ifndef STWA_FLEET_REGISTRY_H_
+#define STWA_FLEET_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fleet/profile.h"
+
+namespace stwa {
+namespace fleet {
+
+/// Immutable name -> ModelProfile table.
+class ModelRegistry {
+ public:
+  /// Loads every profile, one loader thread each (checkpoint parsing and
+  /// session opening dominate startup, and profiles are independent).
+  /// Throws if any profile fails to load or two share a name.
+  explicit ModelRegistry(std::vector<FleetProfileConfig> configs);
+
+  /// Profile for `name`, or nullptr when unknown.
+  ModelProfile* Find(const std::string& name);
+  const ModelProfile* Find(const std::string& name) const;
+
+  /// Profile for `name`; throws stwa::Error when unknown, listing the
+  /// registered names.
+  ModelProfile& Get(const std::string& name);
+
+  /// Registered names in config order.
+  std::vector<std::string> Names() const;
+
+  size_t size() const { return profiles_.size(); }
+
+  const std::vector<std::pair<std::string, std::unique_ptr<ModelProfile>>>&
+  entries() const {
+    return profiles_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<ModelProfile>>>
+      profiles_;
+};
+
+}  // namespace fleet
+}  // namespace stwa
+
+#endif  // STWA_FLEET_REGISTRY_H_

@@ -1,0 +1,17 @@
+#include "fleet/shard_router.h"
+
+#include "common/check.h"
+
+namespace stwa {
+namespace fleet {
+
+ShardRouter::ShardRouter(int64_t num_sensors, int64_t tiles, int64_t shards)
+    : n_(num_sensors), tiles_(tiles), shards_(shards) {
+  STWA_CHECK(n_ > 0, "shard router needs num_sensors > 0, got ", n_);
+  STWA_CHECK(tiles_ > 0, "shard router needs tiles > 0, got ", tiles_);
+  STWA_CHECK(shards_ > 0 && shards_ <= tiles_, "shard count ", shards_,
+             " must be in [1, tiles=", tiles_, "]");
+}
+
+}  // namespace fleet
+}  // namespace stwa

@@ -1,0 +1,74 @@
+// Static sharding of a profile's sensor space.
+//
+// A fleet profile serves `tiles` independent copies ("districts") of its
+// checkpoint's N-sensor graph — the global sensor space is tiles * N
+// streams. Tiles are partitioned across K shards in balanced contiguous
+// ranges; each shard owns its tiles' StreamState rings and one
+// serve::Server (queue + workers), so routing a request is pure index
+// arithmetic with no shared state. The split is the standard balanced
+// formula: shard k owns tiles [k*T/K, (k+1)*T/K), computed without
+// floating point.
+
+#ifndef STWA_FLEET_SHARD_ROUTER_H_
+#define STWA_FLEET_SHARD_ROUTER_H_
+
+#include <cstdint>
+
+namespace stwa {
+namespace fleet {
+
+/// Immutable tile/shard index arithmetic for one profile.
+class ShardRouter {
+ public:
+  /// `num_sensors` per tile, `tiles` >= 1 districts, `shards` in
+  /// [1, tiles].
+  ShardRouter(int64_t num_sensors, int64_t tiles, int64_t shards);
+
+  int64_t num_sensors() const { return n_; }
+  int64_t tiles() const { return tiles_; }
+  int64_t shards() const { return shards_; }
+
+  /// Streams across the whole profile (tiles * num_sensors).
+  int64_t global_sensors() const { return tiles_ * n_; }
+
+  /// Tile owning global sensor index `g` in [0, global_sensors()).
+  int64_t SensorToTile(int64_t g) const { return g / n_; }
+
+  /// Local sensor index of `g` inside its tile.
+  int64_t SensorInTile(int64_t g) const { return g % n_; }
+
+  /// Shard owning `tile`.
+  int64_t TileToShard(int64_t tile) const {
+    return ((tile + 1) * shards_ - 1) / tiles_;
+  }
+
+  /// First tile of `shard`.
+  int64_t ShardBegin(int64_t shard) const {
+    return shard * tiles_ / shards_;
+  }
+
+  /// One past the last tile of `shard`.
+  int64_t ShardEnd(int64_t shard) const {
+    return (shard + 1) * tiles_ / shards_;
+  }
+
+  /// Tiles owned by `shard`.
+  int64_t ShardTileCount(int64_t shard) const {
+    return ShardEnd(shard) - ShardBegin(shard);
+  }
+
+  /// Index of `tile` within its shard's contiguous range.
+  int64_t TileInShard(int64_t tile) const {
+    return tile - ShardBegin(TileToShard(tile));
+  }
+
+ private:
+  int64_t n_;
+  int64_t tiles_;
+  int64_t shards_;
+};
+
+}  // namespace fleet
+}  // namespace stwa
+
+#endif  // STWA_FLEET_SHARD_ROUTER_H_

@@ -78,5 +78,33 @@ double LatencyHistogram::Percentile(double p) const {
   return max_;
 }
 
+LatencyHistogram& LabeledHistograms::Get(const std::string& label) {
+  for (auto& [name, hist] : entries_) {
+    if (name == label) return hist;
+  }
+  entries_.emplace_back(label, LatencyHistogram());
+  return entries_.back().second;
+}
+
+const LatencyHistogram* LabeledHistograms::Find(
+    const std::string& label) const {
+  for (const auto& [name, hist] : entries_) {
+    if (name == label) return &hist;
+  }
+  return nullptr;
+}
+
+void LabeledHistograms::Merge(const LabeledHistograms& other) {
+  for (const auto& [name, hist] : other.entries_) {
+    Get(name).Merge(hist);
+  }
+}
+
+int64_t LabeledHistograms::total_count() const {
+  int64_t total = 0;
+  for (const auto& [name, hist] : entries_) total += hist.count();
+  return total;
+}
+
 }  // namespace metrics
 }  // namespace stwa

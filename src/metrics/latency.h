@@ -12,6 +12,9 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace stwa {
 namespace metrics {
@@ -58,6 +61,40 @@ class LatencyHistogram {
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// A small family of LatencyHistograms keyed by label — per-profile or
+/// per-tenant percentiles from one mergeable struct. Labels are kept in
+/// first-Record order so reports are stable; Merge combines by label, so
+/// per-worker (or per-connection) copies fold into one snapshot the same
+/// way the plain histogram does. Not thread-safe: each owner records into
+/// its own copy and the stats endpoint merges.
+class LabeledHistograms {
+ public:
+  /// Histogram for `label`, created empty on first use.
+  LatencyHistogram& Get(const std::string& label);
+
+  /// Histogram for `label`, or nullptr when never recorded.
+  const LatencyHistogram* Find(const std::string& label) const;
+
+  /// Records one observation under `label`.
+  void Record(const std::string& label, double micros) {
+    Get(label).Record(micros);
+  }
+
+  /// Merges every label of `other` into this family (label-wise).
+  void Merge(const LabeledHistograms& other);
+
+  /// Observations across all labels.
+  int64_t total_count() const;
+
+  const std::vector<std::pair<std::string, LatencyHistogram>>& entries()
+      const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, LatencyHistogram>> entries_;
 };
 
 }  // namespace metrics

@@ -200,6 +200,14 @@ CheckpointMeta LoadCheckpointMeta(const std::string& path) {
   return ReadMeta(in);
 }
 
+uint32_t PeekCheckpointFormatVersion(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  STWA_CHECK(in.good(), "cannot open checkpoint '", path, "'");
+  STWA_CHECK(ReadPod<uint32_t>(in) == kMagic, "'", path,
+             "' is not an STWA checkpoint");
+  return ReadPod<uint32_t>(in);
+}
+
 void LoadParameters(Module& module, const std::string& path) {
   std::ifstream in = OpenAndCheckHeader(path);
   const CheckpointMeta meta = ReadMeta(in);

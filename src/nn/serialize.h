@@ -64,6 +64,12 @@ void SaveParameters(const Module& module, const std::string& path,
 /// missing, not an STWA checkpoint, or has an unsupported version.
 CheckpointMeta LoadCheckpointMeta(const std::string& path);
 
+/// Reads only the on-disk format version word (after validating the
+/// magic). Unlike LoadCheckpointMeta this accepts any version — the fleet
+/// reload path and the bench banners report the format generation of a
+/// file even when this build cannot load it.
+uint32_t PeekCheckpointFormatVersion(const std::string& path);
+
 /// Loads parameters by name into `module`. The whole file is read and the
 /// complete parameter table (names and shapes) is validated against the
 /// module first; on any architecture mismatch a single stwa::Error is

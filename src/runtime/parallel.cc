@@ -175,6 +175,14 @@ void SetNumThreads(int n) {
 
 bool InParallelRegion() { return detail::in_parallel_region; }
 
+ScopedSerialRegion::ScopedSerialRegion() : prev_(detail::in_parallel_region) {
+  detail::in_parallel_region = true;
+}
+
+ScopedSerialRegion::~ScopedSerialRegion() {
+  detail::in_parallel_region = prev_;
+}
+
 void RunRegions(int64_t count, const std::function<void(int64_t)>& fn) {
   if (count <= 0) return;
   std::shared_ptr<ThreadPool> pool = Pool();

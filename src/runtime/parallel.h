@@ -53,6 +53,24 @@ bool InParallelRegion();
 /// Exceptions from fn are rethrown on the calling thread.
 void RunRegions(int64_t count, const std::function<void(int64_t)>& fn);
 
+/// RAII that pins the calling thread to serial kernel execution for its
+/// lifetime: every ParallelFor and RunRegions on this thread runs inline,
+/// exactly as if it were nested inside a parallel region. Fleet shard
+/// workers use this so K shards x W workers parallelise *across* requests
+/// instead of contending for the shared pool on every small kernel; the
+/// ParallelFor determinism contract makes the outputs bit-identical either
+/// way. Nests safely (restores the previous state).
+class ScopedSerialRegion {
+ public:
+  ScopedSerialRegion();
+  ~ScopedSerialRegion();
+  ScopedSerialRegion(const ScopedSerialRegion&) = delete;
+  ScopedSerialRegion& operator=(const ScopedSerialRegion&) = delete;
+
+ private:
+  bool prev_;
+};
+
 namespace detail {
 
 /// Pool size mirror (0 = pool not created yet) and the nested-region flag,

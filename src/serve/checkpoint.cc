@@ -74,6 +74,7 @@ nn::CheckpointMeta MakeServingMeta(const ServingInfo& info) {
   meta.SetInt("seed", static_cast<int64_t>(info.settings.seed));
   meta.SetFloat("scaler_mean", info.scaler_mean);
   meta.SetFloat("scaler_std", info.scaler_std);
+  meta.SetInt("ckpt_version", info.ckpt_version);
   return meta;
 }
 
@@ -124,6 +125,7 @@ ServingInfo ReadServingInfo(const std::string& path) {
   info.settings.seed = static_cast<uint64_t>(meta.GetInt("seed"));
   info.scaler_mean = meta.GetFloat("scaler_mean");
   info.scaler_std = meta.GetFloat("scaler_std");
+  info.ckpt_version = std::stoll(meta.GetOr("ckpt_version", "1"));
   const std::string prefix = kInt8ScalePrefix;
   for (const auto& [key, value] : meta.entries()) {
     if (key.compare(0, prefix.size(), prefix) == 0) {

@@ -28,6 +28,12 @@ struct ServingInfo {
   /// denormalises forecasts with exactly these.
   float scaler_mean = 0.0f;
   float scaler_std = 1.0f;
+  /// Monotone checkpoint version stamped by the producer (a trainer or a
+  /// fleet hot-reload pipeline bumps it per re-save). Purely advisory
+  /// provenance: serving layers report it (stats lines, bench banners) so
+  /// an operator can tell *which* weights answered a request. Pre-existing
+  /// files without the entry read back as 1.
+  int64_t ckpt_version = 1;
   /// Per-output-channel int8 weight scales baked at save time, keyed by
   /// parameter name (rank-2 parameters only; serialize v3 metadata).
   /// Empty for pre-v3 checkpoints — int8 sessions then recompute the

@@ -130,6 +130,7 @@ std::string FormatStatsResponse(const ServerStats& stats) {
       << " completed=" << stats.completed << " shed=" << stats.shed
       << " batches=" << stats.batches << " mean_batch="
       << FormatFloat(stats.mean_batch, 2)
+      << " protocol_errors=" << stats.protocol_errors
       << " p50_us=" << FormatMicros(stats.latency.p50())
       << " p95_us=" << FormatMicros(stats.latency.p95())
       << " p99_us=" << FormatMicros(stats.latency.p99());
@@ -138,6 +139,85 @@ std::string FormatStatsResponse(const ServerStats& stats) {
 
 std::string FormatErrorResponse(const std::string& reason) {
   return "err " + Underscored(reason);
+}
+
+std::optional<std::string> ValidateCommand(const Command& cmd,
+                                           int64_t num_sensors,
+                                           int64_t features) {
+  switch (cmd.kind) {
+    case Command::Kind::kObs:
+      if (static_cast<int64_t>(cmd.values.size()) !=
+          num_sensors * features) {
+        return "obs needs " + std::to_string(num_sensors * features) +
+               " values, got " + std::to_string(cmd.values.size());
+      }
+      return std::nullopt;
+    case Command::Kind::kObsSensor:
+      if (cmd.sensor < 0 || cmd.sensor >= num_sensors) {
+        return "sensor " + std::to_string(cmd.sensor) +
+               " out of range [0, " + std::to_string(num_sensors) + ")";
+      }
+      if (static_cast<int64_t>(cmd.values.size()) != features) {
+        return "obs1 needs " + std::to_string(features) + " value(s), got " +
+               std::to_string(cmd.values.size());
+      }
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+LineSession::LineSession(Server& server)
+    : server_(server),
+      state_(server.info().num_sensors, server.info().settings.history,
+             server.info().num_features) {}
+
+std::optional<std::string> LineSession::Handle(const std::string& line,
+                                               bool* quit) {
+  const ServingInfo& info = server_.info();
+  Command cmd = ParseCommand(line);
+  if (cmd.kind == Command::Kind::kInvalid) {
+    if (cmd.error.empty()) return std::nullopt;  // blank/comment
+    ++protocol_errors_;
+    return FormatErrorResponse(cmd.error);
+  }
+  if (auto invalid =
+          ValidateCommand(cmd, state_.num_sensors(), state_.features())) {
+    ++protocol_errors_;
+    return FormatErrorResponse(*invalid);
+  }
+  switch (cmd.kind) {
+    case Command::Kind::kObs:
+      state_.Push(cmd.values);
+      return "ok";
+    case Command::Kind::kObsSensor:
+      state_.PushSensor(cmd.sensor, cmd.values.data());
+      return "ok";
+    case Command::Kind::kForecast: {
+      if (!state_.ready()) {
+        return "forecast ok=0 degraded=0 err=warming_up_have_" +
+               std::to_string(state_.min_filled()) + "_of_" +
+               std::to_string(state_.history());
+      }
+      Tensor window = state_.Window().Reshape(
+          {state_.num_sensors(), state_.history(), state_.features()});
+      Response resp = server_.Submit(std::move(window)).get();
+      return FormatForecastResponse(resp, info.num_sensors,
+                                    info.settings.horizon,
+                                    info.num_features);
+    }
+    case Command::Kind::kStats: {
+      ServerStats stats = server_.Stats();
+      stats.protocol_errors = protocol_errors_;
+      return FormatStatsResponse(stats);
+    }
+    case Command::Kind::kQuit:
+      *quit = true;
+      return "bye";
+    case Command::Kind::kInvalid:
+      break;  // handled above
+  }
+  return std::nullopt;
 }
 
 }  // namespace serve

@@ -12,22 +12,28 @@
 //   forecast ok=1 degraded=0 n=<N> u=<U> <N*U*F floats, sensor-major>
 //   forecast ok=0 degraded=<0|1> err=<reason-with-underscores>
 //   stats submitted=... completed=... shed=... batches=... mean_batch=...
-//         p50_us=... p95_us=... p99_us=...   (single line)
+//         protocol_errors=... p50_us=... p95_us=... p99_us=... (single line)
 //   err <reason>                parse or protocol error
 //   bye                         reply to quit
 //
 // Parsing and formatting are pure functions so they unit-test without
-// sockets or threads.
+// sockets or threads. LineSession drives one client's command stream
+// against a Server: every malformed line — bad floats, out-of-range
+// sensor indices, wrong value counts — is answered with an `err` line and
+// counted in the server stats; nothing a client writes can reach a worker
+// CHECK.
 
 #ifndef STWA_SERVE_PROTOCOL_H_
 #define STWA_SERVE_PROTOCOL_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "serve/batching_queue.h"
 #include "serve/server.h"
+#include "serve/stream_state.h"
 
 namespace stwa {
 namespace serve {
@@ -59,6 +65,41 @@ std::string FormatStatsResponse(const ServerStats& stats);
 
 /// Formats an error line.
 std::string FormatErrorResponse(const std::string& reason);
+
+/// Validates a parsed obs/obs1 command against the serving dimensions.
+/// Returns the error reason, or nullopt when the command is well-formed.
+/// Centralised here so every transport rejects out-of-range sensors and
+/// wrong value counts the same way — before any tensor is built.
+std::optional<std::string> ValidateCommand(const Command& cmd,
+                                           int64_t num_sensors,
+                                           int64_t features);
+
+/// One client's protocol state: a StreamState warmed by obs commands plus
+/// the response logic for every command. Both stwa_serve transports
+/// (stdin and TCP) and the fleet node run one LineSession per connection.
+/// Not thread-safe; each connection owns its session.
+class LineSession {
+ public:
+  /// Binds to `server` (not owned; must outlive the session). Stream
+  /// dimensions come from the server's checkpoint.
+  explicit LineSession(Server& server);
+
+  /// Handles one request line. Returns the response line to write, or
+  /// nullopt for blank/comment lines. Sets *quit on the quit command.
+  /// Never throws on malformed input — bad lines produce `err` responses
+  /// and increment protocol_errors().
+  std::optional<std::string> Handle(const std::string& line, bool* quit);
+
+  /// Lines rejected as malformed so far (parse or validation failures).
+  int64_t protocol_errors() const { return protocol_errors_; }
+
+  StreamState& state() { return state_; }
+
+ private:
+  Server& server_;
+  StreamState state_;
+  int64_t protocol_errors_ = 0;
+};
 
 }  // namespace serve
 }  // namespace stwa

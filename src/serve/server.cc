@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
+#include <string>
 
 #include "common/check.h"
+#include "runtime/parallel.h"
 
 namespace stwa {
 namespace serve {
@@ -15,6 +18,21 @@ double MicrosBetween(std::chrono::steady_clock::time_point a,
 }
 
 }  // namespace
+
+void ServerStats::Merge(const ServerStats& other) {
+  const double batch_requests =
+      mean_batch * static_cast<double>(batches) +
+      other.mean_batch * static_cast<double>(other.batches);
+  submitted += other.submitted;
+  completed += other.completed;
+  shed += other.shed;
+  batches += other.batches;
+  protocol_errors += other.protocol_errors;
+  mean_batch =
+      batches > 0 ? batch_requests / static_cast<double>(batches) : 0.0;
+  latency.Merge(other.latency);
+  per_worker.Merge(other.per_worker);
+}
 
 Server::Server(const std::string& checkpoint_path, ServerOptions options)
     : options_(options), queue_(options.batching) {
@@ -81,6 +99,10 @@ const ServingInfo& Server::info() const {
 }
 
 void Server::WorkerLoop(Worker& worker) {
+  // Fleet shard workers keep their kernels serial: the process-level
+  // parallelism is across shards/requests, not inside one small forward.
+  std::optional<runtime::ScopedSerialRegion> serial;
+  if (options_.serial_kernels) serial.emplace();
   const ServingInfo& inf = worker.session->info();
   const int64_t sample = inf.num_sensors * inf.settings.history *
                          inf.num_features;
@@ -154,12 +176,14 @@ ServerStats Server::Stats() const {
   ServerStats stats;
   stats.submitted = queue_.submitted();
   stats.shed = queue_.shed();
-  for (const auto& worker : workers_) {
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    const auto& worker = workers_[i];
     std::lock_guard<std::mutex> lock(worker->stats_mutex);
     stats.completed += worker->completed;
     stats.batches += worker->batches;
     stats.mean_batch += static_cast<double>(worker->batch_requests);
     stats.latency.Merge(worker->latency);
+    stats.per_worker.Get("w" + std::to_string(i)).Merge(worker->latency);
   }
   stats.mean_batch =
       stats.batches > 0 ? stats.mean_batch / static_cast<double>(

@@ -39,6 +39,12 @@ struct ServerOptions {
   SessionConfig session;
   /// Default in-queue deadline for Submit() without an explicit budget.
   std::chrono::microseconds default_deadline{1'000'000};
+  /// When true, worker threads run their model kernels serially
+  /// (runtime::ScopedSerialRegion): the fleet layer runs many shard
+  /// servers in one process and parallelises across requests, so the
+  /// per-kernel pool dispatch is pure contention there. Outputs are
+  /// bit-identical either way (ParallelFor determinism contract).
+  bool serial_kernels = false;
 };
 
 /// Aggregated serving statistics.
@@ -47,10 +53,21 @@ struct ServerStats {
   int64_t completed = 0;
   int64_t shed = 0;
   int64_t batches = 0;
+  /// Malformed client lines rejected before reaching a worker (counted by
+  /// the transport's LineSession, not by the server core).
+  int64_t protocol_errors = 0;
   /// Mean executed batch size (0 when no batch ran yet).
   double mean_batch = 0.0;
   /// End-to-end latency (submit -> response) of completed requests.
   metrics::LatencyHistogram latency;
+  /// The same completions keyed per worker ("w0", "w1", ...) — per-worker
+  /// percentiles from one mergeable struct.
+  metrics::LabeledHistograms per_worker;
+
+  /// Folds `other` into this snapshot (counters add, histograms merge,
+  /// mean_batch re-weighted by batch count). The fleet layer uses this to
+  /// accumulate stats across shards and across retired generations.
+  void Merge(const ServerStats& other);
 };
 
 /// Thread-safe forecast server over a frozen checkpoint.

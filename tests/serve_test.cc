@@ -603,6 +603,222 @@ TEST(ProtocolTest, FormatsForecastAndShedResponses) {
       << "shed reason must be one token: " << bad;
 }
 
+// ---------------------------------------------------------------------------
+// LabeledHistograms
+
+TEST(LabeledHistogramsTest, RecordsPerLabelInFirstUseOrder) {
+  metrics::LabeledHistograms h;
+  h.Record("cityB", 100.0);
+  h.Record("cityA", 200.0);
+  h.Record("cityB", 300.0);
+  EXPECT_EQ(h.total_count(), 3);
+  ASSERT_EQ(h.entries().size(), 2u);
+  EXPECT_EQ(h.entries()[0].first, "cityB");
+  EXPECT_EQ(h.entries()[1].first, "cityA");
+  ASSERT_NE(h.Find("cityB"), nullptr);
+  EXPECT_EQ(h.Find("cityB")->count(), 2);
+  EXPECT_EQ(h.Find("missing"), nullptr);
+}
+
+TEST(LabeledHistogramsTest, MergeCombinesByLabel) {
+  metrics::LabeledHistograms a, b;
+  a.Record("x", 10.0);
+  a.Record("y", 20.0);
+  b.Record("y", 30.0);
+  b.Record("z", 40.0);
+  a.Merge(b);
+  EXPECT_EQ(a.total_count(), 4);
+  ASSERT_EQ(a.entries().size(), 3u);
+  EXPECT_EQ(a.Find("y")->count(), 2);
+  EXPECT_DOUBLE_EQ(a.Find("y")->mean_micros(), 25.0);
+  EXPECT_EQ(a.Find("z")->count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// ServerStats::Merge
+
+TEST(ServerStatsTest, MergeAddsCountersAndReweightsMeanBatch) {
+  ServerStats a, b;
+  a.submitted = 10;
+  a.completed = 8;
+  a.shed = 2;
+  a.batches = 4;
+  a.mean_batch = 2.0;  // 8 requests over 4 batches
+  a.protocol_errors = 1;
+  a.latency.Record(100.0);
+  a.per_worker.Record("w0", 100.0);
+  b.submitted = 6;
+  b.completed = 6;
+  b.batches = 2;
+  b.mean_batch = 3.0;  // 6 requests over 2 batches
+  b.latency.Record(300.0);
+  b.per_worker.Record("w0", 300.0);
+  a.Merge(b);
+  EXPECT_EQ(a.submitted, 16);
+  EXPECT_EQ(a.completed, 14);
+  EXPECT_EQ(a.shed, 2);
+  EXPECT_EQ(a.batches, 6);
+  EXPECT_EQ(a.protocol_errors, 1);
+  EXPECT_DOUBLE_EQ(a.mean_batch, 14.0 / 6.0);
+  EXPECT_EQ(a.latency.count(), 2);
+  EXPECT_EQ(a.per_worker.Find("w0")->count(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol hardening: validation and the LineSession error paths
+
+TEST(ProtocolTest, ValidateCommandRejectsBadShapes) {
+  Command obs = ParseCommand("obs 1 2 3");
+  EXPECT_TRUE(ValidateCommand(obs, /*num_sensors=*/3, /*features=*/1) ==
+              std::nullopt);
+  auto short_obs = ValidateCommand(obs, /*num_sensors=*/4, /*features=*/1);
+  ASSERT_TRUE(short_obs.has_value());
+  EXPECT_NE(short_obs->find("4"), std::string::npos);
+
+  Command sensor_oob = ParseCommand("obs1 9 1.0");
+  auto oob = ValidateCommand(sensor_oob, /*num_sensors=*/4, /*features=*/1);
+  ASSERT_TRUE(oob.has_value());
+  EXPECT_NE(oob->find("out of range"), std::string::npos);
+  Command sensor_neg = ParseCommand("obs1 -1 1.0");
+  EXPECT_TRUE(ValidateCommand(sensor_neg, 4, 1).has_value());
+
+  Command wrong_feat = ParseCommand("obs1 0 1.0 2.0");
+  EXPECT_TRUE(ValidateCommand(wrong_feat, 4, 1).has_value());
+  EXPECT_TRUE(ValidateCommand(wrong_feat, 4, 2) == std::nullopt);
+
+  // Control commands never fail shape validation.
+  EXPECT_TRUE(ValidateCommand(ParseCommand("forecast"), 4, 1) ==
+              std::nullopt);
+  EXPECT_TRUE(ValidateCommand(ParseCommand("stats"), 4, 1) == std::nullopt);
+}
+
+TEST(LineSessionTest, MalformedLinesAreCountedNeverFatal) {
+  Fixture f = MakeFixture("stwa_serve_session_err.bin");
+  ServerOptions opts;
+  Server server(f.path, opts);
+  LineSession session(server);
+  bool quit = false;
+
+  // Blank lines and comments produce no response and no error count.
+  EXPECT_FALSE(session.Handle("", &quit).has_value());
+  EXPECT_FALSE(session.Handle("# comment", &quit).has_value());
+  EXPECT_EQ(session.protocol_errors(), 0);
+
+  // Each malformed line: an "err ..." response, a bumped counter, and a
+  // still-usable session.
+  const std::vector<std::string> bad = {
+      "obs 1 two 3",        // unparsable value
+      "obs 1 2",            // wrong value count (needs N*F = 4)
+      "obs1 99 1.0",        // sensor out of range
+      "obs1 -1 1.0",        // negative sensor
+      "obs1 0 1.0 2.0",     // wrong feature count
+      "frobnicate",         // unknown verb
+  };
+  for (size_t i = 0; i < bad.size(); ++i) {
+    auto resp = session.Handle(bad[i], &quit);
+    ASSERT_TRUE(resp.has_value()) << bad[i];
+    EXPECT_EQ(resp->rfind("err ", 0), 0u) << *resp;
+    EXPECT_EQ(session.protocol_errors(), static_cast<int64_t>(i + 1));
+  }
+
+  // The stats line reports the count.
+  auto stats = session.Handle("stats", &quit);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NE(stats->find("protocol_errors=6"), std::string::npos) << *stats;
+
+  // The session still serves: warm it and get a real forecast.
+  std::vector<float> obs(static_cast<size_t>(f.info.num_sensors), 1.0f);
+  std::string obs_line = "obs";
+  for (float v : obs) obs_line += " " + std::to_string(v);
+  for (int64_t s = 0; s < f.settings.history; ++s) {
+    auto ok = session.Handle(obs_line, &quit);
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(*ok, "ok");
+  }
+  auto forecast = session.Handle("forecast", &quit);
+  ASSERT_TRUE(forecast.has_value());
+  EXPECT_EQ(forecast->rfind("forecast ok=1", 0), 0u) << *forecast;
+  EXPECT_FALSE(quit);
+  auto bye = session.Handle("quit", &quit);
+  EXPECT_TRUE(quit);
+  EXPECT_EQ(*bye, "bye");
+  std::remove(f.path.c_str());
+}
+
+TEST(LineSessionTest, WarmingForecastReportsProgress) {
+  Fixture f = MakeFixture("stwa_serve_session_warm.bin");
+  Server server(f.path, ServerOptions{});
+  LineSession session(server);
+  bool quit = false;
+  auto resp = session.Handle("forecast", &quit);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->rfind("forecast ok=0 degraded=0 err=warming_up", 0), 0u)
+      << *resp;
+  // Not a protocol error: the line was well-formed.
+  EXPECT_EQ(session.protocol_errors(), 0);
+  std::remove(f.path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// BatchingQueue: shutdown drains instead of dropping
+
+TEST(BatchingQueueTest, ShutdownDrainsQueuedRequestsBeforeEmpty) {
+  BatchingOptions opts;
+  opts.max_batch = 4;
+  opts.max_delay = std::chrono::microseconds(60'000'000);
+  BatchingQueue queue(opts);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(queue.Submit(Tensor(Shape{1, 1, 1}),
+                                   std::chrono::microseconds(60'000'000)));
+  }
+  queue.Shutdown();
+  // Every queued request comes out of NextBatch (in batches of <= 4)
+  // before the terminal empty vector — the fleet reload's drain contract.
+  int64_t drained = 0;
+  for (;;) {
+    std::vector<Request> batch = queue.NextBatch();
+    if (batch.empty()) break;
+    EXPECT_LE(batch.size(), 4u);
+    drained += static_cast<int64_t>(batch.size());
+    for (auto& r : batch) {
+      Response resp;
+      resp.ok = true;
+      r.promise.set_value(std::move(resp));
+    }
+  }
+  EXPECT_EQ(drained, 10);
+  EXPECT_EQ(queue.shed(), 0);
+  for (auto& fut : futures) EXPECT_TRUE(fut.get().ok);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint provenance
+
+TEST(ServingCheckpointTest, CkptVersionRoundTripsAndDefaultsToOne) {
+  Fixture f = MakeFixture("stwa_serve_ckptver.bin");
+  // MakeFixture leaves the default (1).
+  EXPECT_EQ(ReadServingInfo(f.path).ckpt_version, 1);
+  f.info.ckpt_version = 7;
+  SaveServingCheckpoint(*f.model, f.info, f.path);
+  EXPECT_EQ(ReadServingInfo(f.path).ckpt_version, 7);
+  // The format version word is independent of the provenance counter.
+  EXPECT_EQ(nn::PeekCheckpointFormatVersion(f.path), 3u);
+  std::remove(f.path.c_str());
+}
+
+TEST(ServingCheckpointTest, PeekFormatVersionRejectsNonCheckpoints) {
+  const std::string path = TempPath("stwa_serve_peek_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint at all";
+  }
+  EXPECT_THROW(nn::PeekCheckpointFormatVersion(path), Error);
+  EXPECT_THROW(nn::PeekCheckpointFormatVersion(TempPath("stwa_missing.bin")),
+               Error);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace stwa

@@ -1,26 +1,25 @@
-// stwa_serve: line-protocol forecast server over a frozen checkpoint.
+// stwa_fleet: multi-profile fleet serving node (src/fleet).
 //
 // Modes:
-//   --train-demo <ckpt> [--epochs E]
-//       Generate the tiny quickstart-like dataset, train ST-WA for E
-//       epochs (default 2) and write a serving checkpoint — a
-//       self-contained way to produce a checkpoint for smoke tests.
-//   --ckpt <path> [--workers W] [--max-batch B] [--max-delay-us D]
-//          [--deadline-us D] [--port P] [--precision fp32|bf16|int8]
-//       Serve the checkpoint. Default transport is the line protocol on
-//       stdin/stdout (see serve/protocol.h); --port instead listens on
-//       TCP with one connection thread and one StreamState per client,
-//       all sharing the batching server. --precision selects the weight
-//       tier every worker session serves at (default: STWA_PRECISION,
-//       falling back to fp32); activations stay fp32.
+//   --train-demo <dir> [--epochs E]
+//       Train two tiny city models (cityA: 4 sensors, cityB: 3 sensors)
+//       and write <dir>/cityA.bin and <dir>/cityB.bin — self-contained
+//       checkpoints for smoke tests and the CI fleet job.
+//   --config <path> [--port P]
+//       Serve the profiles in a fleet config file (fleet/config.h). The
+//       default transport is the fleet line protocol on stdin/stdout
+//       (fleet/protocol.h); --port listens on TCP with one connection
+//       thread and one FleetLineSession per client, all sharing the node.
+//
+// Example config (two city profiles and a capped tenant):
+//   profile cityA ckpt=demo/cityA.bin tiles=8 shards=2 workers=2
+//   profile cityB ckpt=demo/cityB.bin tiles=4 shards=2 precision=bf16
+//   quota free rate=100 burst=200
 
-#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <optional>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,40 +27,32 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "baselines/registry.h"
 #include "common/string_util.h"
 #include "data/traffic_generator.h"
+#include "fleet/config.h"
+#include "fleet/protocol.h"
 #include "serve/checkpoint.h"
-#include "serve/protocol.h"
-#include "serve/server.h"
-#include "serve/stream_state.h"
-#include "simd/lowp.h"
 #include "train/trainer.h"
 
 namespace stwa {
 namespace {
 
 struct Args {
-  std::string train_demo_path;
+  std::string train_demo_dir;
   int epochs = 2;
-  std::string ckpt;
-  int workers = 1;
-  int64_t max_batch = 8;
-  int64_t max_delay_us = 2000;
-  int64_t deadline_us = 1'000'000;
-  int port = 0;            // 0 = stdin/stdout
-  std::string precision;   // empty = STWA_PRECISION / fp32
+  std::string config;
+  int port = 0;  // 0 = stdin/stdout
 };
 
 void PrintUsage() {
   std::cerr <<
       "usage:\n"
-      "  stwa_serve --train-demo <ckpt> [--epochs E]\n"
-      "  stwa_serve --ckpt <path> [--workers W] [--max-batch B]\n"
-      "             [--max-delay-us D] [--deadline-us D] [--port P]\n"
-      "             [--precision fp32|bf16|int8]\n";
+      "  stwa_fleet --train-demo <dir> [--epochs E]\n"
+      "  stwa_fleet --config <path> [--port P]\n";
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -74,31 +65,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     const char* v = nullptr;
     if (flag == "--train-demo") {
       if ((v = next_value(i)) == nullptr) return false;
-      args->train_demo_path = v;
+      args->train_demo_dir = v;
     } else if (flag == "--epochs") {
       if ((v = next_value(i)) == nullptr) return false;
       args->epochs = std::atoi(v);
-    } else if (flag == "--ckpt") {
+    } else if (flag == "--config") {
       if ((v = next_value(i)) == nullptr) return false;
-      args->ckpt = v;
-    } else if (flag == "--workers") {
-      if ((v = next_value(i)) == nullptr) return false;
-      args->workers = std::atoi(v);
-    } else if (flag == "--max-batch") {
-      if ((v = next_value(i)) == nullptr) return false;
-      args->max_batch = std::atoll(v);
-    } else if (flag == "--max-delay-us") {
-      if ((v = next_value(i)) == nullptr) return false;
-      args->max_delay_us = std::atoll(v);
-    } else if (flag == "--deadline-us") {
-      if ((v = next_value(i)) == nullptr) return false;
-      args->deadline_us = std::atoll(v);
+      args->config = v;
     } else if (flag == "--port") {
       if ((v = next_value(i)) == nullptr) return false;
       args->port = std::atoi(v);
-    } else if (flag == "--precision") {
-      if ((v = next_value(i)) == nullptr) return false;
-      args->precision = v;
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -106,19 +82,19 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  return !args->train_demo_path.empty() || !args->ckpt.empty();
+  return !args->train_demo_dir.empty() || !args->config.empty();
 }
 
-/// The demo dataset/model: small enough that two epochs train in seconds,
-/// shaped like the quickstart (paper T=12 lookback, U=12 horizon).
-int TrainDemo(const Args& args) {
+/// Trains one tiny city model and writes a serving checkpoint.
+void TrainCity(const std::string& name, int roads, int sensors_per_road,
+               uint64_t seed, int epochs, const std::string& path) {
   data::GeneratorOptions gen;
-  gen.name = "serve-demo";
-  gen.num_roads = 2;
-  gen.sensors_per_road = 2;
+  gen.name = name;
+  gen.num_roads = roads;
+  gen.sensors_per_road = sensors_per_road;
   gen.num_days = 4;
   gen.steps_per_day = 96;
-  gen.seed = 17;
+  gen.seed = seed;
   data::TrafficDataset dataset = data::GenerateTraffic(gen);
 
   baselines::ModelSettings settings;
@@ -131,15 +107,16 @@ int TrainDemo(const Args& args) {
   auto model = baselines::MakeModel("ST-WA", dataset, settings);
 
   train::TrainConfig config;
-  config.epochs = args.epochs;
+  config.epochs = epochs;
   config.batch_size = 8;
   config.stride = 2;
   config.eval_stride = 4;
   train::Trainer trainer(dataset, settings.history, settings.horizon,
                          config);
   train::TrainResult result = trainer.Fit(*model);
-  std::cerr << "trained ST-WA " << result.epochs_run << " epochs, test MAE "
-            << FormatFloat(result.test.mae, 3) << "\n";
+  std::cerr << "trained " << name << " " << result.epochs_run
+            << " epochs, test MAE " << FormatFloat(result.test.mae, 3)
+            << "\n";
 
   serve::ServingInfo info;
   info.model = "ST-WA";
@@ -148,13 +125,22 @@ int TrainDemo(const Args& args) {
   info.num_features = dataset.num_features();
   info.scaler_mean = trainer.scaler().mean();
   info.scaler_std = trainer.scaler().stddev();
-  serve::SaveServingCheckpoint(*model, info, args.train_demo_path);
-  std::cerr << "wrote serving checkpoint " << args.train_demo_path << "\n";
+  info.ckpt_version = 1;
+  serve::SaveServingCheckpoint(*model, info, path);
+  std::cerr << "wrote serving checkpoint " << path << "\n";
+}
+
+int TrainDemo(const Args& args) {
+  ::mkdir(args.train_demo_dir.c_str(), 0755);  // ignore EEXIST
+  TrainCity("cityA", 2, 2, 17, args.epochs,
+            args.train_demo_dir + "/cityA.bin");
+  TrainCity("cityB", 3, 1, 23, args.epochs,
+            args.train_demo_dir + "/cityB.bin");
   return 0;
 }
 
-void ServeStdio(serve::Server& server) {
-  serve::LineSession session(server);
+void ServeStdio(fleet::FleetNode& node) {
+  fleet::FleetLineSession session(node);
   std::string line;
   bool quit = false;
   while (!quit && std::getline(std::cin, line)) {
@@ -163,8 +149,8 @@ void ServeStdio(serve::Server& server) {
   }
 }
 
-void ServeConnection(int fd, serve::Server& server) {
-  serve::LineSession session(server);
+void ServeConnection(int fd, fleet::FleetNode& node) {
+  fleet::FleetLineSession session(node);
   std::string buffer;
   char chunk[4096];
   bool quit = false;
@@ -195,7 +181,7 @@ void ServeConnection(int fd, serve::Server& server) {
   close(fd);
 }
 
-int ServeTcp(serve::Server& server, int port) {
+int ServeTcp(fleet::FleetNode& node, int port) {
   const int listener = socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
     std::cerr << "socket() failed: " << std::strerror(errno) << "\n";
@@ -219,7 +205,7 @@ int ServeTcp(serve::Server& server, int port) {
   for (;;) {
     const int fd = accept(listener, nullptr, nullptr);
     if (fd < 0) break;
-    connections.emplace_back([fd, &server] { ServeConnection(fd, server); });
+    connections.emplace_back([fd, &node] { ServeConnection(fd, node); });
   }
   for (std::thread& t : connections) t.join();
   close(listener);
@@ -227,24 +213,20 @@ int ServeTcp(serve::Server& server, int port) {
 }
 
 int Serve(const Args& args) {
-  serve::ServerOptions opts;
-  opts.workers = args.workers;
-  opts.batching.max_batch = args.max_batch;
-  opts.batching.max_delay = std::chrono::microseconds(args.max_delay_us);
-  opts.default_deadline = std::chrono::microseconds(args.deadline_us);
-  if (!args.precision.empty()) {
-    opts.session.precision = simd::ParsePrecision(args.precision);
+  const fleet::FleetConfig config = fleet::LoadFleetConfig(args.config);
+  fleet::FleetNode node(config);
+  for (const auto& [name, profile] : node.registry().entries()) {
+    const serve::ServingInfo info = profile->Info();
+    std::cerr << "profile " << name << ": " << info.model << " gen="
+              << profile->Version() << " ckpt_version=" << info.ckpt_version
+              << ", " << profile->router().tiles() << " tiles x "
+              << info.num_sensors << " sensors over "
+              << profile->router().shards() << " shard(s), "
+              << profile->config().workers << " worker(s)/shard, precision "
+              << simd::PrecisionName(profile->config().precision) << "\n";
   }
-  serve::Server server(args.ckpt, opts);
-  const serve::ServingInfo& info = server.info();
-  std::cerr << "serving " << info.model << " (" << info.num_sensors
-            << " sensors, H=" << info.settings.history
-            << " -> U=" << info.settings.horizon << ") with "
-            << args.workers << " worker(s), max batch " << args.max_batch
-            << ", max delay " << args.max_delay_us << "us, precision "
-            << simd::PrecisionName(opts.session.precision) << "\n";
-  if (args.port > 0) return ServeTcp(server, args.port);
-  ServeStdio(server);
+  if (args.port > 0) return ServeTcp(node, args.port);
+  ServeStdio(node);
   return 0;
 }
 
@@ -258,7 +240,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    if (!args.train_demo_path.empty()) return stwa::TrainDemo(args);
+    if (!args.train_demo_dir.empty()) return stwa::TrainDemo(args);
     return stwa::Serve(args);
   } catch (const std::exception& e) {
     std::cerr << "fatal: " << e.what() << "\n";
