@@ -80,6 +80,20 @@ struct Incident {
   float severity;  // multiplicative flow drop at the centre, in (0, 1)
 };
 
+/// Multiplier of the options-planted regime shift at `step` (1 before the
+/// shift and when disabled; options only, no RNG).
+float ShiftFactor(const GeneratorOptions& options, int64_t step) {
+  if (options.shift_step < 0 || step < options.shift_step) return 1.0f;
+  if (options.shift_ramp_steps > 0 &&
+      step < options.shift_step + options.shift_ramp_steps) {
+    const float phase =
+        static_cast<float>(step - options.shift_step) /
+        static_cast<float>(options.shift_ramp_steps);
+    return 1.0f + (options.shift_scale - 1.0f) * phase;
+  }
+  return options.shift_scale;
+}
+
 float IncidentFactor(const std::vector<Incident>& incidents, int64_t step) {
   float factor = 1.0f;
   for (const Incident& inc : incidents) {
@@ -107,7 +121,30 @@ bool IsWeekend(int64_t step, int64_t steps_per_day) {
   return dow == 5 || dow == 6;
 }
 
+std::vector<PlannedEvent> ShiftSchedule::ActiveAt(int64_t step) const {
+  std::vector<PlannedEvent> active;
+  for (const PlannedEvent& e : events) {
+    if (step >= e.start_step && step < e.end_step) active.push_back(e);
+  }
+  return active;
+}
+
+int64_t ShiftSchedule::NextEventAfter(int64_t step) const {
+  int64_t next = -1;
+  for (const PlannedEvent& e : events) {
+    if (e.start_step >= step && (next < 0 || e.start_step < next)) {
+      next = e.start_step;
+    }
+  }
+  return next;
+}
+
 TrafficDataset GenerateTraffic(const GeneratorOptions& options) {
+  return GenerateTraffic(options, nullptr);
+}
+
+TrafficDataset GenerateTraffic(const GeneratorOptions& options,
+                               ShiftSchedule* schedule) {
   STWA_CHECK(options.num_roads > 0 && options.sensors_per_road > 0 &&
                  options.num_days > 0 && options.steps_per_day > 0,
              "invalid generator options");
@@ -141,6 +178,33 @@ TrafficDataset GenerateTraffic(const GeneratorOptions& options) {
         incidents[r].push_back(inc);
       }
     }
+  }
+  if (schedule != nullptr) {
+    schedule->events.clear();
+    for (int64_t r = 0; r < options.num_roads; ++r) {
+      for (const Incident& inc : incidents[r]) {
+        PlannedEvent event;
+        event.kind = PlannedEvent::Kind::kIncident;
+        event.road = r;
+        event.start_step = inc.start_step;
+        event.end_step = inc.start_step + inc.duration_steps;
+        event.severity = inc.severity;
+        schedule->events.push_back(event);
+      }
+    }
+    if (options.shift_step >= 0 && options.shift_step < num_steps) {
+      PlannedEvent event;
+      event.kind = PlannedEvent::Kind::kRegimeShift;
+      event.road = -1;
+      event.start_step = options.shift_step;
+      event.end_step = num_steps;
+      event.severity = std::abs(1.0f - options.shift_scale);
+      schedule->events.push_back(event);
+    }
+    std::sort(schedule->events.begin(), schedule->events.end(),
+              [](const PlannedEvent& a, const PlannedEvent& b) {
+                return a.start_step < b.start_step;
+              });
   }
 
   // Per-sensor modifiers.
@@ -183,6 +247,7 @@ TrafficDataset GenerateTraffic(const GeneratorOptions& options) {
       const float hour = lagged_step / steps_per_hour;
       float flow = amp[i] * RoadFlow(profiles[road], hour, weekend);
       flow *= IncidentFactor(incidents[road], t);
+      flow *= ShiftFactor(options, t);
       flow += road_noise[road] +
               sensor_rng[i].Normal(0.0f, options.noise_std);
       dataset.values({i, t, 0}) = std::max(0.0f, flow);

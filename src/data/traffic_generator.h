@@ -20,6 +20,7 @@
 #define STWA_DATA_TRAFFIC_GENERATOR_H_
 
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 
@@ -43,9 +44,58 @@ struct GeneratorOptions {
 
   /// Enable the weekday/weekend regime difference.
   bool weekend_effect = true;
+
+  /// Planted network-wide regime shift: from `shift_step` on (when >= 0),
+  /// every road's clean flow is multiplied by `shift_scale`, ramping in
+  /// linearly over `shift_ramp_steps` (0 = a hard break). The shift is
+  /// deterministic in the options — it draws nothing from the RNG stream,
+  /// so enabling it changes no other byte of the output — and is exported
+  /// in the ShiftSchedule, giving drift tests and the online-learning
+  /// benches a queryable distribution change at a known timestamp.
+  int64_t shift_step = -1;
+  float shift_scale = 1.0f;
+  int64_t shift_ramp_steps = 0;
+};
+
+/// One planted disruption in a generated dataset: the ground truth the
+/// drift machinery is asked to find.
+struct PlannedEvent {
+  enum class Kind {
+    /// A 30-120 minute capacity drop on a single road (sine window).
+    kIncident,
+    /// The options-planted network-wide level shift (open-ended).
+    kRegimeShift,
+  };
+  Kind kind = Kind::kIncident;
+  /// Affected road, or -1 for every road (regime shifts).
+  int64_t road = -1;
+  /// First perturbed step.
+  int64_t start_step = 0;
+  /// One past the last perturbed step (num_steps for an open-ended shift).
+  int64_t end_step = 0;
+  /// Peak multiplicative flow change, as |1 - factor| in [0, 1).
+  float severity = 0.0f;
+};
+
+/// Seeded, queryable schedule of everything the generator planted.
+/// Events are ordered by start_step; the same options always produce the
+/// same schedule (it is derived from the same RNG draws as the data).
+struct ShiftSchedule {
+  std::vector<PlannedEvent> events;
+
+  /// Events perturbing flow at `step` (incidents overlapping it plus an
+  /// active regime shift).
+  std::vector<PlannedEvent> ActiveAt(int64_t step) const;
+
+  /// Start of the first event with start_step >= `step`, or -1.
+  int64_t NextEventAfter(int64_t step) const;
 };
 
 /// Generates a synthetic dataset (values, graph, road labels, coords).
+/// When `schedule` is non-null it receives the planted incident/shift
+/// timeline for the generated data.
+TrafficDataset GenerateTraffic(const GeneratorOptions& options,
+                               ShiftSchedule* schedule);
 TrafficDataset GenerateTraffic(const GeneratorOptions& options);
 
 /// Day-of-week of a timestamp (0 = Monday ... 6 = Sunday; day 0 is Monday).

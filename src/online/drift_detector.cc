@@ -1,0 +1,78 @@
+#include "online/drift_detector.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace online {
+
+DriftDetector::DriftDetector(DriftConfig config) : config_(config) {
+  STWA_CHECK(config_.baseline_window > 1 && config_.recent_window > 0,
+             "drift windows must hold at least 2 baseline / 1 recent errors");
+  STWA_CHECK(config_.sigma_threshold >= 0.0f &&
+                 config_.min_rel_increase >= 0.0f,
+             "drift thresholds must be non-negative");
+}
+
+bool DriftDetector::warm() const {
+  return static_cast<int64_t>(window_.size()) ==
+         config_.baseline_window + config_.recent_window;
+}
+
+void DriftDetector::Reset() {
+  window_.clear();
+  observed_ = 0;
+  drifted_ = false;
+  baseline_mean_ = 0.0f;
+  baseline_std_ = 0.0f;
+  recent_mean_ = 0.0f;
+}
+
+void DriftDetector::RecomputeStats() {
+  const int64_t base_n = config_.baseline_window;
+  double base_sum = 0.0;
+  double base_sq = 0.0;
+  for (int64_t i = 0; i < base_n; ++i) {
+    const double e = window_[static_cast<size_t>(i)];
+    base_sum += e;
+    base_sq += e * e;
+  }
+  const double base_mean = base_sum / static_cast<double>(base_n);
+  const double var =
+      base_sq / static_cast<double>(base_n) - base_mean * base_mean;
+  baseline_mean_ = static_cast<float>(base_mean);
+  baseline_std_ = static_cast<float>(std::sqrt(var > 0.0 ? var : 0.0));
+
+  double recent_sum = 0.0;
+  for (int64_t i = base_n;
+       i < base_n + config_.recent_window; ++i) {
+    recent_sum += window_[static_cast<size_t>(i)];
+  }
+  recent_mean_ =
+      static_cast<float>(recent_sum / static_cast<double>(config_.recent_window));
+}
+
+bool DriftDetector::AddError(float error) {
+  window_.push_back(error);
+  ++observed_;
+  const int64_t full = config_.baseline_window + config_.recent_window;
+  if (static_cast<int64_t>(window_.size()) > full) window_.pop_front();
+  if (static_cast<int64_t>(window_.size()) < full) return false;
+  RecomputeStats();
+  if (drifted_) return false;
+  const bool sigma_hit =
+      recent_mean_ >
+      baseline_mean_ + config_.sigma_threshold * baseline_std_;
+  const bool rel_hit =
+      recent_mean_ > baseline_mean_ * (1.0f + config_.min_rel_increase);
+  if (sigma_hit && rel_hit) {
+    drifted_ = true;
+    ++triggers_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace online
+}  // namespace stwa

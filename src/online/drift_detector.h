@@ -1,0 +1,86 @@
+// Rolling-statistics drift detection over live forecast errors.
+//
+// The online learner probes its shadow model against every harvested
+// example and feeds the raw-scale MAE here. The detector keeps the last
+// baseline_window + recent_window errors; once full, it compares the
+// newest recent_window errors against the baseline_window errors that
+// preceded them and declares drift when the recent mean exceeds the
+// baseline by both a sigma margin (robust to noisy streams) and a
+// relative margin (robust to near-zero baseline variance). The flag is
+// sticky: it stays raised until Reset(), which the learner calls after an
+// adaptation cycle so the baseline rebuilds from post-adapt errors.
+// Fully deterministic in the error sequence.
+
+#ifndef STWA_ONLINE_DRIFT_DETECTOR_H_
+#define STWA_ONLINE_DRIFT_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+
+namespace stwa {
+namespace online {
+
+/// Detection thresholds. Defaults suit the demo streams (errors arrive
+/// once per emitted example, i.e. every emit_stride observation rows).
+struct DriftConfig {
+  /// Reference errors preceding the window under test.
+  int64_t baseline_window = 48;
+  /// Newest errors tested against the baseline.
+  int64_t recent_window = 12;
+  /// Trigger needs recent_mean > baseline_mean + this * baseline_std ...
+  float sigma_threshold = 3.0f;
+  /// ... and recent_mean > baseline_mean * (1 + this).
+  float min_rel_increase = 0.25f;
+};
+
+/// Sticky threshold detector over a rolling error window.
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftConfig config = DriftConfig());
+
+  /// Records one forecast error. Returns true when this observation
+  /// newly raised the drift flag.
+  bool AddError(float error);
+
+  /// Sticky drift flag.
+  bool drifted() const { return drifted_; }
+
+  /// Clears the window and the flag (post-adaptation restart).
+  void Reset();
+
+  /// Errors recorded since construction / the last Reset().
+  int64_t observed() const { return observed_; }
+
+  /// Times the flag was raised over the detector's lifetime (not cleared
+  /// by Reset — the drift-event count of the whole run).
+  int64_t triggers() const { return triggers_; }
+
+  /// True once the window holds baseline_window + recent_window errors
+  /// (the trigger condition is only evaluated when warm).
+  bool warm() const;
+
+  /// Rolling statistics of the current window (0 until warm).
+  float baseline_mean() const { return baseline_mean_; }
+  float baseline_std() const { return baseline_std_; }
+  float recent_mean() const { return recent_mean_; }
+
+  const DriftConfig& config() const { return config_; }
+
+ private:
+  void RecomputeStats();
+
+  DriftConfig config_;
+  /// Newest error at the back; at most baseline_window + recent_window.
+  std::deque<float> window_;
+  int64_t observed_ = 0;
+  int64_t triggers_ = 0;
+  bool drifted_ = false;
+  float baseline_mean_ = 0.0f;
+  float baseline_std_ = 0.0f;
+  float recent_mean_ = 0.0f;
+};
+
+}  // namespace online
+}  // namespace stwa
+
+#endif  // STWA_ONLINE_DRIFT_DETECTOR_H_

@@ -1,0 +1,131 @@
+#include "online/replay_buffer.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace stwa {
+namespace online {
+
+ReplayBuffer::ReplayBuffer(int64_t capacity) : capacity_(capacity) {
+  STWA_CHECK(capacity_ > 0, "replay buffer capacity must be positive");
+}
+
+void ReplayBuffer::Add(Example example) {
+  STWA_CHECK(example.x.rank() == 3 && example.y.rank() == 3,
+             "replay example expects x [N, H, F] and y [N, U, F]");
+  STWA_CHECK(example.x.dim(0) == example.y.dim(0) &&
+                 example.x.dim(2) == example.y.dim(2),
+             "replay example x/y sensor or feature count mismatch");
+  if (!items_.empty()) {
+    STWA_CHECK(example.x.shape() == items_.front().x.shape() &&
+                   example.y.shape() == items_.front().y.shape(),
+               "replay examples must share one shape; buffer holds ",
+               ShapeToString(items_.front().x.shape()), ", got ",
+               ShapeToString(example.x.shape()));
+  }
+  items_.push_back(std::move(example));
+  ++total_added_;
+  if (static_cast<int64_t>(items_.size()) > capacity_) items_.pop_front();
+}
+
+const Example& ReplayBuffer::at(int64_t i) const {
+  STWA_CHECK(i >= 0 && i < size(), "replay index ", i, " out of range [0, ",
+             size(), ")");
+  return items_[static_cast<size_t>(i)];
+}
+
+std::vector<int64_t> ReplayBuffer::SampleIndices(int64_t count,
+                                                 Rng& rng) const {
+  STWA_CHECK(size() > 0, "cannot sample from an empty replay buffer");
+  std::vector<int64_t> indices(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    indices[static_cast<size_t>(i)] = rng.UniformInt(size());
+  }
+  return indices;
+}
+
+void ReplayBuffer::MakeBatchInto(const std::vector<int64_t>& indices,
+                                 const data::StandardScaler& scaler,
+                                 data::Batch* out) const {
+  STWA_CHECK(!indices.empty(), "empty replay batch");
+  const int64_t batch = static_cast<int64_t>(indices.size());
+  const Example& first = at(indices[0]);
+  const int64_t sensors = first.x.dim(0);
+  const int64_t history = first.x.dim(1);
+  const int64_t horizon = first.y.dim(1);
+  const int64_t features = first.x.dim(2);
+  const Shape x_shape{batch, sensors, history, features};
+  const Shape y_shape{batch, sensors, horizon, features};
+  // Same staging-reuse rule as data::WindowSampler::MakeBatchInto: every
+  // element is overwritten below.
+  if (out->x.shape() != x_shape || out->x.use_count() != 1) {
+    out->x = Tensor::Uninit(x_shape);
+  }
+  if (out->y.shape() != y_shape || out->y.use_count() != 1) {
+    out->y = Tensor::Uninit(y_shape);
+  }
+  const float mean = scaler.mean();
+  const float inv_std = 1.0f / scaler.stddev();
+  float* xp = out->x.data();
+  float* yp = out->y.data();
+  const int64_t x_len = sensors * history * features;
+  const int64_t y_len = sensors * horizon * features;
+  for (int64_t b = 0; b < batch; ++b) {
+    const Example& e = at(indices[static_cast<size_t>(b)]);
+    const float* ex = e.x.data();
+    const float* ey = e.y.data();
+    for (int64_t k = 0; k < x_len; ++k) {
+      xp[b * x_len + k] = (ex[k] - mean) * inv_std;
+    }
+    for (int64_t k = 0; k < y_len; ++k) {
+      yp[b * y_len + k] = (ey[k] - mean) * inv_std;
+    }
+  }
+}
+
+ExampleAssembler::ExampleAssembler(int64_t num_sensors, int64_t history,
+                                   int64_t horizon, int64_t features,
+                                   int64_t emit_stride)
+    : history_(history),
+      horizon_(horizon),
+      emit_stride_(emit_stride),
+      ring_(num_sensors, history + horizon, features) {
+  STWA_CHECK(history > 0 && horizon > 0, "history/horizon must be positive");
+  STWA_CHECK(emit_stride > 0, "emit_stride must be positive");
+}
+
+bool ExampleAssembler::Push(const std::vector<float>& observation,
+                            Example* out) {
+  ring_.Push(observation);
+  ++steps_;
+  const int64_t window = history_ + horizon_;
+  if (steps_ < window || (steps_ - window) % emit_stride_ != 0) {
+    return false;
+  }
+  // The ring holds exactly the last H+U rows; split the oldest H into x
+  // and the newest U into y.
+  ring_.WindowInto(&window_);  // [1, N, H+U, F]
+  const int64_t sensors = ring_.num_sensors();
+  const int64_t features = ring_.features();
+  Example example;
+  example.x = Tensor::Uninit({sensors, history_, features});
+  example.y = Tensor::Uninit({sensors, horizon_, features});
+  example.anchor_step = steps_ - horizon_ - 1;
+  const float* src = window_.data();
+  for (int64_t i = 0; i < sensors; ++i) {
+    std::memcpy(example.x.data() + i * history_ * features,
+                src + i * window * features,
+                sizeof(float) * static_cast<size_t>(history_ * features));
+    std::memcpy(example.y.data() + i * horizon_ * features,
+                src + (i * window + history_) * features,
+                sizeof(float) * static_cast<size_t>(horizon_ * features));
+  }
+  *out = std::move(example);
+  ++emitted_;
+  return true;
+}
+
+}  // namespace online
+}  // namespace stwa

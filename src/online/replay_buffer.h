@@ -1,0 +1,114 @@
+// Bounded replay storage for online continual learning.
+//
+// The live stream arrives one [N, F] observation row at a time (the same
+// rows the serving layer pushes into its StreamState rings). The
+// ExampleAssembler rides a serve::StreamState ring of depth H+U and, once
+// warm, cuts a complete (history, horizon) training example out of it
+// every emit_stride steps. Examples land in a ReplayBuffer — a bounded
+// FIFO the adaptation loop samples fine-tune batches from, so a burst of
+// drifted data is learned from repeatedly while memory stays fixed.
+// Everything here is deterministic in the pushed sequence: eviction is
+// strict FIFO, sampling is seeded, and batch assembly writes every byte
+// it returns.
+
+#ifndef STWA_ONLINE_REPLAY_BUFFER_H_
+#define STWA_ONLINE_REPLAY_BUFFER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/sampler.h"
+#include "data/scaler.h"
+#include "serve/stream_state.h"
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace online {
+
+/// One harvested training example, raw scale.
+struct Example {
+  /// Input window [N, H, F].
+  Tensor x;
+  /// Target window [N, U, F].
+  Tensor y;
+  /// Stream step of the window anchor (x ends at this step, 0-based), so
+  /// tests can assert exactly which slice of the stream was harvested.
+  int64_t anchor_step = 0;
+};
+
+/// Bounded FIFO of training examples.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(int64_t capacity);
+
+  /// Appends an example, evicting the oldest when full.
+  void Add(Example example);
+
+  /// Examples currently held.
+  int64_t size() const { return static_cast<int64_t>(items_.size()); }
+
+  /// Examples ever added (size() + evictions).
+  int64_t total_added() const { return total_added_; }
+
+  /// Examples evicted so far.
+  int64_t evicted() const { return total_added_ - size(); }
+
+  int64_t capacity() const { return capacity_; }
+
+  /// Example `i`, 0 = oldest surviving.
+  const Example& at(int64_t i) const;
+
+  /// `count` uniform indices into the buffer (with replacement), drawn
+  /// deterministically from `rng`.
+  std::vector<int64_t> SampleIndices(int64_t count, Rng& rng) const;
+
+  /// Builds a normalised training batch (x and y both z-scored with
+  /// `scaler`, matching the offline Trainer convention) from `indices`,
+  /// recycling `out`'s staging buffers when exclusively held.
+  void MakeBatchInto(const std::vector<int64_t>& indices,
+                     const data::StandardScaler& scaler,
+                     data::Batch* out) const;
+
+ private:
+  int64_t capacity_;
+  int64_t total_added_ = 0;
+  std::deque<Example> items_;
+};
+
+/// Cuts (history, horizon) examples from a live observation stream via a
+/// serve::StreamState ring of depth history + horizon.
+class ExampleAssembler {
+ public:
+  ExampleAssembler(int64_t num_sensors, int64_t history, int64_t horizon,
+                   int64_t features = 1, int64_t emit_stride = 1);
+
+  /// Pushes one [N, F] observation row (raw scale). Returns true when a
+  /// complete example was emitted into `*out`: the first once
+  /// history + horizon rows have arrived, then every emit_stride rows.
+  bool Push(const std::vector<float>& observation, Example* out);
+
+  /// Rows pushed so far.
+  int64_t steps_seen() const { return steps_; }
+
+  /// Examples emitted so far.
+  int64_t emitted() const { return emitted_; }
+
+  const serve::StreamState& ring() const { return ring_; }
+
+ private:
+  int64_t history_;
+  int64_t horizon_;
+  int64_t emit_stride_;
+  int64_t steps_ = 0;
+  int64_t emitted_ = 0;
+  serve::StreamState ring_;
+  /// Staging for ring windows, recycled across emits.
+  Tensor window_;
+};
+
+}  // namespace online
+}  // namespace stwa
+
+#endif  // STWA_ONLINE_REPLAY_BUFFER_H_

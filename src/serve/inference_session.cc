@@ -10,11 +10,7 @@
 
 namespace stwa {
 namespace serve {
-namespace {
 
-/// Models whose construction depends only on sensor/feature counts, so a
-/// checkpoint alone is enough to rebuild them. Graph baselines recompute
-/// supports from dataset content and need the dataset-bearing Open.
 bool DatasetFreeModel(const std::string& name) {
   static const char* kNames[] = {"ST-WA", "S-WA",   "WA",    "WA-1",
                                  "Det-ST-WA", "ST-WA-mean", "GRU",
@@ -26,8 +22,6 @@ bool DatasetFreeModel(const std::string& name) {
   return false;
 }
 
-/// Minimal dataset carrying only the dimensions the dataset-free models
-/// read (num_sensors / num_features).
 data::TrafficDataset StubDataset(const ServingInfo& info) {
   data::TrafficDataset dataset;
   dataset.name = "serving-stub";
@@ -35,8 +29,6 @@ data::TrafficDataset StubDataset(const ServingInfo& info) {
       Tensor(Shape{info.num_sensors, 1, info.num_features});
   return dataset;
 }
-
-}  // namespace
 
 InferenceSession::InferenceSession(
     ServingInfo info, std::unique_ptr<train::ForecastModel> model,

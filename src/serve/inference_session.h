@@ -39,6 +39,16 @@ struct SessionConfig {
   simd::Precision precision = simd::EnvPrecision();
 };
 
+/// True for models whose construction depends only on sensor/feature
+/// counts, so a checkpoint alone is enough to rebuild them (the ST-WA
+/// family and the enhanced GRU/ATT models). Graph-convolutional baselines
+/// recompute supports from dataset content and need the real dataset.
+bool DatasetFreeModel(const std::string& name);
+
+/// Minimal dataset carrying only the dimensions the dataset-free models
+/// read (num_sensors / num_features).
+data::TrafficDataset StubDataset(const ServingInfo& info);
+
 /// One frozen model + scaler behind a raw-in/raw-out forecast call.
 class InferenceSession {
  public:

@@ -1,29 +1,15 @@
 #include "train/trainer.h"
 
-#include "autograd/no_grad.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "ir/plan.h"
 #include "optim/early_stopping.h"
-#include "optim/optimizer.h"
 #include "runtime/parallel.h"
-#include "tensor/ops.h"
 
 #include <iostream>
-#include <unordered_map>
 
 namespace stwa {
 namespace train {
-namespace {
-
-/// Plan-cache key: one plan per distinct (x shape, y shape) pair. Only the
-/// final partial batch of an epoch differs from the full-batch shape, so a
-/// run holds at most two train plans.
-std::string PlanKey(const data::Batch& batch) {
-  return ShapeToString(batch.x.shape()) + "|" + ShapeToString(batch.y.shape());
-}
-
-}  // namespace
 
 Trainer::Trainer(const data::TrafficDataset& dataset, int64_t history,
                  int64_t horizon, TrainConfig config)
@@ -51,142 +37,54 @@ Trainer::Trainer(const data::TrafficDataset& dataset, int64_t history,
       split.num_steps, config_.eval_stride);
 }
 
+StepEngineConfig Trainer::EngineConfig() const {
+  StepEngineConfig config;
+  config.lr = config_.lr;
+  config.clip_norm = config_.clip_norm;
+  config.huber_delta = config_.huber_delta;
+  config.use_plan = use_plan_ ? 1 : 0;
+  return config;
+}
+
 metrics::ForecastMetrics Trainer::Evaluate(ForecastModel& model,
                                            const data::WindowSampler& sampler) {
-  // Inference only: skip gradient bookkeeping for the whole pass.
-  ag::NoGradMode no_grad;
-  const bool use_plan = use_plan_;
-  metrics::MetricAccumulator acc;
-  auto batches = sampler.EpochBatches(config_.batch_size, nullptr);
-  // Staging buffers recycled across batches (MakeBatchInto reuses them
-  // whenever the forward pass released its reference).
-  data::Batch batch;
-  // Forward-only plans, one per batch shape, captured from the first batch
-  // of each shape and replayed for the rest of the pass. A null entry
-  // means the capture could not be planned; those shapes stay eager.
-  std::unordered_map<std::string, std::unique_ptr<ir::ExecutionPlan>> plans;
-  for (const auto& batch_indices : batches) {
-    sampler.MakeBatchInto(batch_indices, &batch);
-    Tensor pred;
-    if (!use_plan) {
-      pred = model.Forward(batch.x, /*training=*/false).value();
-    } else {
-      const std::string key = ShapeToString(batch.x.shape());
-      auto it = plans.find(key);
-      if (it == plans.end()) {
-        ir::GraphCapture capture;
-        ag::Var traced = model.Forward(batch.x, /*training=*/false);
-        pred = traced.value();
-        plans.emplace(
-            key, capture.Finish(traced, {batch.x}, /*with_backward=*/false));
-      } else if (it->second != nullptr) {
-        pred = it->second->ReplayForward({batch.x});
-      } else {
-        pred = model.Forward(batch.x, /*training=*/false).value();
-      }
-    }
-    STWA_CHECK(pred.shape() == batch.y.shape(),
-               "model '", model.name(), "' produced ",
-               ShapeToString(pred.shape()), ", expected ",
-               ShapeToString(batch.y.shape()));
-    acc.Add(scaler_.InverseTransform(pred),
-            scaler_.InverseTransform(batch.y));
-  }
-  return acc.Result();
+  // A throwaway engine: Adam state is lazy, so this only costs the
+  // forward-plan cache (which the old monolith also rebuilt per call).
+  StepEngine engine(model, EngineConfig());
+  return engine.EvaluateOn(sampler, scaler_, config_.batch_size);
 }
 
 TrainResult Trainer::Fit(ForecastModel& model) {
   TrainResult result;
   result.param_count = model.ParameterCount();
-  std::vector<ag::Var> params = model.Parameters();
-  optim::Adam opt(params, config_.lr);
+  StepEngine engine(model, EngineConfig());
   optim::EarlyStopping stopper(config_.patience);
   Rng shuffle_rng(config_.seed);
 
-  const bool use_plan = use_plan_;
-  // Captured train-step plans, one per batch shape (full batches plus the
-  // trailing partial batch), reused across every epoch. A null entry marks
-  // a shape whose capture could not be planned (feed not locatable); those
-  // batches stay on the eager path with no re-capture attempts.
-  std::unordered_map<std::string, std::unique_ptr<ir::ExecutionPlan>> plans;
-
-  // One eagerly traced step: forward, Huber + regulariser, backward.
-  // Capture-mode records exactly this computation, so replayed steps are
-  // bit-identical to it.
-  auto traced_step = [&](const data::Batch& b) {
-    ag::Var pred = model.Forward(b.x, /*training=*/true);
-    ag::Var loss = ag::HuberLoss(pred, ag::Var(b.y), config_.huber_delta);
-    ag::Var reg = model.RegularizationLoss();
-    if (reg.defined()) loss = ag::Add(loss, reg);
-    loss.Backward();
-    return loss;
-  };
-
   Stopwatch total_watch;
   double epoch_seconds_sum = 0.0;
+  // Staging buffers recycled across batches and epochs (MakeBatchInto
+  // reuses them whenever the step released its reference).
+  data::Batch batch;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     Stopwatch epoch_watch;
     auto batches = train_->EpochBatches(config_.batch_size, &shuffle_rng);
     int64_t batch_count = 0;
     double loss_sum = 0.0;
-    data::Batch batch;
     for (const auto& batch_indices : batches) {
       if (config_.max_batches_per_epoch > 0 &&
           batch_count >= config_.max_batches_per_epoch) {
         break;
       }
       train_->MakeBatchInto(batch_indices, &batch);
-      opt.ZeroGrad();
-      float loss_value = 0.0f;
-      if (!use_plan) {
-        loss_value = traced_step(batch).value().item();
-        ++result.plan.traced_steps;
-      } else {
-        const std::string key = PlanKey(batch);
-        auto it = plans.find(key);
-        if (it == plans.end()) {
-          // First batch of this shape: trace eagerly while recording, then
-          // freeze the recording into a replayable plan.
-          ir::GraphCapture capture;
-          ag::Var loss = traced_step(batch);
-          loss_value = loss.value().item();
-          auto plan = capture.Finish(loss, {batch.x, batch.y},
-                                     /*with_backward=*/true);
-          if (plan != nullptr) {
-            ++result.plan.plans_captured;
-            const ir::PlanStats& s = plan->stats();
-            if (s.captured_nodes > result.plan.captured_nodes) {
-              result.plan.captured_nodes = s.captured_nodes;
-              result.plan.forward_ops = s.forward_ops;
-              result.plan.backward_ops = s.backward_ops;
-              result.plan.pruned_ops = s.pruned_ops;
-              result.plan.peak_live_bytes = s.peak_live_bytes;
-              result.plan.fused_map_nodes = s.fused_map_nodes;
-              result.plan.fused_attention_nodes = s.fused_attention_nodes;
-              result.plan.fused_away_ops = s.fused_away_ops;
-              result.plan.regions = s.regions;
-              result.plan.region_stages = s.region_stages;
-            }
-          }
-          plans.emplace(key, std::move(plan));
-          ++result.plan.traced_steps;
-        } else if (it->second != nullptr) {
-          loss_value = it->second->ReplayTrainStep({batch.x, batch.y});
-          ++result.plan.replayed_steps;
-        } else {
-          loss_value = traced_step(batch).value().item();
-          ++result.plan.traced_steps;
-        }
-      }
-      optim::ClipGradNorm(params, config_.clip_norm);
-      opt.Step();
-      loss_sum += loss_value;
+      loss_sum += engine.Step(batch);
       ++batch_count;
     }
     epoch_seconds_sum += epoch_watch.ElapsedSeconds();
     ++result.epochs_run;
 
-    metrics::ForecastMetrics val = Evaluate(model, *val_);
+    metrics::ForecastMetrics val =
+        engine.EvaluateOn(*val_, scaler_, config_.batch_size);
     result.val_mae_history.push_back(val.mae);
     if (config_.verbose) {
       std::cout << "[" << model.name() << "] epoch " << epoch
@@ -200,8 +98,9 @@ TrainResult Trainer::Fit(ForecastModel& model) {
   result.seconds_per_epoch =
       result.epochs_run > 0 ? epoch_seconds_sum / result.epochs_run : 0.0;
   result.total_seconds = total_watch.ElapsedSeconds();
-  result.val = Evaluate(model, *val_);
-  result.test = Evaluate(model, *test_);
+  result.val = engine.EvaluateOn(*val_, scaler_, config_.batch_size);
+  result.test = engine.EvaluateOn(*test_, scaler_, config_.batch_size);
+  result.plan = engine.plan_summary();
   return result;
 }
 

@@ -5,6 +5,10 @@
 // model's own regulariser (the KL term for ST-WA), gradient clipping,
 // early stopping on validation MAE (patience 15), metrics reported on
 // inverse-transformed predictions.
+//
+// The per-step mechanics (optimizer state, plan capture/replay, staging
+// buffers) live in train/step_engine.h; the Trainer owns the *protocol*:
+// split, scaler, samplers, epoch order, early stopping.
 
 #ifndef STWA_TRAIN_TRAINER_H_
 #define STWA_TRAIN_TRAINER_H_
@@ -13,30 +17,14 @@
 #include <string>
 #include <vector>
 
-#include "autograd/ops.h"
 #include "data/sampler.h"
 #include "data/scaler.h"
 #include "data/traffic_generator.h"
 #include "metrics/metrics.h"
-#include "nn/module.h"
+#include "train/step_engine.h"
 
 namespace stwa {
 namespace train {
-
-/// Interface every forecasting model implements. Input x is the normalised
-/// history [B, N, H, F]; the output is the normalised forecast
-/// [B, N, U, F].
-class ForecastModel : public nn::Module {
- public:
-  virtual ag::Var Forward(const Tensor& x, bool training) = 0;
-
-  /// Model-specific additive loss term (e.g. alpha * KL for ST-WA),
-  /// valid after the most recent Forward call. Undefined Var means none.
-  virtual ag::Var RegularizationLoss() const { return {}; }
-
-  /// Short display name used by the benchmark tables.
-  virtual std::string name() const = 0;
-};
 
 /// Training hyper-parameters.
 struct TrainConfig {
@@ -63,30 +51,6 @@ struct TrainConfig {
   /// tracing, 1 forces capture+replay. Either setting trains to
   /// bit-identical weights and metrics.
   int use_plan = -1;
-};
-
-/// How the run used captured execution plans.
-struct PlanSummary {
-  /// Plans captured (one per distinct train batch shape; 0 when eager).
-  int64_t plans_captured = 0;
-  /// Steps run by eager tracing (plan-off runs, capture steps, fallbacks).
-  int64_t traced_steps = 0;
-  /// Steps run by plan replay.
-  int64_t replayed_steps = 0;
-  /// Stats of the largest captured plan (the full-batch step).
-  int64_t captured_nodes = 0;
-  int64_t forward_ops = 0;
-  int64_t backward_ops = 0;
-  int64_t pruned_ops = 0;
-  int64_t peak_live_bytes = 0;
-  /// Fusion rewrites of that plan (ir/rewrite.h): fused super-ops emitted
-  /// and forward steps they absorbed.
-  int64_t fused_map_nodes = 0;
-  int64_t fused_attention_nodes = 0;
-  int64_t fused_away_ops = 0;
-  /// Region schedule of that plan (ir/regions.h).
-  int64_t regions = 0;
-  int64_t region_stages = 0;
 };
 
 /// Outcome of a training run.
@@ -124,6 +88,9 @@ class Trainer {
   int64_t horizon() const { return horizon_; }
 
  private:
+  /// Engine config for this trainer's hyper-parameters.
+  StepEngineConfig EngineConfig() const;
+
   TrainConfig config_;
   /// Plan gate resolved once at construction (config override, else the
   /// global snapshot — ir::SnapshotPlanModes). Fit and Evaluate consult

@@ -1,0 +1,67 @@
+#include "demo_train.h"
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "serve/checkpoint.h"
+
+namespace stwa {
+namespace tools {
+
+data::GeneratorOptions DemoGeneratorOptions(const DemoTrainOptions& options) {
+  data::GeneratorOptions gen;
+  gen.name = options.dataset_name;
+  gen.num_roads = options.num_roads;
+  gen.sensors_per_road = options.sensors_per_road;
+  gen.num_days = 4;
+  gen.steps_per_day = 96;
+  gen.seed = options.seed;
+  gen.shift_step = options.shift_step;
+  gen.shift_scale = options.shift_scale;
+  gen.shift_ramp_steps = options.shift_ramp_steps;
+  return gen;
+}
+
+baselines::ModelSettings DemoModelSettings() {
+  baselines::ModelSettings settings;
+  settings.history = 12;
+  settings.horizon = 12;
+  settings.d_model = 8;
+  settings.window_sizes = {3, 2, 2};
+  settings.latent_dim = 4;
+  settings.predictor_hidden = 16;
+  return settings;
+}
+
+train::TrainResult TrainDemoCheckpoint(const std::string& display_name,
+                                       const data::TrafficDataset& dataset,
+                                       int epochs, const std::string& path) {
+  const baselines::ModelSettings settings = DemoModelSettings();
+  auto model = baselines::MakeModel("ST-WA", dataset, settings);
+
+  train::TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 8;
+  config.stride = 2;
+  config.eval_stride = 4;
+  train::Trainer trainer(dataset, settings.history, settings.horizon,
+                         config);
+  train::TrainResult result = trainer.Fit(*model);
+  std::cerr << "trained " << display_name << " " << result.epochs_run
+            << " epochs, test MAE " << FormatFloat(result.test.mae, 3)
+            << "\n";
+
+  serve::ServingInfo info;
+  info.model = "ST-WA";
+  info.settings = settings;
+  info.num_sensors = dataset.num_sensors();
+  info.num_features = dataset.num_features();
+  info.scaler_mean = trainer.scaler().mean();
+  info.scaler_std = trainer.scaler().stddev();
+  serve::SaveServingCheckpoint(*model, info, path);
+  std::cerr << "wrote serving checkpoint " << path << "\n";
+  return result;
+}
+
+}  // namespace tools
+}  // namespace stwa

@@ -30,13 +30,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
-#include "baselines/registry.h"
-#include "common/string_util.h"
 #include "data/traffic_generator.h"
+#include "demo_train.h"
 #include "fleet/config.h"
 #include "fleet/protocol.h"
 #include "serve/checkpoint.h"
-#include "train/trainer.h"
 
 namespace stwa {
 namespace {
@@ -85,49 +83,19 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return !args->train_demo_dir.empty() || !args->config.empty();
 }
 
-/// Trains one tiny city model and writes a serving checkpoint.
-void TrainCity(const std::string& name, int roads, int sensors_per_road,
-               uint64_t seed, int epochs, const std::string& path) {
-  data::GeneratorOptions gen;
-  gen.name = name;
-  gen.num_roads = roads;
-  gen.sensors_per_road = sensors_per_road;
-  gen.num_days = 4;
-  gen.steps_per_day = 96;
-  gen.seed = seed;
-  data::TrafficDataset dataset = data::GenerateTraffic(gen);
-
-  baselines::ModelSettings settings;
-  settings.history = 12;
-  settings.horizon = 12;
-  settings.d_model = 8;
-  settings.window_sizes = {3, 2, 2};
-  settings.latent_dim = 4;
-  settings.predictor_hidden = 16;
-  auto model = baselines::MakeModel("ST-WA", dataset, settings);
-
-  train::TrainConfig config;
-  config.epochs = epochs;
-  config.batch_size = 8;
-  config.stride = 2;
-  config.eval_stride = 4;
-  train::Trainer trainer(dataset, settings.history, settings.horizon,
-                         config);
-  train::TrainResult result = trainer.Fit(*model);
-  std::cerr << "trained " << name << " " << result.epochs_run
-            << " epochs, test MAE " << FormatFloat(result.test.mae, 3)
-            << "\n";
-
-  serve::ServingInfo info;
-  info.model = "ST-WA";
-  info.settings = settings;
-  info.num_sensors = dataset.num_sensors();
-  info.num_features = dataset.num_features();
-  info.scaler_mean = trainer.scaler().mean();
-  info.scaler_std = trainer.scaler().stddev();
-  info.ckpt_version = 1;
-  serve::SaveServingCheckpoint(*model, info, path);
-  std::cerr << "wrote serving checkpoint " << path << "\n";
+/// Trains one tiny city model and writes a serving checkpoint
+/// (tools/demo_train.h).
+void TrainCity(const std::string& name, int64_t roads,
+               int64_t sensors_per_road, uint64_t seed, int epochs,
+               const std::string& path) {
+  tools::DemoTrainOptions options;
+  options.dataset_name = name;
+  options.num_roads = roads;
+  options.sensors_per_road = sensors_per_road;
+  options.seed = seed;
+  data::TrafficDataset dataset =
+      data::GenerateTraffic(tools::DemoGeneratorOptions(options));
+  tools::TrainDemoCheckpoint(name, dataset, epochs, path);
 }
 
 int TrainDemo(const Args& args) {

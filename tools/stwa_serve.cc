@@ -30,15 +30,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include "baselines/registry.h"
-#include "common/string_util.h"
 #include "data/traffic_generator.h"
-#include "serve/checkpoint.h"
+#include "demo_train.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/stream_state.h"
 #include "simd/lowp.h"
-#include "train/trainer.h"
 
 namespace stwa {
 namespace {
@@ -109,47 +106,13 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return !args->train_demo_path.empty() || !args->ckpt.empty();
 }
 
-/// The demo dataset/model: small enough that two epochs train in seconds,
-/// shaped like the quickstart (paper T=12 lookback, U=12 horizon).
+/// The demo dataset/model (tools/demo_train.h): small enough that two
+/// epochs train in seconds, shaped like the quickstart.
 int TrainDemo(const Args& args) {
-  data::GeneratorOptions gen;
-  gen.name = "serve-demo";
-  gen.num_roads = 2;
-  gen.sensors_per_road = 2;
-  gen.num_days = 4;
-  gen.steps_per_day = 96;
-  gen.seed = 17;
-  data::TrafficDataset dataset = data::GenerateTraffic(gen);
-
-  baselines::ModelSettings settings;
-  settings.history = 12;
-  settings.horizon = 12;
-  settings.d_model = 8;
-  settings.window_sizes = {3, 2, 2};
-  settings.latent_dim = 4;
-  settings.predictor_hidden = 16;
-  auto model = baselines::MakeModel("ST-WA", dataset, settings);
-
-  train::TrainConfig config;
-  config.epochs = args.epochs;
-  config.batch_size = 8;
-  config.stride = 2;
-  config.eval_stride = 4;
-  train::Trainer trainer(dataset, settings.history, settings.horizon,
-                         config);
-  train::TrainResult result = trainer.Fit(*model);
-  std::cerr << "trained ST-WA " << result.epochs_run << " epochs, test MAE "
-            << FormatFloat(result.test.mae, 3) << "\n";
-
-  serve::ServingInfo info;
-  info.model = "ST-WA";
-  info.settings = settings;
-  info.num_sensors = dataset.num_sensors();
-  info.num_features = dataset.num_features();
-  info.scaler_mean = trainer.scaler().mean();
-  info.scaler_std = trainer.scaler().stddev();
-  serve::SaveServingCheckpoint(*model, info, args.train_demo_path);
-  std::cerr << "wrote serving checkpoint " << args.train_demo_path << "\n";
+  data::TrafficDataset dataset =
+      data::GenerateTraffic(tools::DemoGeneratorOptions());
+  tools::TrainDemoCheckpoint("ST-WA", dataset, args.epochs,
+                             args.train_demo_path);
   return 0;
 }
 
