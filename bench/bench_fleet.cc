@@ -33,6 +33,8 @@
 #include "serve/checkpoint.h"
 #include "serve/inference_session.h"
 #include "serve/server.h"
+#include "serve/stream_cache.h"
+#include "serve/stream_state.h"
 #include "tensor/ops.h"
 
 namespace stwa {
@@ -359,6 +361,107 @@ void Run() {
   std::cout << "overload profile: " << shed_submitted << " submitted, "
             << shed_count << " shed\n";
 
+  // Streaming phase: tiles advance one observation at a time (the fleet's
+  // natural traffic shape) against dedicated cityB profiles with the
+  // stream cache on and off. Every response is memcmp'd against the
+  // offline session answer for a mirrored window.
+  const int64_t stream_tiles = 4;
+  const int64_t stream_obs = smoke ? 32 : 96;
+  const int64_t stream_reads = 3;
+  struct StreamPhase {
+    int64_t forecasts = 0;
+    double cold_rps = 0.0, warm_rps = 0.0, speedup = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    int64_t output_hits = 0, shift_hits = 0, misses = 0;
+    int64_t stale = 0, bypass = 0, mismatches = 0;
+  } stream_phase;
+  {
+    auto offline = serve::InferenceSession::Open(city_b.ckpt);
+    const int64_t n = city_b.dataset.num_sensors();
+    const int64_t f = city_b.dataset.num_features();
+    const int64_t h = settings.history;
+    auto drive = [&](bool cache_on, double* rps, serve::ServerStats* stats) {
+      const bool saved = serve::StreamCacheEnabled();
+      serve::SetStreamCacheMode(cache_on);
+      fleet::FleetProfileConfig cfg;
+      cfg.name = "cityB-stream";
+      cfg.checkpoint = city_b.ckpt;
+      cfg.tiles = stream_tiles;
+      cfg.shards = 2;
+      cfg.workers = 1;
+      cfg.max_batch = 1;
+      cfg.capacity = 1 << 12;
+      cfg.deadline_us = 300'000'000;
+      int64_t mismatches = 0;
+      {
+        fleet::ModelProfile profile(cfg);
+        std::vector<serve::StreamState> mirrors(
+            static_cast<size_t>(stream_tiles),
+            serve::StreamState(n, h, f));
+        std::vector<float> row(static_cast<size_t>(n * f));
+        Stopwatch watch;
+        int64_t served = 0;
+        for (int64_t t = 0; t < stream_obs; ++t) {
+          for (int64_t tile = 0; tile < stream_tiles; ++tile) {
+            const float* v = city_b.dataset.values.data();
+            const int64_t steps = city_b.dataset.num_steps();
+            const int64_t at = (t + tile * 17) % steps;
+            for (int64_t i = 0; i < n; ++i) {
+              for (int64_t j = 0; j < f; ++j) {
+                row[static_cast<size_t>(i * f + j)] =
+                    v[i * steps * f + at * f + j];
+              }
+            }
+            profile.PushTile(tile, row);
+            mirrors[static_cast<size_t>(tile)].Push(row);
+            if (!mirrors[static_cast<size_t>(tile)].ready()) continue;
+            const Tensor ref = offline->Forecast(
+                mirrors[static_cast<size_t>(tile)].Window().Reshape(
+                    {n, h, f}));
+            for (int64_t r = 0; r < stream_reads; ++r) {
+              serve::Response resp = profile.ForecastTile(tile).get();
+              ++served;
+              if (!resp.ok ||
+                  std::memcmp(resp.forecast.data(), ref.data(),
+                              sizeof(float) *
+                                  static_cast<size_t>(ref.size())) != 0) {
+                ++mismatches;
+              }
+            }
+          }
+        }
+        const double seconds = watch.ElapsedSeconds();
+        *rps = static_cast<double>(served) / seconds;
+        stream_phase.forecasts = served;
+        *stats = profile.Stats();
+      }
+      serve::SetStreamCacheMode(saved);
+      return mismatches;
+    };
+    serve::ServerStats cold_stats, warm_stats;
+    stream_phase.mismatches +=
+        drive(false, &stream_phase.cold_rps, &cold_stats);
+    stream_phase.mismatches +=
+        drive(true, &stream_phase.warm_rps, &warm_stats);
+    stream_phase.speedup = stream_phase.warm_rps / stream_phase.cold_rps;
+    stream_phase.p50 = warm_stats.latency.p50();
+    stream_phase.p95 = warm_stats.latency.p95();
+    stream_phase.p99 = warm_stats.latency.p99();
+    stream_phase.output_hits = warm_stats.stream_cache.output_hits;
+    stream_phase.shift_hits = warm_stats.stream_cache.shift_hits;
+    stream_phase.misses = warm_stats.stream_cache.misses;
+    stream_phase.stale = warm_stats.stream_cache.stale_rejected;
+    stream_phase.bypass = warm_stats.stream_cache.bypass;
+  }
+  std::cout << "streaming tiles (cityB, reads/obs=" << stream_reads
+            << "): cold " << FormatFloat(stream_phase.cold_rps, 1)
+            << " -> warm " << FormatFloat(stream_phase.warm_rps, 1)
+            << " req/s (" << FormatFloat(stream_phase.speedup, 2)
+            << "x), hits " << stream_phase.output_hits << " output + "
+            << stream_phase.shift_hits << " shift, misses "
+            << stream_phase.misses << ", stale " << stream_phase.stale
+            << ", mismatches " << stream_phase.mismatches << "\n";
+
   const fleet::FleetNodeStats node_stats = node.Stats();
   const std::string path = BenchOutPath("BENCH_fleet.json");
   {
@@ -403,6 +506,21 @@ void Run() {
         << ", \"throttled\": " << throttled
         << "},\n  \"overload\": {\"submitted\": " << shed_submitted
         << ", \"shed\": " << shed_count
+        << "},\n  \"streaming\": {\"profile\": \"cityB-stream\", \"tiles\": "
+        << stream_tiles << ", \"reads_per_obs\": " << stream_reads
+        << ", \"forecasts\": " << stream_phase.forecasts
+        << ", \"cold_rps\": " << stream_phase.cold_rps
+        << ", \"warm_rps\": " << stream_phase.warm_rps
+        << ", \"speedup\": " << stream_phase.speedup
+        << ", \"p50_us\": " << stream_phase.p50
+        << ", \"p95_us\": " << stream_phase.p95
+        << ", \"p99_us\": " << stream_phase.p99
+        << ", \"output_hits\": " << stream_phase.output_hits
+        << ", \"shift_hits\": " << stream_phase.shift_hits
+        << ", \"misses\": " << stream_phase.misses
+        << ", \"stale_rejected\": " << stream_phase.stale
+        << ", \"bypass\": " << stream_phase.bypass
+        << ", \"bit_mismatches\": " << stream_phase.mismatches
         << "},\n  \"node\": {\"admitted\": " << node_stats.admitted
         << ", \"throttled\": " << node_stats.throttled
         << ", \"protocol_errors\": " << node_stats.protocol_errors
@@ -432,6 +550,20 @@ void Run() {
   }
   if (shed_count == 0) {
     std::cerr << "ERROR: overload profile never shed\n";
+    failed = true;
+  }
+  if (stream_phase.mismatches > 0) {
+    std::cerr << "ERROR: streaming tiles served bytes that diverged from "
+                 "the offline session\n";
+    failed = true;
+  }
+  if (stream_phase.stale > 0) {
+    std::cerr << "ERROR: streaming tiles served stale cache entries\n";
+    failed = true;
+  }
+  if (serve::StreamCacheEnabled() &&
+      stream_phase.output_hits + stream_phase.shift_hits <= 0) {
+    std::cerr << "ERROR: streaming tiles never hit the stream cache\n";
     failed = true;
   }
   if (!smoke && total_streams < 100'000) {

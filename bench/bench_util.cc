@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/string_util.h"
 #include "runtime/parallel.h"
+#include "serve/stream_cache.h"
 #include "simd/lowp.h"
 #include "simd/simd.h"
 #include "tensor/buffer_pool.h"
@@ -170,6 +171,8 @@ void ReportRuntime() {
                                  : " (STWA_DISABLE_POOL=" + pool_env + ")")
             << " simd=" << simd::IsaName()
             << " precision=" << RunPrecisionName()
+            << " stream_cache="
+            << (serve::StreamCacheEnabled() ? "on" : "off")
             << " profile=" << g_run_profile
             << " ckpt_version=" << g_run_ckpt_version << "\n";
 }

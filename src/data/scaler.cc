@@ -42,5 +42,44 @@ Tensor StandardScaler::InverseTransform(const Tensor& x) const {
   return ops::AddScalar(ops::MulScalar(x, std_), mean_);
 }
 
+namespace {
+
+void EnsureStaging(const Tensor& x, Tensor* out) {
+  if (out->shape() != x.shape() || out->use_count() > 1) {
+    *out = Tensor::Uninit(x.shape());
+  }
+}
+
+}  // namespace
+
+void StandardScaler::TransformInto(const Tensor& x, Tensor* out) const {
+  STWA_CHECK(fitted_, "scaler used before Fit()");
+  EnsureStaging(x, out);
+  const float a = -mean_;
+  const float s = 1.0f / std_;
+  const float* src = x.data();
+  float* dst = out->data();
+  const int64_t n = x.size();
+  // Two separate passes mirror AddScalar-then-MulScalar exactly — each
+  // element is rounded twice, as the kernel path rounds it.
+  for (int64_t i = 0; i < n; ++i) dst[i] = src[i] + a;
+  for (int64_t i = 0; i < n; ++i) dst[i] = dst[i] * s;
+}
+
+void StandardScaler::InverseTransformInto(const Tensor& x,
+                                          Tensor* out) const {
+  STWA_CHECK(fitted_, "scaler used before Fit()");
+  EnsureStaging(x, out);
+  const float s = std_;
+  const float m = mean_;
+  const float* src = x.data();
+  float* dst = out->data();
+  const int64_t n = x.size();
+  // Separate passes: a single x*s+m expression invites FMA contraction,
+  // which would round once where MulScalar-then-AddScalar rounds twice.
+  for (int64_t i = 0; i < n; ++i) dst[i] = src[i] * s;
+  for (int64_t i = 0; i < n; ++i) dst[i] = dst[i] + m;
+}
+
 }  // namespace data
 }  // namespace stwa

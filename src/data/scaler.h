@@ -29,6 +29,16 @@ class StandardScaler {
   /// Applies x * std + mean elementwise.
   Tensor InverseTransform(const Tensor& x) const;
 
+  /// Transform into a caller-owned staging tensor, reusing its buffer when
+  /// the shape matches and nobody else holds it (serving hot path: zero
+  /// steady-state allocations). Bit-identical to Transform: the same two
+  /// elementwise passes with the same constants, in separate loops so no
+  /// FP contraction can fuse what the kernels round separately.
+  void TransformInto(const Tensor& x, Tensor* out) const;
+
+  /// InverseTransform into a caller-owned staging tensor (same contract).
+  void InverseTransformInto(const Tensor& x, Tensor* out) const;
+
   float mean() const { return mean_; }
   float stddev() const { return std_; }
 

@@ -24,6 +24,11 @@ ModelProfile::ModelProfile(FleetProfileConfig config)
   STWA_CHECK(!config_.name.empty(), "fleet profile needs a name");
   STWA_CHECK(config_.workers >= 1, "profile '", config_.name,
              "' needs at least one worker per shard");
+  // One cache for all shards and generations (see header). Created before
+  // the first generation so BuildGeneration can inject it.
+  if (serve::StreamCacheEnabled()) {
+    stream_cache_ = std::make_shared<serve::StreamCache>(/*generation=*/1);
+  }
   gen_ = BuildGeneration(config_.checkpoint, /*version=*/1);
   n_ = gen_->info.num_sensors;
   history_ = gen_->info.settings.history;
@@ -77,6 +82,12 @@ std::shared_ptr<Generation> ModelProfile::BuildGeneration(
   options.session.precision = config_.precision;
   options.default_deadline = std::chrono::microseconds(config_.deadline_us);
   options.serial_kernels = config_.serial_kernels;
+  // Shards share the profile cache and present the generation version as
+  // their cache tag; a null profile cache keeps shards cache-free (they
+  // must not each self-create one — stats would fold per shard).
+  options.stream_cache = stream_cache_ != nullptr;
+  options.cache = stream_cache_;
+  options.generation = static_cast<uint64_t>(version);
   gen->shards.reserve(static_cast<size_t>(config_.shards));
   for (int64_t k = 0; k < config_.shards; ++k) {
     gen->shards.push_back(std::make_unique<serve::Server>(path, options));
@@ -134,6 +145,7 @@ std::future<serve::Response> ModelProfile::ForecastTile(int64_t tile) {
              " out of range [0, ", router_.tiles(), ")");
   const int64_t shard = router_.TileToShard(tile);
   Tensor window;
+  int64_t anchor = -1;
   {
     std::lock_guard<std::mutex> lock(
         *shard_mutexes_[static_cast<size_t>(shard)]);
@@ -142,12 +154,16 @@ std::future<serve::Response> ModelProfile::ForecastTile(int64_t tile) {
                "' is still warming up (", state.min_filled(), " of ",
                history_, " steps)");
     window = state.Window().Reshape({n_, history_, features_});
+    anchor = state.anchor();
   }
   // Holding the reader lock across the enqueue is the drain guarantee:
   // the reload's writer lock cannot be acquired until this request is in
-  // the generation's queue, and the retire path executes queued requests.
+  // its queue, and the retire path executes queued requests. The tile
+  // index is the stream id: tiles advance one observation at a time, the
+  // exact overlap the stream cache reuses.
   std::shared_lock<std::shared_mutex> lock(gen_mutex_);
-  return gen_->shards[static_cast<size_t>(shard)]->Submit(std::move(window));
+  return gen_->shards[static_cast<size_t>(shard)]->Submit(
+      std::move(window), /*stream_id=*/tile, anchor);
 }
 
 ReloadResult ModelProfile::Reload(const std::string& path) {
@@ -163,6 +179,13 @@ ReloadResult ModelProfile::Reload(const std::string& path) {
   Stopwatch swap;
   {
     std::unique_lock<std::shared_mutex> lock(gen_mutex_);
+    // Flush the stream cache inside the swap's writer section: no
+    // new-generation request can run before the flush, so no entry
+    // computed on the old weights is ever served after it. Old-generation
+    // workers still draining present old tags and simply miss.
+    if (stream_cache_) {
+      stream_cache_->Invalidate(static_cast<uint64_t>(next->version));
+    }
     old = std::move(gen_);
     gen_ = std::move(next);
   }
@@ -212,6 +235,9 @@ std::vector<serve::ServerStats> ModelProfile::ShardStats() const {
 serve::ServerStats ModelProfile::Stats() const {
   serve::ServerStats merged;
   for (const serve::ServerStats& shard : ShardStats()) merged.Merge(shard);
+  // Shards are non-owners (their stream_cache sections are zero); the
+  // profile folds the shared cache exactly once.
+  if (stream_cache_) merged.stream_cache = stream_cache_->Stats();
   return merged;
 }
 

@@ -32,6 +32,7 @@
 
 #include "fleet/shard_router.h"
 #include "serve/server.h"
+#include "serve/stream_cache.h"
 #include "serve/stream_state.h"
 #include "simd/lowp.h"
 
@@ -142,8 +143,16 @@ class ModelProfile {
   /// generations (continuity across reloads).
   std::vector<serve::ServerStats> ShardStats() const;
 
-  /// All shards merged into one snapshot.
+  /// All shards merged into one snapshot, including the profile-level
+  /// stream-cache counters (the profile owns the cache, so they are
+  /// folded exactly once here, not per shard).
   serve::ServerStats Stats() const;
+
+  /// The profile's shared stream cache (null when globally disabled). One
+  /// cache spans all shards and survives reloads: worker outputs are
+  /// interchangeable by the determinism contract, and Reload invalidates
+  /// by generation so entries never outlive their weights.
+  serve::StreamCache* stream_cache() const { return stream_cache_.get(); }
 
  private:
   std::shared_ptr<Generation> BuildGeneration(const std::string& path,
@@ -154,6 +163,11 @@ class ModelProfile {
   int64_t n_ = 0;
   int64_t history_ = 0;
   int64_t features_ = 0;
+
+  /// Shared across every shard of every generation; entries are tagged
+  /// with the generation that wrote them. Null when STWA_NO_STREAM_CACHE
+  /// disabled the path at profile construction.
+  std::shared_ptr<serve::StreamCache> stream_cache_;
 
   /// Guards gen_ swaps: forecasts hold it shared across the enqueue, a
   /// reload holds it exclusive only for the pointer exchange.

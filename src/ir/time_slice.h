@@ -1,0 +1,144 @@
+// Time-axis dependency analysis over frozen forward plans.
+//
+// Serving is a sliding-window workload: each new observation shifts a
+// stream's [N, H, F] history by one step, so H-1 of the per-timestep
+// columns the model computes were already computed on the previous
+// request. AnalyzeTimeSlice classifies every step of a forward-only
+// ExecutionPlan by its dependency footprint along the feed's time axis:
+//
+//   kInvariant — no path from the feed at all (parameter packs, constant
+//     tiles, generated projections of window-invariant latents). Computed
+//     once per session and retained across replays.
+//   kSliced — the step's output carries a time axis aligned 1:1 with the
+//     feed's: column t depends only on feed column t plus invariant
+//     inputs. The per-column results of the previous window are reusable
+//     after a shift-by-one (embedding projections, per-step linears).
+//   kGlobal — everything else (window reductions, attention across the
+//     window, reshapes that fold time into features). Recomputed on every
+//     call; this is the window-global tail.
+//
+// The classification is conservative: any op whose per-kind transfer
+// function cannot prove column independence degrades to kGlobal, which is
+// always correct (it just reuses less). Plans containing sampling ops
+// (kRandn / kDropoutMask) are rejected outright — their outputs depend on
+// rng stream position, so no cross-call reuse of any kind is sound.
+//
+// A ColumnProgram is the executable counterpart: a shadow graph of the
+// sliced steps with the time extent collapsed to 1, sharing the real
+// plan's invariant/parameter nodes as inputs. Running it on the newest
+// feed column produces the newest column of every frontier step (a sliced
+// step read by a global step or the root); splicing that column onto the
+// cached previous-window values (ShiftAppendColumn) reconstructs exactly
+// the tensors a cold replay would compute, bit for bit — every kernel
+// involved is column-independent by the simd lane contract (GEMM row bits
+// do not depend on M, elementwise ops are per-element).
+
+#ifndef STWA_IR_TIME_SLICE_H_
+#define STWA_IR_TIME_SLICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/var.h"
+#include "ir/plan.h"
+#include "tensor/tensor.h"
+
+namespace stwa {
+namespace ir {
+
+/// Per-step time-axis footprint (see file comment).
+enum class TimeClass : uint8_t { kInvariant = 0, kSliced = 1, kGlobal = 2 };
+
+/// Result of AnalyzeTimeSlice over one forward-only plan.
+struct TimeSliceInfo {
+  /// False when the plan cannot support any incremental path: sampling
+  /// ops present, multi-feed, or the feed/time axis did not line up.
+  bool feasible = false;
+  /// True when the plan contains kRandn/kDropoutMask — outputs are then
+  /// rng-stream-dependent and even whole-output memoisation is unsound.
+  bool has_rng = false;
+
+  /// Classification per forward step (parallel to plan.forward_steps()).
+  std::vector<TimeClass> step_class;
+  /// Output time axis per step; -1 unless the step is kSliced.
+  std::vector<int64_t> step_axis;
+
+  /// Step indices by class, in schedule order.
+  std::vector<size_t> invariant_steps;
+  std::vector<size_t> sliced_steps;
+  /// Sliced steps whose full window values must be materialised: they are
+  /// read by a global step or are the plan root. These are the cacheable
+  /// per-stream segment.
+  std::vector<size_t> frontier_steps;
+
+  /// Execute masks for ExecutionPlan::ReplayForwardMasked (parallel to
+  /// forward_steps()): global steps only (incremental call), and
+  /// everything but invariant steps (cold call with warm invariants).
+  std::vector<uint8_t> global_mask;
+  std::vector<uint8_t> non_invariant_mask;
+
+  /// Nodes whose values must survive across replays: every invariant step
+  /// plus every frontier step. Pass to ExecutionPlan::RetainValues.
+  std::vector<ag::Node*> retain_nodes;
+
+  int64_t invariant_count = 0;
+  int64_t sliced_count = 0;
+  int64_t global_count = 0;
+  /// Extent of the feed's time axis at capture.
+  int64_t window = 0;
+};
+
+/// Classifies `plan`'s forward steps along feed `feed_index`'s `time_axis`.
+/// The plan must be forward-only. Always returns a fully populated info
+/// (masks sized to the schedule) so callers can branch on `feasible`.
+TimeSliceInfo AnalyzeTimeSlice(const ExecutionPlan& plan, size_t feed_index,
+                               int64_t time_axis);
+
+/// Executable single-column shadow of a plan's sliced segment. Holds
+/// private shadow nodes (time extent 1) wired to the real plan's leaves
+/// and invariant steps, so Run() dispatches the exact same kernels the
+/// plan replays — on one column. Not thread-safe; owned per session like
+/// the plan cache itself.
+class ColumnProgram {
+ public:
+  /// Builds the shadow graph. `info` must be the analysis of `plan` with
+  /// feasible == true. ok() reports whether construction succeeded.
+  ColumnProgram(const ExecutionPlan& plan, const TimeSliceInfo& info,
+                size_t feed_index);
+
+  bool ok() const { return ok_; }
+
+  /// Executes the sliced segment on `feed_column` — the feed tensor with
+  /// the time axis collapsed to extent 1 (the newest observation column).
+  void Run(const Tensor& feed_column);
+
+  /// Newest-column value of frontier step `k` (index into
+  /// info.frontier_steps), valid after Run().
+  const Tensor& FrontierColumn(size_t k) const {
+    return frontier_shadow_[k]->value;
+  }
+
+ private:
+  bool ok_ = false;
+  /// Shadow op nodes in sliced-schedule order.
+  std::vector<ag::NodePtr> order_;
+  /// Shadow leaf receiving the feed column.
+  ag::NodePtr feed_shadow_;
+  /// Shadow node of each frontier step, parallel to info.frontier_steps.
+  std::vector<ag::NodePtr> frontier_shadow_;
+};
+
+/// Copies column `index` of `t` along `axis` (extent-1 result).
+Tensor SliceTimeColumn(const Tensor& t, int64_t axis, int64_t index);
+
+/// Returns a fresh tensor shaped like `full` holding full[..., 1:, ...]
+/// shifted down one step along `axis` with `column` (extent 1 at `axis`)
+/// appended as the newest step — the splice that advances a cached
+/// window-aligned value by one observation.
+Tensor ShiftAppendColumn(const Tensor& full, const Tensor& column,
+                         int64_t axis);
+
+}  // namespace ir
+}  // namespace stwa
+
+#endif  // STWA_IR_TIME_SLICE_H_

@@ -34,8 +34,17 @@ void BatchingQueue::ShedLocked(Request& req, const std::string& reason) {
 
 std::future<Response> BatchingQueue::Submit(
     Tensor window, std::chrono::microseconds deadline_budget) {
+  return Submit(std::move(window), /*stream_id=*/-1, /*anchor=*/-1,
+                deadline_budget);
+}
+
+std::future<Response> BatchingQueue::Submit(
+    Tensor window, int64_t stream_id, int64_t anchor,
+    std::chrono::microseconds deadline_budget) {
   Request req;
   req.window = std::move(window);
+  req.stream_id = stream_id;
+  req.anchor = anchor;
   req.enqueue_time = std::chrono::steady_clock::now();
   req.deadline = req.enqueue_time + deadline_budget;
   std::future<Response> future = req.promise.get_future();

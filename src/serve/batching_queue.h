@@ -53,6 +53,13 @@ struct Request {
   int64_t id = 0;
   /// Input window [N, H, F], raw scale.
   Tensor window;
+  /// Stream identity for incremental serving (serve/stream_cache.h):
+  /// stream_id >= 0 marks the request as belonging to a live stream whose
+  /// window advances one step per observation; `anchor` is the stream
+  /// position of this window (StreamState::anchor()). stream_id < 0 is a
+  /// plain one-shot forecast — no cache interaction.
+  int64_t stream_id = -1;
+  int64_t anchor = -1;
   std::chrono::steady_clock::time_point enqueue_time;
   /// Execution must start before this point or the request is shed.
   std::chrono::steady_clock::time_point deadline;
@@ -78,6 +85,13 @@ class BatchingQueue {
   /// Enqueues a request; the future resolves when a worker executes or
   /// sheds it. `deadline_budget` bounds the in-queue wait.
   std::future<Response> Submit(Tensor window,
+                               std::chrono::microseconds deadline_budget);
+
+  /// Enqueues a stream request (see Request::stream_id). Identical
+  /// batching/shedding semantics; the stream identity rides along so the
+  /// executing worker can take the incremental path.
+  std::future<Response> Submit(Tensor window, int64_t stream_id,
+                               int64_t anchor,
                                std::chrono::microseconds deadline_budget);
 
   /// Blocks until a batch is ready (per the policy above) and pops it.

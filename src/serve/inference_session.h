@@ -20,7 +20,9 @@
 
 #include "data/scaler.h"
 #include "ir/plan.h"
+#include "ir/time_slice.h"
 #include "serve/checkpoint.h"
+#include "serve/stream_cache.h"
 #include "simd/lowp.h"
 #include "train/trainer.h"
 
@@ -83,6 +85,20 @@ class InferenceSession {
   /// open time) keeps every call eager.
   Tensor Forecast(const Tensor& raw_window);
 
+  /// Forecast for one live stream with cross-call reuse. `raw_window` is
+  /// a single window ([N, H, F] or [1, N, H, F]); `stream_id` names the
+  /// stream, `anchor` its position (StreamState::anchor()), `generation`
+  /// the weights generation the caller serves (tags new entries, gates
+  /// lookups). Outputs are byte-identical to Forecast on the same window —
+  /// reuse paths (see serve/stream_cache.h) are memcmp-gated and splice
+  /// columns whose bits match a cold compute by the kernel column-
+  /// independence contract. Falls back to Forecast (counting a bypass)
+  /// when `cache` is null, plans are off/unplannable, or the plan samples
+  /// rng.
+  Tensor ForecastStream(const Tensor& raw_window, int64_t stream_id,
+                        int64_t anchor, StreamCache* cache,
+                        uint64_t generation);
+
   const ServingInfo& info() const { return info_; }
   const data::StandardScaler& scaler() const { return scaler_; }
 
@@ -118,6 +134,38 @@ class InferenceSession {
   /// fixed by the checkpoint). Null entry: shape not plannable, stay
   /// eager. Sessions are single-threaded, so no lock.
   std::unordered_map<int64_t, std::unique_ptr<ir::ExecutionPlan>> plans_;
+
+  /// Time-slice state of the batch-1 plan (ForecastStream). Populated by
+  /// the capture that creates the plan — the analysis reads capture-live
+  /// shapes — and immutable afterwards.
+  struct StreamPlan {
+    /// Analysis ran (whether or not it proved feasible).
+    bool analyzed = false;
+    /// Invariant step values are resident on the plan (retained since the
+    /// capture trace), so masked replays may skip those steps.
+    bool invariant_warm = false;
+    ir::TimeSliceInfo info;
+    std::unique_ptr<ir::ColumnProgram> columns;
+    /// Capture-time shapes of the frontier values — foreign cache entries
+    /// must match them before a splice is attempted.
+    std::vector<Shape> frontier_shapes;
+    /// Execute-everything mask (defensive cold replay).
+    std::vector<uint8_t> all_mask;
+  };
+  StreamPlan stream_;
+
+  /// Reused elementwise staging (data/scaler.h Into variants): zero
+  /// steady-state allocations on the forecast hot path. The use_count
+  /// guard automatically falls back to a fresh buffer whenever a previous
+  /// result is still referenced (e.g. held by the stream cache).
+  Tensor norm_staging_;
+  Tensor out_staging_;
+
+  /// Runs the time-slice analysis on a freshly captured batch-1 plan
+  /// (values still live from the trace), builds the column program and
+  /// applies value retention. Harvesting of the capture's own values is
+  /// the caller's job.
+  void AnalyzeStreamPlan(ir::ExecutionPlan* plan);
 };
 
 }  // namespace serve

@@ -1,5 +1,6 @@
 #include "serve/protocol.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -133,7 +134,15 @@ std::string FormatStatsResponse(const ServerStats& stats) {
       << " protocol_errors=" << stats.protocol_errors
       << " p50_us=" << FormatMicros(stats.latency.p50())
       << " p95_us=" << FormatMicros(stats.latency.p95())
-      << " p99_us=" << FormatMicros(stats.latency.p99());
+      << " p99_us=" << FormatMicros(stats.latency.p99())
+      << " sc_output_hits=" << stats.stream_cache.output_hits
+      << " sc_shift_hits=" << stats.stream_cache.shift_hits
+      << " sc_misses=" << stats.stream_cache.misses
+      << " sc_stale=" << stats.stream_cache.stale_rejected
+      << " sc_bypass=" << stats.stream_cache.bypass
+      << " sc_flushes=" << stats.stream_cache.flushes
+      << " sc_entries=" << stats.stream_cache.entries
+      << " sc_bytes=" << stats.stream_cache.bytes;
   return oss.str();
 }
 
@@ -167,10 +176,17 @@ std::optional<std::string> ValidateCommand(const Command& cmd,
   }
 }
 
+namespace {
+/// Process-unique stream ids: two concurrent connections must never write
+/// the same cache slot.
+std::atomic<int64_t> g_next_stream_id{0};
+}  // namespace
+
 LineSession::LineSession(Server& server)
     : server_(server),
       state_(server.info().num_sensors, server.info().settings.history,
-             server.info().num_features) {}
+             server.info().num_features),
+      stream_id_(g_next_stream_id.fetch_add(1)) {}
 
 std::optional<std::string> LineSession::Handle(const std::string& line,
                                                bool* quit) {
@@ -201,7 +217,12 @@ std::optional<std::string> LineSession::Handle(const std::string& line,
       }
       Tensor window = state_.Window().Reshape(
           {state_.num_sensors(), state_.history(), state_.features()});
-      Response resp = server_.Submit(std::move(window)).get();
+      // Stream-tagged submit: consecutive forecasts from this connection
+      // advance one observation at a time, the exact shape the stream
+      // cache reuses. Falls back transparently when the cache is off.
+      Response resp =
+          server_.Submit(std::move(window), stream_id_, state_.anchor())
+              .get();
       return FormatForecastResponse(resp, info.num_sensors,
                                     info.settings.horizon,
                                     info.num_features);

@@ -95,9 +95,14 @@ class LineSession {
 
   StreamState& state() { return state_; }
 
+  /// Process-unique stream id this session submits under (stream cache
+  /// key; see serve/stream_cache.h).
+  int64_t stream_id() const { return stream_id_; }
+
  private:
   Server& server_;
   StreamState state_;
+  int64_t stream_id_ = -1;
   int64_t protocol_errors_ = 0;
 };
 

@@ -32,6 +32,7 @@ void ServerStats::Merge(const ServerStats& other) {
       batches > 0 ? batch_requests / static_cast<double>(batches) : 0.0;
   latency.Merge(other.latency);
   per_worker.Merge(other.per_worker);
+  stream_cache.Merge(other.stream_cache);
 }
 
 Server::Server(const std::string& checkpoint_path, ServerOptions options)
@@ -60,6 +61,17 @@ Server::Server(const std::string& checkpoint_path,
 }
 
 void Server::Start(int workers) {
+  // Resolve the stream cache before any worker can pop a request. The env
+  // gate wins over both the options flag and an injected cache, so
+  // STWA_NO_STREAM_CACHE=1 disables the whole path even under the fleet.
+  if (options_.stream_cache && StreamCacheEnabled()) {
+    if (options_.cache) {
+      cache_ = options_.cache;
+    } else {
+      cache_ = std::make_shared<StreamCache>(options_.generation);
+      cache_owner_ = true;
+    }
+  }
   for (int i = 0; i < workers; ++i) {
     Worker& w = *workers_[i];
     w.thread = std::thread([this, &w] { WorkerLoop(w); });
@@ -94,6 +106,22 @@ std::future<Response> Server::Submit(
   return queue_.Submit(std::move(window), deadline_budget);
 }
 
+std::future<Response> Server::Submit(Tensor window, int64_t stream_id,
+                                     int64_t anchor) {
+  const ServingInfo& inf = info();
+  STWA_CHECK(window.rank() == 3 &&
+                 window.dim(0) == inf.num_sensors &&
+                 window.dim(1) == inf.settings.history &&
+                 window.dim(2) == inf.num_features,
+             "Submit expects a raw window [", inf.num_sensors, ", ",
+             inf.settings.history, ", ", inf.num_features, "], got ",
+             ShapeToString(window.shape()));
+  STWA_CHECK(stream_id >= 0, "stream ids are non-negative, got ",
+             stream_id);
+  return queue_.Submit(std::move(window), stream_id, anchor,
+                       options_.default_deadline);
+}
+
 const ServingInfo& Server::info() const {
   return workers_.front()->session->info();
 }
@@ -117,20 +145,35 @@ void Server::WorkerLoop(Worker& worker) {
     if (batch.empty()) return;  // shutdown + drained
     const auto exec_start = std::chrono::steady_clock::now();
     const int64_t b = static_cast<int64_t>(batch.size());
-    const Shape batch_shape{b, inf.num_sensors, inf.settings.history,
-                            inf.num_features};
-    if (staging.shape() != batch_shape || staging.use_count() > 1) {
-      staging = Tensor::Uninit(batch_shape);
-    }
-    for (int64_t i = 0; i < b; ++i) {
-      std::memcpy(staging.data() + i * sample, batch[i].window.data(),
-                  sizeof(float) * static_cast<size_t>(sample));
+    // A stream-tagged request executing alone takes the incremental path;
+    // stream requests that ride a larger batch fall back to the stacked
+    // forward (still correct — the cache is consulted next time they
+    // arrive alone) and are counted as bypasses.
+    const bool incremental =
+        cache_ != nullptr && b == 1 && batch[0].stream_id >= 0;
+    if (!incremental) {
+      const Shape batch_shape{b, inf.num_sensors, inf.settings.history,
+                              inf.num_features};
+      if (staging.shape() != batch_shape || staging.use_count() > 1) {
+        staging = Tensor::Uninit(batch_shape);
+      }
+      for (int64_t i = 0; i < b; ++i) {
+        std::memcpy(staging.data() + i * sample, batch[i].window.data(),
+                    sizeof(float) * static_cast<size_t>(sample));
+        if (cache_ && batch[i].stream_id >= 0) cache_->CountBypass();
+      }
     }
 
     Response failure;
     Tensor out;
     try {
-      out = worker.session->Forecast(staging);  // [B, N, U, F] raw
+      if (incremental) {
+        out = worker.session->ForecastStream(
+            batch[0].window, batch[0].stream_id, batch[0].anchor,
+            cache_.get(), options_.generation);  // [N, U, F] raw
+      } else {
+        out = worker.session->Forecast(staging);  // [B, N, U, F] raw
+      }
     } catch (const std::exception& e) {
       failure.ok = false;
       failure.error = e.what();
@@ -141,11 +184,17 @@ void Server::WorkerLoop(Worker& worker) {
     for (int64_t i = 0; i < b; ++i) {
       Response resp = failure;
       if (failure.error.empty()) {
-        Tensor forecast = Tensor::Uninit(
-            {inf.num_sensors, inf.settings.horizon, inf.num_features});
-        std::memcpy(forecast.data(), out.data() + i * out_sample,
-                    sizeof(float) * static_cast<size_t>(out_sample));
-        resp.forecast = std::move(forecast);
+        if (incremental) {
+          // Already [N, U, F]; hand the tensor over without a copy (cache
+          // hits share the cached buffer — safe, responses are read-only).
+          resp.forecast = std::move(out);
+        } else {
+          Tensor forecast = Tensor::Uninit(
+              {inf.num_sensors, inf.settings.horizon, inf.num_features});
+          std::memcpy(forecast.data(), out.data() + i * out_sample,
+                      sizeof(float) * static_cast<size_t>(out_sample));
+          resp.forecast = std::move(forecast);
+        }
         resp.ok = true;
       }
       resp.queue_micros = MicrosBetween(batch[i].enqueue_time, exec_start);
@@ -189,6 +238,9 @@ ServerStats Server::Stats() const {
       stats.batches > 0 ? stats.mean_batch / static_cast<double>(
                                                  stats.batches)
                         : 0.0;
+  // Only the cache's owner folds its counters — a fleet profile shares
+  // one cache across shards and folds it exactly once at profile level.
+  if (cache_owner_ && cache_) stats.stream_cache = cache_->Stats();
   return stats;
 }
 

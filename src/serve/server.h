@@ -24,6 +24,7 @@
 #include "metrics/latency.h"
 #include "serve/batching_queue.h"
 #include "serve/inference_session.h"
+#include "serve/stream_cache.h"
 
 namespace stwa {
 namespace serve {
@@ -45,6 +46,20 @@ struct ServerOptions {
   /// per-kernel pool dispatch is pure contention there. Outputs are
   /// bit-identical either way (ParallelFor determinism contract).
   bool serial_kernels = false;
+  /// Per-stream activation cache for incremental streaming inference
+  /// (serve/stream_cache.h). When enabled, stream-tagged Submits that
+  /// execute as singleton batches take InferenceSession::ForecastStream —
+  /// byte-identical to the cold path, memcmp-enforced. STWA_NO_STREAM_CACHE=1
+  /// wins over this flag.
+  bool stream_cache = true;
+  /// Externally owned cache (the fleet layer shares one cache across a
+  /// profile's shards and reload generations). Null + stream_cache on:
+  /// the server creates and owns a private cache, and folds its stats
+  /// into Stats(). Non-null: the owner folds stats itself.
+  std::shared_ptr<StreamCache> cache;
+  /// Weights generation this server serves (tags cache entries; the fleet
+  /// layer passes the model version so reloads never read stale entries).
+  uint64_t generation = 1;
 };
 
 /// Aggregated serving statistics.
@@ -63,6 +78,9 @@ struct ServerStats {
   /// The same completions keyed per worker ("w0", "w1", ...) — per-worker
   /// percentiles from one mergeable struct.
   metrics::LabeledHistograms per_worker;
+  /// Stream-cache counters (zeros when the cache is off or owned
+  /// elsewhere — the owner folds them exactly once).
+  StreamCacheStats stream_cache;
 
   /// Folds `other` into this snapshot (counters add, histograms merge,
   /// mean_batch re-weighted by batch count). The fleet layer uses this to
@@ -95,6 +113,16 @@ class Server {
   std::future<Response> Submit(Tensor window,
                                std::chrono::microseconds deadline_budget);
 
+  /// Enqueues a forecast for one live stream: `stream_id` names the
+  /// stream, `anchor` is its window position (StreamState::anchor()).
+  /// When the stream cache is on and the request executes alone, the
+  /// worker takes the incremental path — same bytes, fewer flops.
+  std::future<Response> Submit(Tensor window, int64_t stream_id,
+                               int64_t anchor);
+
+  /// The stream cache this server consults (null when disabled).
+  StreamCache* stream_cache() const { return cache_.get(); }
+
   /// Merged statistics snapshot (histograms merged across workers).
   ServerStats Stats() const;
 
@@ -120,6 +148,11 @@ class Server {
 
   ServerOptions options_;
   BatchingQueue queue_;
+  /// Stream cache in use: options_.cache when provided, else a private
+  /// one (created when options_.stream_cache and the env gate allow it).
+  std::shared_ptr<StreamCache> cache_;
+  /// True when cache_ was self-created — then Stats() folds its counters.
+  bool cache_owner_ = false;
   std::vector<std::unique_ptr<Worker>> workers_;
   bool stopped_ = false;
 };

@@ -45,6 +45,12 @@ int64_t StreamState::min_filled() const {
   return std::min(m, h_);
 }
 
+int64_t StreamState::anchor() const {
+  int64_t m = seen_[0];
+  for (int64_t i = 1; i < n_; ++i) m = std::min(m, seen_[i]);
+  return m;
+}
+
 int64_t StreamState::seen(int64_t sensor) const {
   STWA_CHECK(sensor >= 0 && sensor < n_, "sensor out of range");
   return seen_[sensor];

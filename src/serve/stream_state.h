@@ -51,6 +51,12 @@ class StreamState {
   /// Total observations pushed for `sensor` since construction.
   int64_t seen(int64_t sensor) const;
 
+  /// Window anchor: observations every sensor has contributed, uncapped —
+  /// advances by one exactly when the whole window shifts by one step.
+  /// Consecutive anchors therefore promise W[t][0..H-2] == W[t-1][1..H-1],
+  /// which is the stream cache's shift-reuse key (still memcmp-verified).
+  int64_t anchor() const;
+
  private:
   int64_t n_;
   int64_t h_;
